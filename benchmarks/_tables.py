@@ -1,0 +1,38 @@
+"""Shared table formatting for the experiment benchmarks.
+
+Every ``bench_eXX`` module regenerates one paper artifact (table, figure,
+example or quantitative lemma) and prints it in a fixed-width table so the
+run log doubles as the reproduction record (EXPERIMENTS.md quotes these).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["render_table", "emit"]
+
+
+def render_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence]
+) -> str:
+    """Fixed-width table with a title rule, ready for the bench log."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [
+        "",
+        f"== {title} ==",
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        sep,
+    ]
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def emit(title: str, headers: Sequence[str], rows: Sequence[Sequence]) -> None:
+    """Print a rendered table (kept separate so modules stay testable)."""
+    print(render_table(title, headers, rows))

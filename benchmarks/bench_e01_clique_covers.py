@@ -1,0 +1,78 @@
+"""E01 — Lemma 2.3: ρ(K_2n) = ρ*(K_2n) = n.
+
+Regenerates the equality series the NP-hardness proof leans on (even
+cliques admit no fractional shortcut) and contrasts it with odd cliques,
+where ρ*(K_{2n+1}) = n + 1/2 < ρ(K_{2n+1}).
+"""
+
+from _tables import emit
+
+from repro.covers import edge_cover_number, fractional_edge_cover_number
+from repro.hypergraph.generators import clique
+
+
+def clique_cover_rows(max_n: int = 5) -> list[tuple]:
+    rows = []
+    for n in range(1, max_n + 1):
+        size = 2 * n
+        k = clique(size)
+        rows.append(
+            (
+                f"K_{size}",
+                edge_cover_number(k),
+                round(fractional_edge_cover_number(k), 6),
+                n,
+            )
+        )
+    return rows
+
+
+def odd_clique_rows(max_n: int = 4) -> list[tuple]:
+    rows = []
+    for n in range(1, max_n + 1):
+        size = 2 * n + 1
+        k = clique(size)
+        rows.append(
+            (
+                f"K_{size}",
+                edge_cover_number(k),
+                round(fractional_edge_cover_number(k), 6),
+            )
+        )
+    return rows
+
+
+def test_e01_lemma_2_3(benchmark):
+    rows = benchmark(clique_cover_rows, 5)
+    for label, rho, rho_star, n in rows:
+        assert rho == n, f"{label}: ρ = {rho} != {n}"
+        assert abs(rho_star - n) < 1e-6, f"{label}: ρ* = {rho_star} != {n}"
+    emit(
+        "E01 / Lemma 2.3: even cliques, ρ = ρ* = n",
+        ["hypergraph", "ρ", "ρ*", "paper n"],
+        rows,
+    )
+
+
+def test_e01_odd_cliques_show_gap(benchmark):
+    rows = benchmark(odd_clique_rows, 4)
+    for label, rho, rho_star in rows:
+        assert rho_star < rho, f"{label}: expected fractional advantage"
+    emit(
+        "E01 supplement: odd cliques, ρ* = n + 1/2 < ρ",
+        ["hypergraph", "ρ", "ρ*"],
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    emit(
+        "E01 / Lemma 2.3: even cliques, ρ = ρ* = n",
+        ["hypergraph", "ρ", "ρ*", "paper n"],
+        clique_cover_rows(),
+    )
+    emit(
+        "E01 supplement: odd cliques",
+        ["hypergraph", "ρ", "ρ*"],
+        odd_clique_rows(),
+    )

@@ -1,0 +1,86 @@
+"""E06 — Examples 4.4/4.10/4.12 and Figure 7: the ⋃⋂-tree.
+
+Rebuilds the critical path critp(u, e2) = (u, u1, u*) on the Figure 6(b)
+GHD, runs Algorithm 1 on it, and checks Figure 7's content: the tree has
+three nodes, leaves {e2,e3} and {e2,e7}, and its leaf union equals the
+Example 4.4 subedge e2' = {v3, v9} = e2 ∩ B_u (Lemma 4.9).
+"""
+
+from _tables import emit
+
+from repro.algorithms import (
+    critical_path,
+    ghd_subedges,
+    union_intersection_tree,
+)
+from repro.decomposition import repair_special_violations, special_condition_violations
+from repro.paper_artifacts import example_4_3_hypergraph, figure_6b_ghd
+
+
+def figure_7_tree():
+    h0 = example_4_3_hypergraph()
+    d = figure_6b_ghd()
+    path = critical_path(h0, d, "u0", "e2")
+    covers = [frozenset(d.cover(nid).support) for nid in path[1:]]
+    tree = union_intersection_tree(h0, "e2", covers)
+    leaf_union = frozenset().union(
+        *(leaf.intersection(h0) for leaf in tree.leaves())
+    )
+    return path, tree, leaf_union
+
+
+def test_e06_figure_7(benchmark):
+    path, tree, leaf_union = benchmark(figure_7_tree)
+    h0 = example_4_3_hypergraph()
+    d = figure_6b_ghd()
+    assert path == ["u0", "u1", "u2"]
+    assert tree.size() == 3 and tree.depth() == 1
+    assert leaf_union == frozenset({"v3", "v9"})
+    assert leaf_union == h0.edge("e2") & d.bag("u0")  # Lemma 4.9
+    emit(
+        "E06 / Figure 7: ⋃⋂-tree of critp(u, e2)",
+        ["node label", "int(p)"],
+        [
+            (
+                "{" + ",".join(sorted(n.label)) + "}",
+                "{" + ",".join(sorted(map(str, n.intersection(h0)))) + "}",
+            )
+            for n in [tree, *tree.leaves()]
+        ],
+    )
+
+
+def test_e06_scv_repair_example_4_4(benchmark):
+    """The SCV at u0 (edge e2, vertex v2) repairs via e2' = {v3, v9}."""
+    h0 = example_4_3_hypergraph()
+    d = figure_6b_ghd()
+
+    def repair():
+        return repair_special_violations(h0, d)
+
+    augmented, repaired = benchmark(repair)
+    scvs = special_condition_violations(h0, d)
+    fixed = special_condition_violations(augmented, repaired)
+    assert scvs and not fixed
+    emit(
+        "E06 / Example 4.4: special condition violations before/after",
+        ["decomposition", "#SCVs"],
+        [("Figure 6(b) original", len(scvs)), ("after subedge repair", len(fixed))],
+    )
+
+
+def test_e06_fixpoint_generator_contains_figure_7_subedge(benchmark):
+    h0 = example_4_3_hypergraph()
+    subs = benchmark(ghd_subedges, h0, 2)
+    assert frozenset({"v3", "v9"}) in set(subs.values())
+    emit(
+        "E06 / f(H0, 2) subedge inventory",
+        ["generator", "#subedges"],
+        [("fixpoint f(H0,2)", len(subs))],
+    )
+
+
+if __name__ == "__main__":
+    path, tree, leaf_union = figure_7_tree()
+    print("critical path:", path)
+    print("leaf union:", sorted(leaf_union))

@@ -1,0 +1,66 @@
+"""E09 — Example 5.1: optimal fractional covers may need unbounded support.
+
+The family H_n (star + one big edge) has iwidth 1 yet its unique optimal
+fractional cover puts 1/n on each star edge and 1 − 1/n on the big edge:
+weight 2 − 1/n with support n + 1.  This regenerates the series and also
+confirms Corollary 5.5's counterweight: the support is <= d · ρ* with
+d = degree(H_n) = n (so "unbounded support" and Füredi's bound coexist).
+"""
+
+from _tables import emit
+
+from repro.covers import fractional_edge_cover, minimal_support_cover
+from repro.hypergraph import degree, intersection_width
+from repro.hypergraph.generators import unbounded_support_family
+
+
+def series_rows() -> list[tuple]:
+    rows = []
+    for n in (2, 3, 5, 8, 12):
+        h = unbounded_support_family(n)
+        cover = fractional_edge_cover(h)
+        small = minimal_support_cover(h, h.vertices)
+        rows.append(
+            (
+                n,
+                intersection_width(h),
+                round(cover.weight, 6),
+                round(2 - 1 / n, 6),
+                len(cover.support),
+                len(small.support),
+                degree(h) * cover.weight,
+            )
+        )
+    return rows
+
+
+def test_e09_example_5_1_series(benchmark):
+    rows = benchmark(series_rows)
+    for n, iwidth, weight, expected, support, small_support, bound in rows:
+        assert iwidth == 1
+        assert abs(weight - expected) < 1e-6
+        assert support == n + 1  # unbounded in n
+        assert small_support <= bound + 1e-9  # Corollary 5.5
+    emit(
+        "E09 / Example 5.1: weight 2 - 1/n with support n + 1",
+        ["n", "iwidth", "ρ*", "2-1/n", "|supp| optimal", "|supp| reduced", "d·ρ* bound"],
+        rows,
+    )
+
+
+def test_e09_weights_match_paper(benchmark):
+    """γ(star_i) = 1/n and γ(big) = 1 - 1/n exactly."""
+    n = 6
+    h = unbounded_support_family(n)
+    cover = benchmark(fractional_edge_cover, h)
+    for i in range(1, n + 1):
+        assert abs(cover[f"star{i}"] - 1 / n) < 1e-6
+    assert abs(cover["big"] - (1 - 1 / n)) < 1e-6
+
+
+if __name__ == "__main__":
+    emit(
+        "E09 series",
+        ["n", "iw", "ρ*", "2-1/n", "supp", "supp-", "d·ρ*"],
+        series_rows(),
+    )

@@ -1,0 +1,77 @@
+"""E12 — Theorem 6.20 / Algorithm 4: the PTAAS for K-Bounded-FHW.
+
+Runs FHW-Approximation and reproduces its guarantees: final width within
+ε of fhw(H), failure exactly when fhw(H) > K, and the iteration count
+bounded by the ⌈log(K'/ε')⌉ analysis at the end of the Theorem 6.20 proof.
+"""
+
+import math
+
+from _tables import emit
+
+from repro.algorithms import (
+    fhw_approximation,
+    fractional_hypertree_width_exact,
+)
+from repro.hypergraph import Hypergraph
+from repro.hypergraph.generators import clique, cycle, triangle_cascade
+
+
+def instances():
+    return [
+        ("triangle", Hypergraph({"r": ["x", "y"], "s": ["y", "z"], "t": ["z", "x"]})),
+        ("C6", cycle(6)),
+        ("K5", clique(5)),
+        ("triangles(2)", triangle_cascade(2)),
+    ]
+
+
+def ptaas_rows(K: float = 3.0, eps: float = 0.5) -> list[tuple]:
+    rows = []
+    iteration_bound = math.ceil(math.log2((K + eps - 1) / (eps / 3))) + 1
+    for label, h in instances():
+        exact, _w = fractional_hypertree_width_exact(h)
+        result = fhw_approximation(h, K=K, eps=eps)
+        rows.append(
+            (
+                label,
+                round(exact, 4),
+                round(result.width, 4),
+                round(result.width - exact, 6),
+                result.iterations,
+                iteration_bound,
+            )
+        )
+    return rows
+
+
+def test_e12_ptaas_guarantees(benchmark):
+    K, eps = 3.0, 0.5
+    rows = benchmark(ptaas_rows, K, eps)
+    for label, exact, width, gap, iters, bound in rows:
+        assert gap < eps + 1e-9, f"{label}: PTAAS gap {gap} >= ε"
+        assert iters <= bound + 1, f"{label}: too many iterations"
+    emit(
+        "E12 / Thm 6.20: PTAAS widths and iteration counts (K=3, ε=0.5)",
+        ["instance", "fhw", "PTAAS width", "gap", "iterations", "⌈log(K'/ε')⌉ bound"],
+        rows,
+    )
+
+
+def test_e12_fails_above_K(benchmark):
+    """fhw(K6) = 3 > K = 2: the algorithm must answer 'fhw > K'."""
+    result = benchmark(fhw_approximation, clique(6), 2.0, 0.5)
+    assert result.failed
+    emit(
+        "E12 supplement: K-boundedness",
+        ["instance", "K", "outcome"],
+        [("K6 (fhw = 3)", 2.0, "fails as required")],
+    )
+
+
+if __name__ == "__main__":
+    emit(
+        "E12 / PTAAS",
+        ["inst", "fhw", "width", "gap", "iters", "bound"],
+        ptaas_rows(),
+    )

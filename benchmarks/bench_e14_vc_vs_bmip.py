@@ -1,0 +1,79 @@
+"""E14 — Lemma 6.24: BMIP ⇒ bounded VC dimension, but not conversely.
+
+Direction 1: on a mixed suite, vc(H) <= c + c-miwidth(H) for c = 2, 3.
+Direction 2: the counterexample family E = {V \\ {v_i}} keeps vc < 2 while
+its c-multi-intersection width grows as n − c — no BMIP constants exist.
+"""
+
+from _tables import emit
+
+from repro.hypergraph import multi_intersection_width, vc_dimension
+from repro.hypergraph.generators import (
+    bounded_vc_unbounded_miwidth_family,
+    clique,
+    cycle,
+    grid,
+    hyperbench_like_suite,
+)
+
+
+def direction1_rows() -> list[tuple]:
+    suite = [
+        ("K5", clique(5)),
+        ("C7", cycle(7)),
+        ("grid(3,3)", grid(3, 3)),
+    ] + [
+        (f"suite#{i}", h)
+        for i, h in enumerate(hyperbench_like_suite(seed=2, n_cq=5, n_csp=2))
+    ]
+    rows = []
+    for label, h in suite:
+        vc = vc_dimension(h)
+        for c in (2, 3):
+            i = multi_intersection_width(h, c)
+            rows.append((label, c, i, vc, vc <= c + i))
+    return rows
+
+
+def direction2_rows() -> list[tuple]:
+    rows = []
+    for n in (5, 8, 11, 14):
+        h = bounded_vc_unbounded_miwidth_family(n)
+        rows.append(
+            (
+                n,
+                vc_dimension(h),
+                multi_intersection_width(h, 2),
+                multi_intersection_width(h, 3),
+                n - 3,
+            )
+        )
+    return rows
+
+
+def test_e14_bmip_implies_bounded_vc(benchmark):
+    rows = benchmark(direction1_rows)
+    assert all(ok for *_x, ok in rows)
+    emit(
+        "E14 / Lemma 6.24: vc(H) <= c + c-miwidth(H)",
+        ["instance", "c", "c-miwidth", "vc", "vc <= c + i"],
+        rows,
+    )
+
+
+def test_e14_converse_fails(benchmark):
+    rows = benchmark(direction2_rows)
+    for n, vc, mi2, mi3, lower in rows:
+        assert vc < 2  # bounded VC dimension
+        assert mi3 >= lower  # miwidth grows with n: no BMIP constants
+        assert mi2 == n - 2
+    emit(
+        "E14 / Lemma 6.24 counterexample family E = {V \\ {v_i}}",
+        ["n", "vc", "2-miwidth", "3-miwidth", "paper lower bound n-3"],
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    emit("E14 dir1", ["inst", "c", "i", "vc", "ok"], direction1_rows())
+    emit("E14 dir2", ["n", "vc", "mi2", "mi3", "n-3"], direction2_rows())

@@ -1,0 +1,94 @@
+"""E18 (ablation) — heuristic width bounds vs the exact oracle.
+
+DESIGN.md calls out the exact-DP range limit (~18 vertices) as the
+library's main scalability trade-off; practical systems pair exact
+methods with elimination heuristics.  This ablation quantifies the
+sandwich quality: clique lower bound <= exact fhw <= heuristic upper
+bound, with the gap and the speedup, and shows the heuristics keep
+working past the exact oracle's range.
+"""
+
+import time
+
+from _tables import emit
+
+from repro.algorithms import (
+    clique_lower_bound,
+    fractional_hypertree_width_exact,
+    width_bounds,
+)
+from repro.hypergraph.generators import (
+    clique,
+    cycle,
+    grid,
+    triangle_cascade,
+)
+from repro.paper_artifacts import example_4_3_hypergraph
+
+
+def sandwich_rows() -> list[tuple]:
+    instances = [
+        ("C7", cycle(7)),
+        ("K5", clique(5)),
+        ("grid(3,3)", grid(3, 3)),
+        ("triangles(3)", triangle_cascade(3)),
+        ("Example4.3-H0", example_4_3_hypergraph()),
+    ]
+    rows = []
+    for label, h in instances:
+        t0 = time.perf_counter()
+        exact, _d = fractional_hypertree_width_exact(h)
+        exact_time = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        lower, upper, _w = width_bounds(h)
+        heur_time = time.perf_counter() - t0
+        rows.append(
+            (
+                label,
+                round(lower, 3),
+                round(exact, 3),
+                round(upper, 3),
+                round(upper - exact, 3),
+                f"{exact_time * 1000:.0f}ms",
+                f"{heur_time * 1000:.0f}ms",
+            )
+        )
+    return rows
+
+
+def test_e18_sandwich_quality(benchmark):
+    rows = benchmark(sandwich_rows)
+    for label, lower, exact, upper, gap, _te, _th in rows:
+        assert lower <= exact + 1e-9, label
+        assert exact <= upper + 1e-9, label
+        assert gap <= 1.0 + 1e-9, f"{label}: heuristic gap too large"
+    emit(
+        "E18 / heuristic sandwich: clique LB <= exact fhw <= heuristic UB",
+        ["instance", "lower", "exact fhw", "upper", "gap", "exact time", "heuristic time"],
+        rows,
+    )
+
+
+def test_e18_beyond_exact_range(benchmark):
+    """grid(5,5) has 25 vertices — out of 2^n range; heuristics answer."""
+
+    def big():
+        h = grid(5, 5)
+        lower, upper, _w = width_bounds(h)
+        return lower, upper, h.num_vertices
+
+    lower, upper, n = benchmark(big)
+    assert n == 25 and lower <= upper
+    emit(
+        "E18 supplement: past the exact-DP limit",
+        ["instance", "|V|", "fhw lower", "fhw upper"],
+        [("grid(5,5)", n, round(lower, 3), round(upper, 3))],
+    )
+
+
+if __name__ == "__main__":
+    emit(
+        "E18 sandwich",
+        ["inst", "lb", "exact", "ub", "gap", "t_exact", "t_heur"],
+        sandwich_rows(),
+    )

@@ -1,0 +1,104 @@
+"""E19 (ablation) — the GYO fast path for width-1 checks.
+
+ghw(H) = 1 iff H is α-acyclic (the paper's footnote 1 notion).  The GYO
+reduction decides this in near-linear time, whereas the generic
+``k-decomp`` search at k = 1 explores separators.  This ablation checks
+the two agree on a mixed suite and measures the speedup on acyclic
+instances of growing size.
+"""
+
+import random
+import time
+
+from _tables import emit
+
+from repro.algorithms import check_hd
+from repro.hypergraph import is_alpha_acyclic, join_tree
+from repro.decomposition import is_ghd
+from repro.hypergraph.generators import (
+    acyclic_hypergraph,
+    cycle,
+    grid,
+    random_cq_hypergraph,
+)
+
+
+def agreement_rows() -> list[tuple]:
+    rng = random.Random(5)
+    instances = [("cycle(6)", cycle(6)), ("grid(2,3)", grid(2, 3))]
+    for i in range(4):
+        instances.append(
+            (f"acyclic#{i}", acyclic_hypergraph(6, 3, rng=random.Random(i)))
+        )
+        instances.append(
+            (
+                f"cq#{i}",
+                random_cq_hypergraph(
+                    5, cyclicity=0.5, rng=random.Random(rng.randint(0, 10**9))
+                ),
+            )
+        )
+    rows = []
+    for label, h in instances:
+        gyo = is_alpha_acyclic(h)
+        kdecomp = check_hd(h, 1)
+        rows.append((label, h.num_edges, gyo, kdecomp, gyo == kdecomp))
+    return rows
+
+
+def scaling_rows() -> list[tuple]:
+    rows = []
+    for n_edges in (10, 20, 40):
+        h = acyclic_hypergraph(n_edges, 4, rng=random.Random(n_edges))
+        t0 = time.perf_counter()
+        gyo = is_alpha_acyclic(h)
+        gyo_time = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        kd = check_hd(h, 1)
+        kd_time = time.perf_counter() - t0
+        assert gyo and kd
+        rows.append(
+            (
+                n_edges,
+                h.num_vertices,
+                f"{gyo_time * 1000:.1f}ms",
+                f"{kd_time * 1000:.1f}ms",
+                round(kd_time / max(gyo_time, 1e-9), 1),
+            )
+        )
+    return rows
+
+
+def test_e19_gyo_agrees_with_kdecomp(benchmark):
+    rows = benchmark(agreement_rows)
+    assert all(agree for *_x, agree in rows)
+    emit(
+        "E19 / α-acyclicity: GYO vs Check(HD,1)",
+        ["instance", "|E|", "GYO", "k-decomp", "agree"],
+        rows,
+    )
+
+
+def test_e19_join_tree_valid(benchmark):
+    h = acyclic_hypergraph(12, 4, rng=random.Random(3))
+
+    def build():
+        return join_tree(h)
+
+    jt = benchmark(build)
+    assert jt is not None
+    assert is_ghd(h, jt, width=1)
+
+
+def test_e19_speedup(benchmark):
+    rows = benchmark(scaling_rows)
+    emit(
+        "E19 / GYO fast path speedup on acyclic instances",
+        ["|E|", "|V|", "GYO time", "k-decomp time", "speedup"],
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    emit("E19 agreement", ["inst", "|E|", "gyo", "kd", "agree"], agreement_rows())
+    emit("E19 speedup", ["|E|", "|V|", "gyo", "kd", "x"], scaling_rows())

@@ -1,0 +1,53 @@
+"""Decomposition-guided conjunctive query evaluation (the §1 motivation).
+
+Evaluates a Boolean path query and a cyclic 4-cycle query over a random
+graph database, comparing the GHD-guided Yannakakis engine against a
+naive left-deep join, and prints the intermediate-result sizes that the
+decomposition avoids.
+
+Run with::
+
+    python examples/cq_evaluation.py
+"""
+
+import random
+
+from repro import parse_cq
+from repro.cqcsp import Relation, evaluate, evaluate_naive
+
+
+def random_graph(n: int, p: float, seed: int = 7) -> Relation:
+    rng = random.Random(seed)
+    rows = {
+        (a, b)
+        for a in range(n)
+        for b in range(n)
+        if a != b and rng.random() < p
+    }
+    return Relation.from_rows("r", ["a", "b"], rows)
+
+
+def main() -> None:
+    db = {"r": random_graph(14, 0.3)}
+    print(f"database: |r| = {len(db['r'])} edges over 14 nodes\n")
+
+    for text in (
+        ":- r(x1, x2), r(x2, x3), r(x3, x4), r(x4, x5), r(x5, x6).",
+        "q(a, c) :- r(a, b), r(b, c), r(c, d), r(d, a).",
+    ):
+        query = parse_cq(text)
+        hypergraph = query.hypergraph()
+        print(f"query: {query}")
+        fast = evaluate(query, db)
+        slow = evaluate_naive(query, db)
+        assert fast.answers.tuples == slow.answers.tuples
+        print(f"  variables: {len(hypergraph.vertices)}, atoms: {hypergraph.num_edges}")
+        print(f"  answers: {len(fast.answers)}")
+        print(f"  intermediate tuples, GHD-guided: {fast.intermediate_tuples:>8}")
+        print(f"  intermediate tuples, naive join: {slow.intermediate_tuples:>8}")
+        ratio = slow.intermediate_tuples / max(fast.intermediate_tuples, 1)
+        print(f"  naive / decomposition cost ratio: {ratio:>8.2f}\n")
+
+
+if __name__ == "__main__":
+    main()

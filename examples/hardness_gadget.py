@@ -1,0 +1,51 @@
+"""Walk through the Theorem 3.2 NP-hardness reduction on a real formula.
+
+Builds H(φ) for the paper's Example 3.3 formula, constructs the Table 1
+width-2 GHD from a satisfying assignment, and prints the LP certificates
+that make the converse direction concrete.
+
+Run with::
+
+    python examples/hardness_gadget.py
+"""
+
+from repro import CNF, build_reduction
+from repro.hardness import paper_example_formula
+
+
+def show(formula: CNF, label: str) -> None:
+    print(f"--- {label}: clauses {formula.clauses} ---")
+    reduction = build_reduction(formula)
+    h = reduction.hypergraph
+    print(f"reduction hypergraph: |V| = {h.num_vertices}, |E| = {h.num_edges}")
+    print(f"control set |S| = {len(reduction.set_s)}, path positions = "
+          f"{len(reduction.positions)}")
+
+    ghd = reduction.verify_forward()
+    if ghd is None:
+        print("φ unsatisfiable -> no Table 1 GHD (as required)")
+    else:
+        print(
+            f"φ satisfiable -> validated width-2 GHD with {len(ghd)} nodes "
+            f"(the Figure 2 path)"
+        )
+
+    print("LP certificates of the 'only if' direction:")
+    print("  Lemma 3.5 (complementary weights):", reduction.certify_lemma_3_5())
+    print("  Lemma 3.6 (support confinement):  ", reduction.certify_lemma_3_6())
+    for claim, ok in reduction.certify_claim_infeasibilities().items():
+        print(f"  {claim}: {ok}")
+    print(
+        "  sat ⟺ all clause bags LP-coverable:",
+        reduction.certify_equivalence(),
+    )
+    print()
+
+
+def main() -> None:
+    show(paper_example_formula(), "Example 3.3 (satisfiable)")
+    show(CNF(((1, 1, 1), (-1, -1, -1))), "x ∧ ¬x (unsatisfiable)")
+
+
+if __name__ == "__main__":
+    main()

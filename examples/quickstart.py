@@ -1,0 +1,64 @@
+"""Quickstart: hypergraphs, widths and decompositions in five minutes.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    Hypergraph,
+    fractional_hypertree_width,
+    generalized_hypertree_width,
+    hypertree_width,
+    validate,
+)
+from repro.covers import fractional_edge_cover
+from repro.hypergraph import components, degree, intersection_width
+
+
+def main() -> None:
+    # A cyclic conjunctive query's hypergraph: the classic triangle plus
+    # a dangling path — vertices are query variables, edges are atoms.
+    h = Hypergraph(
+        {
+            "r": ["x", "y"],
+            "s": ["y", "z"],
+            "t": ["z", "x"],
+            "u": ["z", "w"],
+            "v": ["w", "q"],
+        },
+        name="triangle-with-tail",
+    )
+    print(h)
+    print("degree:", degree(h), "| intersection width:", intersection_width(h))
+    print("components after removing z:", [sorted(c) for c in components(h, ["z"])])
+
+    # The three widths of the paper, each with a certified witness.
+    hw, hd = hypertree_width(h)
+    ghw, ghd = generalized_hypertree_width(h)
+    fhw, fhd = fractional_hypertree_width(h)
+    print(f"\nhw  = {hw}   (hypertree width, Check(HD,k) of [27])")
+    print(f"ghw = {ghw}   (generalized, via the Section 4 subedge method)")
+    print(f"fhw = {fhw}   (fractional, exact oracle)")
+
+    # Witnesses are real decomposition objects; validation is independent
+    # of the search algorithms.
+    validate(h, hd, kind="hd", width=hw)
+    validate(h, ghd, kind="ghd", width=ghw)
+    validate(h, fhd, kind="fhd", width=fhw + 1e-9)
+    print("\nall three witnesses re-validated against Definitions 2.4-2.6")
+
+    # Inspect the FHD: bags and fractional covers per node.
+    print("\nFHD nodes:")
+    for nid in fhd.preorder():
+        bag = ",".join(sorted(fhd.bag(nid)))
+        weights = {e: round(w, 3) for e, w in fhd.cover(nid).weights.items()}
+        print(f"  {nid}: bag={{{bag}}}  γ={weights}")
+
+    # Fractional edge covers directly (Section 2.2).
+    cover = fractional_edge_cover(h)
+    print(f"\nρ*(H) = {cover.weight:.3f} with support {sorted(cover.support)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""repro — General and Fractional Hypertree Decompositions: Hard and Easy
+Cases (Fischl, Gottlob, Pichler; PODS 2018).
+
+A complete reproduction of the paper's systems:
+
+* hypergraphs, [C]-components, duality, structural restrictions
+  (BIP / BMIP / BDP / VC dimension)                     — :mod:`repro.hypergraph`
+* (fractional) edge covers, transversals, LP certificates — :mod:`repro.covers`
+* HD / GHD / FHD objects, validators, transformations   — :mod:`repro.decomposition`
+* Check(HD,k), Check(GHD,k), Check(FHD,k), exact oracles,
+  the Section 6 approximation schemes                    — :mod:`repro.algorithms`
+* the Theorem 3.2 NP-hardness reduction + certificates   — :mod:`repro.hardness`
+* conjunctive queries and CSPs (the applications)        — :mod:`repro.cqcsp`
+
+Quickstart::
+
+    from repro import Hypergraph, hypertree_width, fractional_hypertree_width
+
+    h = Hypergraph({"r": ["x", "y"], "s": ["y", "z"], "t": ["z", "x"]})
+    hw, hd = hypertree_width(h)            # 2 and a witness HD
+    fhw, fhd = fractional_hypertree_width(h)   # 1.5 and a witness FHD
+"""
+
+from .algorithms import (
+    FHWApproximationResult,
+    check_fhd,
+    check_ghd,
+    check_hd,
+    fhw_approximation,
+    frac_decomp,
+    fractional_hypertree_decomposition_bounded_degree,
+    fractional_hypertree_width,
+    fractional_hypertree_width_exact,
+    generalized_hypertree_decomposition,
+    generalized_hypertree_width,
+    generalized_hypertree_width_exact,
+    hypertree_decomposition,
+    hypertree_width,
+    integralize,
+    treewidth_exact,
+)
+from .covers import (
+    FractionalCover,
+    edge_cover_number,
+    fractional_edge_cover,
+    fractional_edge_cover_number,
+)
+from .cqcsp import CSP, ConjunctiveQuery, Relation, parse_cq
+from .decomposition import Decomposition, is_fhd, is_ghd, is_hd, validate
+from .hardness import CNF, build_reduction
+from .hypergraph import (
+    Hypergraph,
+    degree,
+    intersection_width,
+    multi_intersection_width,
+    vc_dimension,
+)
+from .paper_artifacts import (
+    example_4_3_hypergraph,
+    figure_5_hd,
+    figure_6a_ghd,
+    figure_6b_ghd,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Hypergraph",
+    "degree",
+    "intersection_width",
+    "multi_intersection_width",
+    "vc_dimension",
+    "FractionalCover",
+    "fractional_edge_cover",
+    "fractional_edge_cover_number",
+    "edge_cover_number",
+    "Decomposition",
+    "validate",
+    "is_ghd",
+    "is_hd",
+    "is_fhd",
+    "hypertree_decomposition",
+    "hypertree_width",
+    "check_hd",
+    "generalized_hypertree_decomposition",
+    "generalized_hypertree_width",
+    "generalized_hypertree_width_exact",
+    "check_ghd",
+    "fractional_hypertree_decomposition_bounded_degree",
+    "fractional_hypertree_width",
+    "fractional_hypertree_width_exact",
+    "check_fhd",
+    "treewidth_exact",
+    "frac_decomp",
+    "fhw_approximation",
+    "FHWApproximationResult",
+    "integralize",
+    "CNF",
+    "build_reduction",
+    "ConjunctiveQuery",
+    "parse_cq",
+    "Relation",
+    "CSP",
+    "example_4_3_hypergraph",
+    "figure_5_hd",
+    "figure_6a_ghd",
+    "figure_6b_ghd",
+]

@@ -1,0 +1,243 @@
+"""Exact ghw / fhw via elimination orderings (the route of [42]).
+
+Both ``ghw`` and ``fhw`` are *monotone* width measures of tree
+decompositions of the primal graph: the cost of a bag B is ``ρ_H(B)``
+(resp. ``ρ*_H(B)``), which never decreases when B grows.  For any monotone
+bag-cost f, an optimal tree decomposition can be taken to be the clique
+tree of a chordal completion, and chordal completions correspond to vertex
+elimination orderings.  Hence
+
+    f-width(H) = min over orderings π of  max_v  f(bag_π(v)),
+
+where ``bag_π(v)`` is v plus its neighbours among later vertices in the
+fill-in graph.  The minimum is computed by the Bodlaender-style dynamic
+program over vertex subsets — exponential in |V(H)|, as any exact method
+must be by the paper's Theorem 3.2, but exact.  These oracles
+cross-validate every polynomial special-case algorithm in this library.
+
+Condition (1) of Definition 2.4 holds automatically: each hyperedge is a
+clique of the primal graph, so by the Helly property of subtrees some bag
+contains it (Lemma 2.8).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+
+from ..covers import (
+    EPS,
+    FractionalCover,
+    edge_cover_of,
+    fractional_cover_of,
+)
+from ..decomposition import Decomposition, validate
+from ..hypergraph import Hypergraph, Vertex
+
+__all__ = [
+    "width_by_elimination",
+    "decomposition_from_ordering",
+    "generalized_hypertree_width_exact",
+    "fractional_hypertree_width_exact",
+    "treewidth_exact",
+]
+
+#: Safety cap: 2^18 subsets is the largest DP we allow by default.
+DEFAULT_VERTEX_LIMIT = 18
+
+
+def _reachable_bag(
+    adjacency: dict[Vertex, frozenset],
+    eliminated: frozenset,
+    vertex: Vertex,
+) -> frozenset:
+    """``{v} ∪ {u ∉ eliminated : path v→u with interior ⊆ eliminated}``.
+
+    This is the bag created when ``vertex`` is eliminated after the set
+    ``eliminated`` (its neighbourhood in the fill-in graph).
+    """
+    bag = {vertex}
+    seen = {vertex}
+    queue = deque([vertex])
+    while queue:
+        cur = queue.popleft()
+        for nbr in adjacency[cur]:
+            if nbr in seen:
+                continue
+            seen.add(nbr)
+            if nbr in eliminated:
+                queue.append(nbr)
+            else:
+                bag.add(nbr)
+    return frozenset(bag)
+
+
+def width_by_elimination(
+    hypergraph: Hypergraph,
+    bag_cost: Callable[[frozenset], float],
+    vertex_limit: int = DEFAULT_VERTEX_LIMIT,
+) -> tuple[float, list[Vertex]]:
+    """Minimum over orderings of the max bag cost, plus a witness ordering.
+
+    ``bag_cost`` maps a bag (frozenset of vertices) to its cost; it must
+    be monotone under set inclusion for the result to be the true width.
+    Raises for hypergraphs above ``vertex_limit`` vertices (2^n DP).
+    """
+    n = hypergraph.num_vertices
+    if n == 0:
+        raise ValueError("hypergraph has no vertices")
+    if n > vertex_limit:
+        raise ValueError(
+            f"{n} vertices exceeds the exact-DP limit {vertex_limit}; "
+            "raise vertex_limit explicitly if you really want to wait"
+        )
+    vertices = sorted(hypergraph.vertices, key=str)
+    index = {v: i for i, v in enumerate(vertices)}
+    adjacency = hypergraph.primal_graph()
+
+    cost_cache: dict[frozenset, float] = {}
+
+    def cached_cost(bag: frozenset) -> float:
+        if bag not in cost_cache:
+            cost_cache[bag] = bag_cost(bag)
+        return cost_cache[bag]
+
+    # best[mask] = minimal possible max-bag-cost of eliminating exactly the
+    # vertex set `mask` first (as a prefix of the ordering).
+    best: dict[int, float] = {0: 0.0}
+    choice: dict[int, int] = {}
+    full = (1 << n) - 1
+
+    # Iterate masks in increasing popcount order so predecessors exist.
+    masks_by_size: list[list[int]] = [[] for _ in range(n + 1)]
+    for mask in range(1, full + 1):
+        masks_by_size[mask.bit_count()].append(mask)
+
+    for size in range(1, n + 1):
+        for mask in masks_by_size[size]:
+            best_cost = float("inf")
+            best_vertex = -1
+            for vi in range(n):
+                bit = 1 << vi
+                if not mask & bit:
+                    continue
+                prev = mask & ~bit
+                prev_cost = best.get(prev, float("inf"))
+                if prev_cost >= best_cost:
+                    continue
+                eliminated = frozenset(
+                    vertices[j] for j in range(n) if prev & (1 << j)
+                )
+                bag = _reachable_bag(adjacency, eliminated, vertices[vi])
+                total = max(prev_cost, cached_cost(bag))
+                if total < best_cost - EPS:
+                    best_cost = total
+                    best_vertex = vi
+            best[mask] = best_cost
+            choice[mask] = best_vertex
+
+    ordering: list[Vertex] = []
+    mask = full
+    while mask:
+        vi = choice[mask]
+        ordering.append(vertices[vi])
+        mask &= ~(1 << vi)
+    ordering.reverse()
+    return best[full], ordering
+
+
+def decomposition_from_ordering(
+    hypergraph: Hypergraph,
+    ordering: list[Vertex],
+    cover_for_bag: Callable[[frozenset], FractionalCover],
+) -> Decomposition:
+    """Build the clique-tree decomposition induced by an elimination order.
+
+    Node i's bag is ``bag_π(v_i)``; its parent is the node of the earliest
+    later-eliminated vertex in its bag (the standard clique-tree link).
+    ``cover_for_bag`` supplies λ/γ for each bag (integral or fractional).
+    """
+    if set(ordering) != set(hypergraph.vertices):
+        raise ValueError("ordering must enumerate exactly V(H)")
+    adjacency = hypergraph.primal_graph()
+    position = {v: i for i, v in enumerate(ordering)}
+    bags: list[frozenset] = []
+    for i, v in enumerate(ordering):
+        eliminated = frozenset(ordering[:i])
+        bags.append(_reachable_bag(adjacency, eliminated, v))
+
+    nodes = []
+    parent: dict[str, str] = {}
+    for i, bag in enumerate(bags):
+        nodes.append((f"n{i}", bag, cover_for_bag(bag)))
+        later = [position[u] for u in bag if position[u] > i]
+        if later:
+            parent[f"n{i}"] = f"n{min(later)}"
+        elif i != len(bags) - 1:
+            # Disconnected hypergraph: attach component roots to the last
+            # node so the structure stays a tree (bags are disjoint, so
+            # connectedness is unaffected).
+            parent[f"n{i}"] = f"n{len(bags) - 1}"
+    return Decomposition(nodes, parent=parent, root=f"n{len(bags) - 1}")
+
+
+def generalized_hypertree_width_exact(
+    hypergraph: Hypergraph, vertex_limit: int = DEFAULT_VERTEX_LIMIT
+) -> tuple[int, Decomposition]:
+    """Exact ``ghw(H)`` with a witness GHD (exponential-time oracle)."""
+
+    def cost(bag: frozenset) -> float:
+        cover = edge_cover_of(hypergraph, bag)
+        assert cover is not None  # bags consist of non-isolated vertices
+        return cover.weight
+
+    width, ordering = width_by_elimination(hypergraph, cost, vertex_limit)
+
+    def cover_for_bag(bag: frozenset) -> FractionalCover:
+        cover = edge_cover_of(hypergraph, bag)
+        assert cover is not None
+        return cover
+
+    decomposition = decomposition_from_ordering(
+        hypergraph, ordering, cover_for_bag
+    )
+    validate(hypergraph, decomposition, kind="ghd", width=width)
+    return int(round(width)), decomposition
+
+
+def fractional_hypertree_width_exact(
+    hypergraph: Hypergraph, vertex_limit: int = DEFAULT_VERTEX_LIMIT
+) -> tuple[float, Decomposition]:
+    """Exact ``fhw(H)`` with a witness FHD (exponential-time oracle)."""
+
+    def cost(bag: frozenset) -> float:
+        cover = fractional_cover_of(hypergraph, bag)
+        assert cover is not None
+        return cover.weight
+
+    width, ordering = width_by_elimination(hypergraph, cost, vertex_limit)
+
+    def cover_for_bag(bag: frozenset) -> FractionalCover:
+        cover = fractional_cover_of(hypergraph, bag)
+        assert cover is not None
+        return cover
+
+    decomposition = decomposition_from_ordering(
+        hypergraph, ordering, cover_for_bag
+    )
+    validate(hypergraph, decomposition, kind="fhd", width=width + EPS)
+    return width, decomposition
+
+
+def treewidth_exact(
+    hypergraph: Hypergraph, vertex_limit: int = DEFAULT_VERTEX_LIMIT
+) -> int:
+    """Exact treewidth of the primal graph (|bag| - 1 cost), for context.
+
+    The paper contrasts hypergraph widths with treewidth in Section 1;
+    this oracle lets experiments report all of them side by side.
+    """
+    width, _ordering = width_by_elimination(
+        hypergraph, lambda bag: float(len(bag)), vertex_limit
+    )
+    return int(round(width)) - 1

@@ -1,0 +1,185 @@
+"""Heuristic width bounds for hypergraphs beyond the exact-DP range.
+
+The exact elimination DP of :mod:`repro.algorithms.elimination` is
+limited to ~18 vertices ([42]-style exactness costs 2^n).  Real CQ/CSP
+workloads are larger, so practical systems (detkdecomp, BalancedGo, the
+paper's own experiments in [23]) pair exact methods with elimination
+*heuristics*.  This module provides:
+
+* :func:`min_degree_ordering` / :func:`min_fill_ordering` — the two
+  classic elimination heuristics on the primal graph;
+* :func:`heuristic_decomposition` — a valid GHD/FHD built from a
+  heuristic ordering (an *upper* bound on ghw/fhw, always re-validated);
+* :func:`clique_lower_bound` — Lemma 2.8 turned into a *lower* bound:
+  every clique of the primal graph must fit in one bag, so
+  ``fhw(H) >= max_C ρ*_H(C)`` over cliques C (greedily grown cliques
+  give a cheap, sound bound);
+* :func:`width_bounds` — the sandwich (lower, upper) a practical system
+  reports when exactness is out of reach.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..covers import (
+    FractionalCover,
+    edge_cover_of,
+    fractional_cover_of,
+)
+from ..decomposition import Decomposition, validate
+from ..hypergraph import Hypergraph, Vertex
+from .elimination import decomposition_from_ordering
+
+__all__ = [
+    "min_degree_ordering",
+    "min_fill_ordering",
+    "heuristic_decomposition",
+    "clique_lower_bound",
+    "width_bounds",
+]
+
+
+def _eliminate(adjacency: dict[Vertex, set], vertex: Vertex) -> None:
+    """Remove ``vertex``, connecting its neighbours into a clique."""
+    neighbours = adjacency.pop(vertex)
+    for u in neighbours:
+        adjacency[u].discard(vertex)
+    for u in neighbours:
+        for w in neighbours:
+            if u != w:
+                adjacency[u].add(w)
+
+
+def min_degree_ordering(hypergraph: Hypergraph) -> list[Vertex]:
+    """Eliminate a minimum-degree vertex of the fill graph at each step."""
+    adjacency = {
+        v: set(nbrs) for v, nbrs in hypergraph.primal_graph().items()
+    }
+    order: list[Vertex] = []
+    while adjacency:
+        v = min(adjacency, key=lambda u: (len(adjacency[u]), str(u)))
+        order.append(v)
+        _eliminate(adjacency, v)
+    return order
+
+
+def min_fill_ordering(hypergraph: Hypergraph) -> list[Vertex]:
+    """Eliminate the vertex adding the fewest fill edges at each step."""
+    adjacency = {
+        v: set(nbrs) for v, nbrs in hypergraph.primal_graph().items()
+    }
+
+    def fill_cost(v: Vertex) -> int:
+        nbrs = sorted(adjacency[v], key=str)
+        return sum(
+            1
+            for i, u in enumerate(nbrs)
+            for w in nbrs[i + 1:]
+            if w not in adjacency[u]
+        )
+
+    order: list[Vertex] = []
+    while adjacency:
+        v = min(adjacency, key=lambda u: (fill_cost(u), str(u)))
+        order.append(v)
+        _eliminate(adjacency, v)
+    return order
+
+
+_ORDERINGS: dict[str, Callable[[Hypergraph], list[Vertex]]] = {
+    "min-degree": min_degree_ordering,
+    "min-fill": min_fill_ordering,
+}
+
+
+def heuristic_decomposition(
+    hypergraph: Hypergraph,
+    cost: str = "fractional",
+    ordering: str = "min-fill",
+) -> tuple[float, Decomposition]:
+    """A valid decomposition from a heuristic elimination ordering.
+
+    ``cost`` selects the bag covers: ``"fractional"`` (FHD; width is an
+    upper bound on fhw) or ``"integral"`` (GHD; upper bound on ghw).
+    The result is re-validated, so the width really is achieved.
+    """
+    if ordering not in _ORDERINGS:
+        raise ValueError(f"ordering must be one of {sorted(_ORDERINGS)}")
+    if cost not in ("fractional", "integral"):
+        raise ValueError("cost must be 'fractional' or 'integral'")
+    order = _ORDERINGS[ordering](hypergraph)
+
+    def cover_for_bag(bag: frozenset) -> FractionalCover:
+        if cost == "fractional":
+            cover = fractional_cover_of(hypergraph, bag)
+        else:
+            cover = edge_cover_of(hypergraph, bag)
+        assert cover is not None  # bags contain no isolated vertices
+        return cover
+
+    decomposition = decomposition_from_ordering(
+        hypergraph, order, cover_for_bag
+    )
+    kind = "fhd" if cost == "fractional" else "ghd"
+    width = decomposition.width()
+    validate(hypergraph, decomposition, kind=kind, width=width + 1e-9)
+    return width, decomposition
+
+
+def clique_lower_bound(
+    hypergraph: Hypergraph, cost: str = "fractional", attempts: int = 8
+) -> float:
+    """A sound lower bound on fhw (or ghw) from primal-graph cliques.
+
+    By Lemma 2.8 every clique lies inside some bag, and bag covers cost
+    at least the clique's (fractional) edge cover number.  Cliques are
+    grown greedily from several seed vertices; the best value is
+    returned.  Always <= the true width; equals it on cliques and the
+    hardness gadgets (where forced cliques drive the construction).
+    """
+    if cost not in ("fractional", "integral"):
+        raise ValueError("cost must be 'fractional' or 'integral'")
+    adjacency = hypergraph.primal_graph()
+    seeds = sorted(
+        hypergraph.vertices, key=lambda v: (-len(adjacency[v]), str(v))
+    )[:attempts]
+    best = 1.0
+    for seed in seeds:
+        clique = {seed}
+        candidates = set(adjacency[seed])
+        while candidates:
+            v = max(
+                candidates,
+                key=lambda u: (len(adjacency[u] & candidates), str(u)),
+            )
+            clique.add(v)
+            candidates &= adjacency[v]
+        if cost == "fractional":
+            cover = fractional_cover_of(hypergraph, clique)
+        else:
+            cover = edge_cover_of(hypergraph, clique)
+        if cover is not None:
+            best = max(best, cover.weight)
+    return best
+
+
+def width_bounds(
+    hypergraph: Hypergraph, cost: str = "fractional"
+) -> tuple[float, float, Decomposition]:
+    """``(lower, upper, witness)`` for fhw or ghw on large instances.
+
+    Lower bound from cliques, upper from the better of the two
+    elimination heuristics; the witness achieves the upper bound.
+    """
+    lower = clique_lower_bound(hypergraph, cost=cost)
+    best_width = float("inf")
+    best_decomposition: Decomposition | None = None
+    for ordering in _ORDERINGS:
+        width, decomposition = heuristic_decomposition(
+            hypergraph, cost=cost, ordering=ordering
+        )
+        if width < best_width:
+            best_width, best_decomposition = width, decomposition
+    assert best_decomposition is not None
+    return lower, best_width, best_decomposition

@@ -1,0 +1,249 @@
+"""Command-line interface: widths, decompositions, statistics, hardness.
+
+Usage (also ``python -m repro``)::
+
+    repro stats queries.hg                  # structural profile
+    repro width queries.hg --kind ghw       # compute a width + witness
+    repro decompose queries.hg -k 2 --json  # decomposition as JSON
+    repro bounds big.hg                     # heuristic sandwich for fhw
+    repro reduce formula.cnf                # Theorem 3.2 reduction report
+    repro generate cycle 8                  # emit a family instance
+
+Hypergraphs are read in the HyperBench text format
+(``e1(a,b,c), e2(b,d).``); formulas in DIMACS CNF.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .algorithms import (
+    fractional_hypertree_width_exact,
+    generalized_hypertree_width,
+    generalized_hypertree_width_exact,
+    hypertree_width,
+)
+from .algorithms.heuristics import width_bounds
+from .algorithms.report import width_report
+from .hardness import CNF, build_reduction
+from .hypergraph import (
+    Hypergraph,
+    degree,
+    intersection_width,
+    is_connected,
+    multi_intersection_width,
+    parse_hyperbench,
+    rank,
+    to_hyperbench,
+    vc_dimension,
+)
+from .hypergraph.acyclicity import is_alpha_acyclic
+from .hypergraph.generators import (
+    clique,
+    cycle,
+    grid,
+    triangle_cascade,
+    unbounded_support_family,
+)
+
+__all__ = ["main", "build_parser"]
+
+_FAMILIES = {
+    "clique": lambda n: clique(n),
+    "cycle": lambda n: cycle(n),
+    "grid": lambda n: grid(n, n),
+    "triangles": lambda n: triangle_cascade(n),
+    "ex5.1": lambda n: unbounded_support_family(n),
+}
+
+
+def _load(path: str) -> Hypergraph:
+    return parse_hyperbench(Path(path).read_text(), name=Path(path).stem)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    h = _load(args.file)
+    info = {
+        "name": h.name,
+        "vertices": h.num_vertices,
+        "edges": h.num_edges,
+        "rank": rank(h),
+        "degree": degree(h),
+        "iwidth": intersection_width(h),
+        "3-miwidth": multi_intersection_width(h, 3),
+        "connected": is_connected(h),
+        "alpha_acyclic": is_alpha_acyclic(h),
+    }
+    if h.num_vertices <= args.vc_limit:
+        info["vc_dimension"] = vc_dimension(h)
+    if args.json:
+        print(json.dumps(info, indent=2))
+    else:
+        for key, value in info.items():
+            print(f"{key:>14}: {value}")
+    return 0
+
+
+def _compute_width(h: Hypergraph, kind: str):
+    if kind == "hw":
+        return hypertree_width(h)
+    if kind == "ghw":
+        if h.num_vertices <= 14:
+            return generalized_hypertree_width_exact(h)
+        return generalized_hypertree_width(h)
+    if kind == "fhw":
+        return fractional_hypertree_width_exact(h)
+    raise ValueError(f"unknown width kind {kind!r}")
+
+
+def _cmd_width(args: argparse.Namespace) -> int:
+    h = _load(args.file)
+    width, decomposition = _compute_width(h, args.kind)
+    print(f"{args.kind}({h.name or args.file}) = {width}")
+    if args.show:
+        for nid in decomposition.preorder():
+            bag = ",".join(sorted(map(str, decomposition.bag(nid))))
+            cover = {
+                e: round(w, 4)
+                for e, w in decomposition.cover(nid).weights.items()
+            }
+            print(f"  {nid}: {{{bag}}} {cover}")
+    return 0
+
+
+def _cmd_decompose(args: argparse.Namespace) -> int:
+    from .algorithms import generalized_hypertree_decomposition
+
+    h = _load(args.file)
+    decomposition = generalized_hypertree_decomposition(h, args.k)
+    if decomposition is None:
+        print(f"no GHD of width <= {args.k}", file=sys.stderr)
+        return 1
+    payload = decomposition.as_dict()
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"GHD of width {decomposition.width()} with {len(decomposition)} nodes")
+        for nid in decomposition.preorder():
+            bag = ",".join(sorted(map(str, decomposition.bag(nid))))
+            print(f"  {nid}: {{{bag}}}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    h = _load(args.file)
+    report = width_report(h)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+        return 0
+    print(f"{'name':>10}: {report.name}")
+    print(f"{'structure':>10}: |V|={report.vertices} |E|={report.edges} "
+          f"rank={report.rank} degree={report.degree}")
+    print(f"{'profile':>10}: iwidth={report.iwidth} 3-miwidth={report.miwidth3} "
+          f"vc={report.vc} acyclic={report.acyclic}")
+    mode = "exact" if report.exact else "bracketed"
+    print(f"{'widths':>10}: ({mode}) hw={report.hw} "
+          f"ghw∈[{report.ghw_lower:g},{report.ghw_upper:g}] "
+          f"fhw∈[{report.fhw_lower:.4g},{report.fhw_upper:.4g}]")
+    return 0
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    h = _load(args.file)
+    lower, upper, _witness = width_bounds(h, cost=args.cost)
+    label = "fhw" if args.cost == "fractional" else "ghw"
+    print(f"{lower:.4f} <= {label}({h.name or args.file}) <= {upper:.4f}")
+    return 0
+
+
+def _cmd_reduce(args: argparse.Namespace) -> int:
+    formula = CNF.from_dimacs(Path(args.file).read_text())
+    reduction = build_reduction(formula)
+    h = reduction.hypergraph
+    sat = formula.is_satisfiable()
+    print(f"formula: {formula.num_variables} vars, {formula.num_clauses} clauses")
+    print(f"reduction hypergraph: |V|={h.num_vertices} |E|={h.num_edges}")
+    print(f"satisfiable: {sat}")
+    ghd = reduction.verify_forward()
+    print(
+        "width-2 GHD:",
+        f"validated, {len(ghd)} nodes" if ghd is not None else "none (unsat)",
+    )
+    if args.certify:
+        print("Lemma 3.5 certificate:", reduction.certify_lemma_3_5())
+        print("Lemma 3.6 certificate:", reduction.certify_lemma_3_6())
+        print("LP equivalence:", reduction.certify_equivalence())
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    maker = _FAMILIES.get(args.family)
+    if maker is None:
+        print(f"unknown family {args.family!r}; choose from "
+              f"{sorted(_FAMILIES)}", file=sys.stderr)
+        return 1
+    sys.stdout.write(to_hyperbench(maker(args.n)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hypertree decompositions: hard and easy cases (PODS'18)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_stats = sub.add_parser("stats", help="structural profile of a hypergraph")
+    p_stats.add_argument("file")
+    p_stats.add_argument("--json", action="store_true")
+    p_stats.add_argument("--vc-limit", type=int, default=20)
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_width = sub.add_parser("width", help="compute hw / ghw / fhw")
+    p_width.add_argument("file")
+    p_width.add_argument("--kind", choices=("hw", "ghw", "fhw"), default="ghw")
+    p_width.add_argument("--show", action="store_true", help="print the witness")
+    p_width.set_defaults(func=_cmd_width)
+
+    p_dec = sub.add_parser("decompose", help="Check(GHD,k) with witness")
+    p_dec.add_argument("file")
+    p_dec.add_argument("-k", type=int, required=True)
+    p_dec.add_argument("--json", action="store_true")
+    p_dec.set_defaults(func=_cmd_decompose)
+
+    p_report = sub.add_parser("report", help="full width/profile report")
+    p_report.add_argument("file")
+    p_report.add_argument("--json", action="store_true")
+    p_report.set_defaults(func=_cmd_report)
+
+    p_bounds = sub.add_parser("bounds", help="heuristic width sandwich")
+    p_bounds.add_argument("file")
+    p_bounds.add_argument(
+        "--cost", choices=("fractional", "integral"), default="fractional"
+    )
+    p_bounds.set_defaults(func=_cmd_bounds)
+
+    p_red = sub.add_parser("reduce", help="Theorem 3.2 reduction report")
+    p_red.add_argument("file", help="DIMACS CNF file")
+    p_red.add_argument("--certify", action="store_true")
+    p_red.set_defaults(func=_cmd_reduce)
+
+    p_gen = sub.add_parser("generate", help="emit a named family instance")
+    p_gen.add_argument("family", help=f"one of {sorted(_FAMILIES)}")
+    p_gen.add_argument("n", type=int)
+    p_gen.set_defaults(func=_cmd_generate)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

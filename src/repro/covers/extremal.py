@@ -1,0 +1,150 @@
+"""Extremal values of linear objectives over bounded-weight covers.
+
+The "only if" direction of Theorem 3.2 repeatedly argues about *all*
+fractional covers of weight <= 2 of some vertex set: Lemma 3.5 says
+complementary edges must carry equal weight, Lemma 3.6 says the support
+must live on specific edge pairs, and Claims D-H say certain vertex sets
+cannot be covered at all within weight 2.
+
+All of these are linear statements, so each is certified by one or two
+LPs over the polytope
+
+    P = { γ >= 0 : γ covers the vertex set, weight(γ) <= budget }.
+
+:func:`extremal_cover_value` maximizes/minimizes an arbitrary linear
+objective over P; the certificate helpers phrase the paper's lemmas as
+extremal queries (e.g. "max γ(e) over P is 0" = support confinement).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+import numpy as np
+from scipy.optimize import linprog
+
+from ..hypergraph import Hypergraph, Vertex
+from .linear_program import EPS
+
+__all__ = [
+    "extremal_cover_value",
+    "max_edge_weight_in_cover",
+    "support_confined",
+    "max_weight_difference",
+]
+
+
+def extremal_cover_value(
+    hypergraph: Hypergraph,
+    vertex_set: Iterable[Vertex],
+    budget: float,
+    objective: Mapping[str, float],
+    maximize: bool = True,
+) -> float | None:
+    """Max (or min) of ``sum objective[e]·γ(e)`` over weight-``budget``
+    fractional covers of ``vertex_set``.
+
+    Returns ``None`` when the polytope is empty, i.e. the vertex set has
+    no fractional cover of weight <= budget at all — which is itself the
+    certificate used by Claims D-H ("S ∪ {z1,z2,a1,a'1} cannot be covered
+    with weight <= 2").
+    """
+    targets = sorted(frozenset(vertex_set), key=str)
+    names = sorted(hypergraph.edge_names)
+    index = {e: i for i, e in enumerate(names)}
+    unknown = [e for e in objective if e not in index]
+    if unknown:
+        raise KeyError(f"objective mentions unknown edges: {unknown}")
+
+    n = len(names)
+    c = np.zeros(n)
+    for e, coef in objective.items():
+        c[index[e]] = -coef if maximize else coef
+
+    rows = len(targets) + 1
+    a_ub = np.zeros((rows, n))
+    b_ub = np.zeros(rows)
+    for r, v in enumerate(targets):
+        touching = hypergraph.edges_of(v)
+        if not touching:
+            return None
+        for e in touching:
+            a_ub[r, index[e]] = -1.0
+        b_ub[r] = -1.0
+    a_ub[-1, :] = 1.0  # total weight <= budget
+    b_ub[-1] = budget
+
+    # Weight functions have range [0, 1] (Section 2.2); the upper bound
+    # matters here because, unlike the minimizing cover LPs, a maximizing
+    # objective would otherwise happily exceed 1 within the budget.
+    result = linprog(
+        c, A_ub=a_ub, b_ub=b_ub, bounds=[(0, 1)] * n, method="highs"
+    )
+    if not result.success:
+        return None
+    value = float(result.fun)
+    return -value if maximize else value
+
+
+def max_edge_weight_in_cover(
+    hypergraph: Hypergraph,
+    vertex_set: Iterable[Vertex],
+    budget: float,
+    edge_name: str,
+) -> float | None:
+    """Max weight edge ``edge_name`` can carry in any budget-bounded cover."""
+    return extremal_cover_value(
+        hypergraph, vertex_set, budget, {edge_name: 1.0}, maximize=True
+    )
+
+
+def support_confined(
+    hypergraph: Hypergraph,
+    vertex_set: Iterable[Vertex],
+    budget: float,
+    allowed_edges: Iterable[str],
+    tol: float = 1e-6,
+) -> bool:
+    """True iff *every* cover of ``vertex_set`` within ``budget`` puts zero
+    weight outside ``allowed_edges``.
+
+    This is the computational content of the support-confinement steps in
+    Lemma 3.1 ("only edges of E_A ∪ {{b1,b2}} may carry weight") and
+    Lemma 3.6.  Certified by maximizing the total weight outside the
+    allowed set: confinement holds iff that maximum is 0.
+    """
+    allowed = frozenset(allowed_edges)
+    outside = {
+        e: 1.0 for e in hypergraph.edge_names if e not in allowed
+    }
+    if not outside:
+        return True
+    value = extremal_cover_value(
+        hypergraph, vertex_set, budget, outside, maximize=True
+    )
+    if value is None:
+        return True  # empty polytope: vacuously confined
+    return value <= tol
+
+
+def max_weight_difference(
+    hypergraph: Hypergraph,
+    vertex_set: Iterable[Vertex],
+    budget: float,
+    edge_a: str,
+    edge_b: str,
+) -> float | None:
+    """Max of ``|γ(a) − γ(b)|`` over budget-bounded covers of the set.
+
+    Lemma 3.5 asserts this is 0 for complementary edge pairs at nodes
+    covering ``S ∪ {z1, z2}`` with weight <= 2.
+    """
+    up = extremal_cover_value(
+        hypergraph, vertex_set, budget, {edge_a: 1.0, edge_b: -1.0}, True
+    )
+    down = extremal_cover_value(
+        hypergraph, vertex_set, budget, {edge_a: -1.0, edge_b: 1.0}, True
+    )
+    if up is None or down is None:
+        return None
+    return max(up, down, 0.0)

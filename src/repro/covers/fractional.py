@@ -1,0 +1,225 @@
+"""Fractional edge covers ρ* and fractional transversals τ* (Section 2.2).
+
+An (edge-weight) function ``γ : E(H) -> [0,1]`` covers the vertex set
+
+    B(γ) = { v : sum of γ(e) over edges e containing v  >= 1 }.
+
+``ρ*(H)`` is the minimum weight of a γ with ``B(γ) = V(H)``; it is the LP
+relaxation of the edge cover ILP and is computable in polynomial time.
+By duality, ``ρ*(H) = τ*(H^d)`` (fractional transversality of the dual),
+which Section 5 exploits to bound cover supports via Füredi's theorem.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+from ..hypergraph import Hypergraph, Vertex, reduce_hypergraph
+from .linear_program import EPS, solve_covering_lp
+
+__all__ = [
+    "FractionalCover",
+    "fractional_edge_cover",
+    "fractional_edge_cover_number",
+    "fractional_cover_of",
+    "covered_vertices",
+    "cover_weight",
+    "fractional_vertex_cover_number",
+    "fractional_transversality",
+    "minimal_support_cover",
+    "cover_feasible_within",
+]
+
+
+@dataclass(frozen=True)
+class FractionalCover:
+    """A fractional edge cover: edge-name -> weight, zero weights omitted.
+
+    The object is hypergraph-agnostic; pair it with the hypergraph it was
+    computed for to interpret it (see :func:`covered_vertices`).
+    """
+
+    weights: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        cleaned = {e: float(w) for e, w in self.weights.items() if w > EPS}
+        object.__setattr__(self, "weights", cleaned)
+
+    @property
+    def weight(self) -> float:
+        """Total weight ``sum_e γ(e)`` of the cover."""
+        return sum(self.weights.values())
+
+    @property
+    def support(self) -> frozenset:
+        """``supp(γ)``: edges with strictly positive weight."""
+        return frozenset(self.weights)
+
+    def __getitem__(self, edge_name: str) -> float:
+        return self.weights.get(edge_name, 0.0)
+
+    def is_integral(self, tol: float = EPS) -> bool:
+        """True iff every weight is within ``tol`` of 0 or 1 (a λ function)."""
+        return all(
+            abs(w) <= tol or abs(w - 1.0) <= tol for w in self.weights.values()
+        )
+
+    def restricted(self, edge_names: Iterable[str]) -> "FractionalCover":
+        """``γ|_S``: the restriction of γ to the given edges (Section 6.1)."""
+        keep = set(edge_names)
+        return FractionalCover(
+            {e: w for e, w in self.weights.items() if e in keep}
+        )
+
+    def scaled_to_integral_part(self) -> "FractionalCover":
+        """``γ|_S`` for ``S = {e : γ(e) = 1}`` — the integral part."""
+        return FractionalCover(
+            {e: w for e, w in self.weights.items() if abs(w - 1.0) <= EPS}
+        )
+
+
+def covered_vertices(
+    hypergraph: Hypergraph, cover: FractionalCover | Mapping[str, float]
+) -> frozenset:
+    """``B(γ)``: vertices receiving total weight >= 1 (up to EPS)."""
+    weights = cover.weights if isinstance(cover, FractionalCover) else cover
+    totals: dict[Vertex, float] = {}
+    for edge_name, w in weights.items():
+        for v in hypergraph.edge(edge_name):
+            totals[v] = totals.get(v, 0.0) + w
+    return frozenset(v for v, t in totals.items() if t >= 1.0 - EPS)
+
+
+def cover_weight(cover: FractionalCover | Mapping[str, float]) -> float:
+    """Total weight of a cover given as object or plain mapping."""
+    if isinstance(cover, FractionalCover):
+        return cover.weight
+    return sum(cover.values())
+
+
+def fractional_cover_of(
+    hypergraph: Hypergraph,
+    vertex_set: Iterable[Vertex],
+    allowed_edges: Iterable[str] | None = None,
+) -> FractionalCover | None:
+    """An optimal fractional cover of ``vertex_set`` by edges of H.
+
+    Each vertex in the set must receive total weight >= 1 from the edges
+    (edges contribute with their *full* vertex sets, i.e. this covers a
+    bag of a decomposition, condition (3')).  Returns ``None`` when some
+    vertex lies in no allowed edge.
+    """
+    targets = sorted(frozenset(vertex_set), key=str)
+    names = sorted(allowed_edges) if allowed_edges is not None else sorted(
+        hypergraph.edge_names
+    )
+    index = {e: i for i, e in enumerate(names)}
+    membership = [
+        [index[e] for e in hypergraph.edges_of(v) if e in index]
+        for v in targets
+    ]
+    result = solve_covering_lp(membership, n_vars=len(names))
+    if not result.feasible:
+        return None
+    return FractionalCover(
+        {names[i]: w for i, w in enumerate(result.weights) if w > EPS}
+    )
+
+
+def fractional_edge_cover(hypergraph: Hypergraph) -> FractionalCover:
+    """An optimal fractional edge cover of all of ``V(H)``.
+
+    Raises ``ValueError`` for hypergraphs with isolated vertices, where
+    ρ* is undefined (assumption (1) of Section 5).
+    """
+    isolated = hypergraph.isolated_vertices()
+    if isolated:
+        raise ValueError(
+            f"ρ* undefined: isolated vertices {sorted(map(str, isolated))}"
+        )
+    cover = fractional_cover_of(hypergraph, hypergraph.vertices)
+    assert cover is not None  # no isolated vertices => feasible
+    return cover
+
+
+def fractional_edge_cover_number(hypergraph: Hypergraph) -> float:
+    """``ρ*(H)``: the fractional edge cover number."""
+    return fractional_edge_cover(hypergraph).weight
+
+
+def fractional_vertex_cover_number(hypergraph: Hypergraph) -> float:
+    """``τ*(H)``: minimum weight of a fractional vertex cover (Def. 5.3).
+
+    A vertex-weight function w is a fractional vertex cover if every edge
+    receives total weight >= 1 from its vertices.
+    """
+    if not hypergraph.num_edges:
+        return 0.0
+    vertices = sorted(hypergraph.vertices, key=str)
+    index = {v: i for i, v in enumerate(vertices)}
+    membership = [
+        [index[v] for v in hypergraph.edge(e)] for e in hypergraph.edge_names
+    ]
+    result = solve_covering_lp(membership, n_vars=len(vertices))
+    assert result.optimal is not None  # edges are non-empty => feasible
+    return result.optimal
+
+
+#: τ* is the fractional transversality (Definition 6.22) — same LP.
+fractional_transversality = fractional_vertex_cover_number
+
+
+def minimal_support_cover(
+    hypergraph: Hypergraph, vertex_set: Iterable[Vertex]
+) -> FractionalCover | None:
+    """An optimal fractional cover of ``vertex_set`` with small support.
+
+    Implements the originator construction of Lemma 5.6: build the induced
+    subhypergraph on the target set, *reduce* it (fuse equal-type vertices,
+    merge duplicate edges), solve the LP there — by Corollary 5.5 an
+    optimal basic solution has support <= d·ρ* for degree-d hypergraphs —
+    and push each reduced edge's weight back to a single originator edge
+    of H.
+    """
+    targets = frozenset(vertex_set)
+    if not targets:
+        return FractionalCover({})
+    sub = hypergraph.induced(targets)
+    if sub.vertices != targets:
+        return None  # some target vertex lies in no edge
+    reduced, _vmap, _emap = reduce_hypergraph(sub)
+    reduced_cover = fractional_cover_of(reduced, reduced.vertices)
+    if reduced_cover is None:
+        return None
+    # Each reduced edge content corresponds to >= 1 originator in H whose
+    # intersection with the targets equals it; pick one deterministically.
+    weights: dict[str, float] = {}
+    for reduced_name, w in reduced_cover.weights.items():
+        content = reduced.edge(reduced_name)
+        originators = sorted(
+            e for e in hypergraph.edge_names
+            if hypergraph.edge(e) & targets >= content
+        )
+        assert originators, "reduced edge must have an originator"
+        chosen = originators[0]
+        weights[chosen] = weights.get(chosen, 0.0) + w
+    return FractionalCover(weights)
+
+
+def cover_feasible_within(
+    hypergraph: Hypergraph,
+    vertex_set: Iterable[Vertex],
+    budget: float,
+    allowed_edges: Iterable[str] | None = None,
+) -> bool:
+    """True iff ``vertex_set`` admits a fractional cover of weight <= budget.
+
+    The workhorse of the hardness certificates (Lemmas 3.5/3.6: certain
+    vertex sets need weight > 2) and of the FHD search (condition 2.a of
+    Algorithm 3).
+    """
+    cover = fractional_cover_of(hypergraph, vertex_set, allowed_edges)
+    if cover is None:
+        return False
+    return cover.weight <= budget + EPS

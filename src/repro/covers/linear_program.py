@@ -1,0 +1,122 @@
+"""Thin wrapper around ``scipy.optimize.linprog`` for covering LPs.
+
+All covering problems in the paper (fractional edge covers ρ*, fractional
+vertex covers / transversals τ*) have the shape
+
+    minimize   c·x
+    subject to A x >= 1   (one constraint per element to cover)
+               x >= 0
+
+This module centralizes the solver call, tolerance handling and solution
+extraction so the cover modules stay declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import linprog
+
+__all__ = ["EPS", "CoveringLPResult", "solve_covering_lp", "leq", "geq", "close"]
+
+#: Comparison tolerance for LP-derived weights throughout the library.
+EPS = 1e-9
+
+#: Looser tolerance for HiGHS primal feasibility artifacts.
+_SOLVER_TOL = 1e-7
+
+
+def leq(a: float, b: float, tol: float = EPS) -> bool:
+    """``a <= b`` up to tolerance."""
+    return a <= b + tol
+
+
+def geq(a: float, b: float, tol: float = EPS) -> bool:
+    """``a >= b`` up to tolerance."""
+    return a + tol >= b
+
+
+def close(a: float, b: float, tol: float = EPS) -> bool:
+    """``a == b`` up to tolerance."""
+    return abs(a - b) <= tol
+
+
+@dataclass(frozen=True)
+class CoveringLPResult:
+    """Outcome of a covering LP.
+
+    Attributes
+    ----------
+    optimal:
+        The minimum total weight, or ``None`` when infeasible.
+    weights:
+        Per-variable weights (indexed like the input columns), cleaned so
+        that values within ``EPS`` of 0 or 1 are snapped.
+    feasible:
+        Whether the LP admits any solution at all (it is infeasible iff
+        some element lies in no set).
+    """
+
+    optimal: float | None
+    weights: tuple[float, ...]
+    feasible: bool
+
+    @property
+    def support(self) -> tuple[int, ...]:
+        """Indices of variables with strictly positive weight."""
+        return tuple(i for i, w in enumerate(self.weights) if w > EPS)
+
+
+def solve_covering_lp(
+    membership: list[list[int]],
+    n_vars: int,
+    costs: list[float] | None = None,
+    upper_bounds: list[float] | None = None,
+) -> CoveringLPResult:
+    """Solve ``min c·x  s.t.  sum_{j in row} x_j >= 1, 0 <= x``.
+
+    Parameters
+    ----------
+    membership:
+        One row per element to cover; each row lists the variable indices
+        whose sets contain that element.
+    n_vars:
+        Total number of variables (sets).
+    costs:
+        Per-variable objective coefficients; defaults to all ones.
+    upper_bounds:
+        Optional per-variable upper bounds.  The paper notes weights never
+        need to exceed 1 for minimum covers, but bounds are occasionally
+        useful for constrained checks (e.g. fixing integral parts).
+    """
+    if any(not row for row in membership):
+        return CoveringLPResult(None, (0.0,) * n_vars, False)
+    if not membership:
+        return CoveringLPResult(0.0, (0.0,) * n_vars, True)
+
+    c = np.ones(n_vars) if costs is None else np.asarray(costs, dtype=float)
+    # Build the sparse-ish constraint matrix densely; instances here are
+    # small (bags of decompositions), so dense is simplest and fast.
+    a_ub = np.zeros((len(membership), n_vars))
+    for row_idx, row in enumerate(membership):
+        for var_idx in row:
+            a_ub[row_idx, var_idx] = -1.0  # linprog uses A_ub x <= b_ub
+    b_ub = -np.ones(len(membership))
+    if upper_bounds is None:
+        bounds = [(0, None)] * n_vars
+    else:
+        bounds = [(0, ub) for ub in upper_bounds]
+
+    result = linprog(c, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method="highs")
+    if not result.success:
+        return CoveringLPResult(None, (0.0,) * n_vars, False)
+
+    weights = []
+    for w in result.x:
+        if abs(w) < _SOLVER_TOL:
+            w = 0.0
+        elif abs(w - 1.0) < _SOLVER_TOL:
+            w = 1.0
+        weights.append(float(w))
+    return CoveringLPResult(float(result.fun), tuple(weights), True)

@@ -1,0 +1,49 @@
+"""Conjunctive queries and CSPs — the motivating applications (Section 1)."""
+
+from .csp import CSP, Constraint, backtracking_solve
+from .evaluate import (
+    EvaluationResult,
+    atom_relation,
+    evaluate,
+    evaluate_naive,
+    evaluate_with_decomposition,
+    node_relations_from_ghd,
+)
+from .query import Atom, ConjunctiveQuery, parse_cq
+from .workloads import (
+    chain_query,
+    cycle_query,
+    hub_relation,
+    random_graph_relation,
+    snowflake_query,
+    star_query,
+    zipf_relation,
+)
+from .relations import Relation, join_all
+from .yannakakis import semijoin_reduce, yannakakis
+
+__all__ = [
+    "Relation",
+    "join_all",
+    "Atom",
+    "ConjunctiveQuery",
+    "parse_cq",
+    "yannakakis",
+    "semijoin_reduce",
+    "atom_relation",
+    "node_relations_from_ghd",
+    "EvaluationResult",
+    "evaluate",
+    "evaluate_naive",
+    "evaluate_with_decomposition",
+    "CSP",
+    "Constraint",
+    "backtracking_solve",
+    "star_query",
+    "chain_query",
+    "cycle_query",
+    "snowflake_query",
+    "random_graph_relation",
+    "hub_relation",
+    "zipf_relation",
+]

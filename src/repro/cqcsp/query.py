@@ -1,0 +1,125 @@
+"""Conjunctive queries and their hypergraphs (Section 1).
+
+A CQ ``ans(x, y) :- r(x, z), s(z, y)`` consists of atoms over variables;
+its hypergraph has the variables as vertices and one edge per atom —
+exactly the translation the paper describes.  CSPs share the same shape
+(Section 1: "Formally, CQs and CSPs are the same problem").
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..hypergraph import Hypergraph
+
+__all__ = ["Atom", "ConjunctiveQuery", "parse_cq"]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """One query atom: a relation name and a variable tuple.
+
+    Repeated variables within an atom are allowed (they express equality
+    selections); constants are not modelled — inline them by selecting on
+    the relation beforehand.
+    """
+
+    relation: str
+    variables: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.variables:
+            raise ValueError(f"atom {self.relation} has no variables")
+
+    def __str__(self) -> str:
+        return f"{self.relation}({', '.join(self.variables)})"
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """A conjunctive query: head variables + body atoms.
+
+    An empty head makes the query Boolean.  Head variables must occur in
+    the body (safety).
+    """
+
+    head: tuple[str, ...]
+    atoms: tuple[Atom, ...]
+    name: str = "q"
+
+    def __post_init__(self) -> None:
+        if not self.atoms:
+            raise ValueError("query must have at least one atom")
+        body_vars = self.variables
+        unsafe = [v for v in self.head if v not in body_vars]
+        if unsafe:
+            raise ValueError(f"unsafe head variables: {unsafe}")
+
+    @property
+    def variables(self) -> frozenset:
+        out: set[str] = set()
+        for atom in self.atoms:
+            out.update(atom.variables)
+        return frozenset(out)
+
+    @property
+    def is_boolean(self) -> bool:
+        return not self.head
+
+    def hypergraph(self) -> Hypergraph:
+        """The query hypergraph: variables as vertices, atom scopes as edges.
+
+        Atom occurrences are disambiguated by position (``#i`` suffix), so
+        self-joins yield distinct edges as the paper requires ("for every
+        atom in Q, E(H) contains a hyperedge").
+        """
+        edges = {
+            f"{atom.relation}#{i}": frozenset(atom.variables)
+            for i, atom in enumerate(self.atoms)
+        }
+        return Hypergraph(edges, name=self.name)
+
+    def atom_for_edge(self, edge_name: str) -> Atom:
+        """The atom corresponding to a query-hypergraph edge name."""
+        index = int(edge_name.rsplit("#", 1)[1])
+        return self.atoms[index]
+
+    def __str__(self) -> str:
+        head = f"{self.name}({', '.join(self.head)})"
+        return f"{head} :- {', '.join(map(str, self.atoms))}."
+
+
+_ATOM_RE = re.compile(r"([A-Za-z_][A-Za-z0-9_]*)\s*\(([^)]*)\)")
+
+
+def parse_cq(text: str) -> ConjunctiveQuery:
+    """Parse ``name(x, y) :- r(x, z), s(z, y).`` into a query.
+
+    The head is everything before ``:-``; a missing head (text starting
+    with ``:-``) gives a Boolean query.
+    """
+    text = text.strip().rstrip(".")
+    if ":-" not in text:
+        raise ValueError("expected ':-' separating head and body")
+    head_text, body_text = text.split(":-", 1)
+    head_text = head_text.strip()
+    name, head_vars = "q", ()
+    if head_text:
+        match = _ATOM_RE.fullmatch(head_text)
+        if not match:
+            raise ValueError(f"cannot parse head {head_text!r}")
+        name = match.group(1)
+        head_vars = tuple(
+            v.strip() for v in match.group(2).split(",") if v.strip()
+        )
+    atoms = []
+    for match in _ATOM_RE.finditer(body_text):
+        variables = tuple(
+            v.strip() for v in match.group(2).split(",") if v.strip()
+        )
+        atoms.append(Atom(match.group(1), variables))
+    if not atoms:
+        raise ValueError("query body has no atoms")
+    return ConjunctiveQuery(tuple(head_vars), tuple(atoms), name=name)

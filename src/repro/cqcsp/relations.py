@@ -1,0 +1,133 @@
+"""A tiny in-memory relational algebra.
+
+Just enough engine to demonstrate *why* the paper's widths matter: joins,
+projections and semijoins over named-attribute relations, used by the
+Yannakakis algorithm and the decomposition-guided CQ evaluator.
+
+Relations are immutable: attribute tuple + frozenset of value tuples.
+Joins are hash joins on the shared attributes; the engine tracks the
+number of intermediate tuples materialized so experiments can show the
+blow-up that decompositions avoid.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+
+__all__ = ["Relation", "join_all"]
+
+
+@dataclass(frozen=True)
+class Relation:
+    """A named relation with a fixed attribute order."""
+
+    name: str
+    attributes: tuple[str, ...]
+    tuples: frozenset
+
+    def __post_init__(self) -> None:
+        if len(set(self.attributes)) != len(self.attributes):
+            raise ValueError(f"duplicate attributes in {self.attributes}")
+        for row in self.tuples:
+            if len(row) != len(self.attributes):
+                raise ValueError(
+                    f"row {row} does not match attributes {self.attributes}"
+                )
+
+    @classmethod
+    def from_rows(
+        cls, name: str, attributes: Sequence[str], rows: Iterable[Sequence]
+    ) -> "Relation":
+        return cls(
+            name, tuple(attributes), frozenset(tuple(r) for r in rows)
+        )
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __iter__(self):
+        return iter(self.tuples)
+
+    # ------------------------------------------------------------------
+    def rename(self, mapping: Mapping[str, str], name: str | None = None) -> "Relation":
+        """Rename attributes (identity for unmentioned ones)."""
+        attrs = tuple(mapping.get(a, a) for a in self.attributes)
+        return Relation(name or self.name, attrs, self.tuples)
+
+    def project(self, attributes: Sequence[str]) -> "Relation":
+        """π: keep the listed attributes (deduplicating rows)."""
+        missing = [a for a in attributes if a not in self.attributes]
+        if missing:
+            raise KeyError(f"unknown attributes {missing}")
+        idx = [self.attributes.index(a) for a in attributes]
+        rows = frozenset(tuple(row[i] for i in idx) for row in self.tuples)
+        return Relation(self.name, tuple(attributes), rows)
+
+    def select_equal(self, attribute: str, value) -> "Relation":
+        """σ: rows whose ``attribute`` equals ``value``."""
+        i = self.attributes.index(attribute)
+        return Relation(
+            self.name,
+            self.attributes,
+            frozenset(row for row in self.tuples if row[i] == value),
+        )
+
+    def _key_indices(self, other: "Relation") -> tuple[list[int], list[int]]:
+        shared = [a for a in self.attributes if a in other.attributes]
+        return (
+            [self.attributes.index(a) for a in shared],
+            [other.attributes.index(a) for a in shared],
+        )
+
+    def join(self, other: "Relation") -> "Relation":
+        """⋈: natural (hash) join on the shared attributes."""
+        my_idx, their_idx = self._key_indices(other)
+        extra = [
+            i
+            for i, a in enumerate(other.attributes)
+            if a not in self.attributes
+        ]
+        buckets: dict[tuple, list] = {}
+        for row in other.tuples:
+            key = tuple(row[i] for i in their_idx)
+            buckets.setdefault(key, []).append(row)
+        out = set()
+        for row in self.tuples:
+            key = tuple(row[i] for i in my_idx)
+            for match in buckets.get(key, ()):
+                out.add(row + tuple(match[i] for i in extra))
+        attrs = self.attributes + tuple(other.attributes[i] for i in extra)
+        return Relation(f"({self.name}⋈{other.name})", attrs, frozenset(out))
+
+    def semijoin(self, other: "Relation") -> "Relation":
+        """⋉: rows of self with a join partner in other."""
+        my_idx, their_idx = self._key_indices(other)
+        keys = {tuple(row[i] for i in their_idx) for row in other.tuples}
+        rows = frozenset(
+            row
+            for row in self.tuples
+            if tuple(row[i] for i in my_idx) in keys
+        )
+        return Relation(self.name, self.attributes, rows)
+
+    def is_empty(self) -> bool:
+        return not self.tuples
+
+
+def join_all(relations: Sequence[Relation]) -> tuple[Relation, int]:
+    """Left-deep natural join of all relations.
+
+    Returns the result and the *total intermediate tuple count* — the
+    quantity that explodes for cyclic queries evaluated naively and stays
+    polynomial when joining along a decomposition.
+    """
+    if not relations:
+        raise ValueError("nothing to join")
+    acc = relations[0]
+    intermediate = len(acc)
+    for rel in relations[1:]:
+        acc = acc.join(rel)
+        intermediate += len(acc)
+    return acc, intermediate

@@ -1,0 +1,144 @@
+"""Benchmark workloads: parametric query shapes and skewed databases.
+
+The CQ shapes that dominate benchmark corpora (and the HyperBench study
+[23]) are stars, chains, cycles and snowflakes; this module generates
+them at any size together with databases whose skew separates good plans
+from bad ones.  Used by experiment E16 and the examples, and handy for
+downstream users profiling their own engines.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .query import Atom, ConjunctiveQuery
+from .relations import Relation
+
+__all__ = [
+    "star_query",
+    "chain_query",
+    "cycle_query",
+    "snowflake_query",
+    "random_graph_relation",
+    "hub_relation",
+    "zipf_relation",
+]
+
+
+def star_query(n_rays: int, relation: str = "r") -> ConjunctiveQuery:
+    """``q(c) :- r(c, x1), r(c, x2), ..., r(c, xn)`` — acyclic, ghw 1."""
+    if n_rays < 1:
+        raise ValueError("need at least one ray")
+    atoms = tuple(
+        Atom(relation, ("c", f"x{i}")) for i in range(1, n_rays + 1)
+    )
+    return ConjunctiveQuery(("c",), atoms, name=f"star{n_rays}")
+
+
+def chain_query(
+    length: int, relation: str = "r", boolean: bool = False
+) -> ConjunctiveQuery:
+    """``q(x0, xn) :- r(x0, x1), ..., r(x(n-1), xn)`` — acyclic, ghw 1."""
+    if length < 1:
+        raise ValueError("need at least one step")
+    atoms = tuple(
+        Atom(relation, (f"x{i}", f"x{i + 1}")) for i in range(length)
+    )
+    head = () if boolean else ("x0", f"x{length}")
+    return ConjunctiveQuery(head, atoms, name=f"chain{length}")
+
+
+def cycle_query(length: int, relation: str = "r") -> ConjunctiveQuery:
+    """``q(x1) :- r(x1, x2), ..., r(xn, x1)`` — cyclic, ghw 2."""
+    if length < 3:
+        raise ValueError("cycles need length >= 3")
+    atoms = tuple(
+        Atom(relation, (f"x{i}", f"x{(i % length) + 1}"))
+        for i in range(1, length + 1)
+    )
+    return ConjunctiveQuery(("x1",), atoms, name=f"cycle{length}")
+
+
+def snowflake_query(
+    n_arms: int, arm_length: int = 2, relation: str = "r"
+) -> ConjunctiveQuery:
+    """A star whose rays are chains — the classic OLAP join shape."""
+    if n_arms < 1 or arm_length < 1:
+        raise ValueError("need positive arms and arm length")
+    atoms = []
+    for arm in range(1, n_arms + 1):
+        prev = "c"
+        for step in range(1, arm_length + 1):
+            cur = f"a{arm}_{step}"
+            atoms.append(Atom(relation, (prev, cur)))
+            prev = cur
+    return ConjunctiveQuery(
+        ("c",), tuple(atoms), name=f"snowflake{n_arms}x{arm_length}"
+    )
+
+
+def random_graph_relation(
+    n: int, p: float, seed: int = 0, name: str = "r"
+) -> Relation:
+    """A uniform random directed graph as a binary relation."""
+    rng = random.Random(seed)
+    rows = {
+        (a, b)
+        for a in range(n)
+        for b in range(n)
+        if a != b and rng.random() < p
+    }
+    return Relation.from_rows(name, ["src", "dst"], rows)
+
+
+def hub_relation(
+    n_hubs: int, n_leaves: int, seed: int = 0, name: str = "r"
+) -> Relation:
+    """Hub-and-spoke edges: high fan-out makes path counts explode.
+
+    Every hub points at its leaves and every leaf at the next hub, so a
+    length-k path count grows like ``n_leaves^(k/2)`` — the shape where
+    semijoin reduction pays off most.
+    """
+    rng = random.Random(seed)
+    rows = set()
+    for hub in range(n_hubs):
+        for leaf in range(n_leaves):
+            rows.add((f"h{hub}", f"l{hub}_{leaf}"))
+            rows.add((f"l{hub}_{leaf}", f"h{(hub + 1) % n_hubs}"))
+    for _ in range(max(1, n_hubs // 2)):
+        a, b = rng.sample(range(n_hubs), 2)
+        rows.add((f"h{a}", f"h{b}"))
+    return Relation.from_rows(name, ["src", "dst"], rows)
+
+
+def zipf_relation(
+    n_rows: int, n_values: int, skew: float = 1.2, seed: int = 0,
+    name: str = "r",
+) -> Relation:
+    """A binary relation with Zipf-distributed join keys.
+
+    Value ``v`` is drawn with probability proportional to
+    ``1 / (v+1)^skew`` — hot keys create the heavy join partners real
+    workloads exhibit.
+    """
+    if n_values < 1:
+        raise ValueError("need at least one value")
+    rng = random.Random(seed)
+    weights = [1.0 / (v + 1) ** skew for v in range(n_values)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cumulative.append(acc)
+
+    def draw() -> int:
+        u = rng.random()
+        for v, threshold in enumerate(cumulative):
+            if u <= threshold:
+                return v
+        return n_values - 1
+
+    rows = {(draw(), draw()) for _ in range(n_rows)}
+    return Relation.from_rows(name, ["src", "dst"], rows)

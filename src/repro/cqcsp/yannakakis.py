@@ -1,0 +1,98 @@
+"""Yannakakis' algorithm over a decomposition tree [50].
+
+Given relations attached to the nodes of a tree decomposition (each
+node's relation has the node's bag variables as attributes), evaluation
+proceeds in three passes:
+
+1. bottom-up semijoin reduction (removes tuples with no partner below);
+2. top-down semijoin reduction (removes tuples with no partner above);
+3. bottom-up joins, projecting each intermediate result onto the head
+   variables plus the connector to the parent bag.
+
+For acyclic queries (and for CQs evaluated along a width-k GHD, where
+each node relation is the join of <= k atoms) every intermediate result
+after the reduction passes is polynomially bounded — the tractability
+payoff the paper's Check(·, k) problems exist to unlock.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from ..decomposition import Decomposition
+from .relations import Relation
+
+__all__ = ["yannakakis", "semijoin_reduce"]
+
+
+def semijoin_reduce(
+    decomp: Decomposition, node_relations: Mapping[str, Relation]
+) -> dict[str, Relation]:
+    """The two semijoin passes; returns fully reduced node relations.
+
+    If any relation becomes empty the query has no answers; callers can
+    short-circuit on that.
+    """
+    reduced = dict(node_relations)
+    order = decomp.preorder()
+    # Bottom-up: parent ⋉ child.
+    for nid in reversed(order):
+        par = decomp.parent(nid)
+        if par is not None:
+            reduced[par] = reduced[par].semijoin(reduced[nid])
+    # Top-down: child ⋉ parent.
+    for nid in order:
+        par = decomp.parent(nid)
+        if par is not None:
+            reduced[nid] = reduced[nid].semijoin(reduced[par])
+    return reduced
+
+
+def yannakakis(
+    decomp: Decomposition,
+    node_relations: Mapping[str, Relation],
+    head: Sequence[str],
+) -> tuple[Relation, int]:
+    """Evaluate the tree of node relations, returning ``(answers, cost)``.
+
+    ``cost`` counts intermediate tuples materialized during the join
+    pass (the semijoin passes never grow relations).  ``head`` lists the
+    output attributes; an empty head yields a Boolean result: a 0-ary
+    relation containing the empty tuple iff the query is satisfied.
+    """
+    for nid in decomp.node_ids:
+        rel = node_relations[nid]
+        extra = set(rel.attributes) - decomp.bag(nid)
+        if extra:
+            raise ValueError(
+                f"node {nid}: relation attributes {sorted(extra)} "
+                "are outside the bag"
+            )
+    reduced = semijoin_reduce(decomp, node_relations)
+    if any(rel.is_empty() for rel in reduced.values()):
+        return Relation.from_rows("answers", tuple(head), []), 0
+
+    head_set = set(head)
+    cost = 0
+
+    def ascend(nid: str) -> Relation:
+        nonlocal cost
+        rel = reduced[nid]
+        for child in decomp.children(nid):
+            rel = rel.join(ascend(child))
+            cost += len(rel)
+        par = decomp.parent(nid)
+        connector = (
+            decomp.bag(nid) & decomp.bag(par) if par is not None else set()
+        )
+        keep = [
+            a for a in rel.attributes if a in head_set or a in connector
+        ]
+        return rel.project(keep)
+
+    result = ascend(decomp.root)
+    ordered = [a for a in head if a in result.attributes]
+    missing = [a for a in head if a not in result.attributes]
+    if missing:
+        raise ValueError(f"head variables {missing} not produced by the tree")
+    return result.project(ordered).rename({}, name="answers"), cost

@@ -1,0 +1,279 @@
+"""Decomposition trees: the shared data structure for HDs, GHDs and FHDs.
+
+A decomposition of a hypergraph ``H`` is a rooted tree whose nodes ``u``
+each carry a *bag* ``B_u ⊆ V(H)`` and a *cover* (edge-weight function
+``λ_u`` or ``γ_u``).  Definitions 2.4-2.6 of the paper differ only in the
+cover's codomain ({0,1} vs [0,1]) and extra conditions; a single class
+stores all three kinds and the validators in
+:mod:`repro.decomposition.validation` decide which conditions hold.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+from ..covers import FractionalCover
+from ..hypergraph import Vertex
+
+__all__ = ["Decomposition", "DecompositionNode"]
+
+
+class DecompositionNode:
+    """One node of a decomposition: an id, a bag, and a cover."""
+
+    __slots__ = ("node_id", "bag", "cover")
+
+    def __init__(
+        self,
+        node_id: str,
+        bag: Iterable[Vertex],
+        cover: FractionalCover | Mapping[str, float],
+    ) -> None:
+        self.node_id = str(node_id)
+        self.bag = frozenset(bag)
+        if not isinstance(cover, FractionalCover):
+            cover = FractionalCover(dict(cover))
+        self.cover = cover
+
+    def __repr__(self) -> str:
+        bag = ",".join(sorted(map(str, self.bag)))
+        return f"Node({self.node_id}: {{{bag}}}, w={self.cover.weight:.3g})"
+
+
+class Decomposition:
+    """A rooted decomposition tree.
+
+    Parameters
+    ----------
+    nodes:
+        Triples ``(node_id, bag, cover)``; covers may be plain mappings
+        ``{edge_name: weight}``.
+    parent:
+        ``{child_id: parent_id}`` for every non-root node.
+    root:
+        The root id; inferred when exactly one node has no parent.
+
+    The tree structure is validated at construction (single root,
+    connected, acyclic).  Bags and covers are *not* validated here — use
+    :func:`repro.decomposition.validation.validate`.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[tuple[str, Iterable[Vertex], FractionalCover | Mapping[str, float]]],
+        parent: Mapping[str, str],
+        root: str | None = None,
+    ) -> None:
+        self._nodes: dict[str, DecompositionNode] = {}
+        for node_id, bag, cover in nodes:
+            node_id = str(node_id)
+            if node_id in self._nodes:
+                raise ValueError(f"duplicate node id {node_id!r}")
+            self._nodes[node_id] = DecompositionNode(node_id, bag, cover)
+
+        self._parent: dict[str, str] = {
+            str(c): str(p) for c, p in parent.items()
+        }
+        for child, par in self._parent.items():
+            if child not in self._nodes or par not in self._nodes:
+                raise ValueError(f"parent map mentions unknown node: {child}->{par}")
+
+        roots = [nid for nid in self._nodes if nid not in self._parent]
+        if root is not None:
+            root = str(root)
+            if root not in self._nodes:
+                raise ValueError(f"unknown root {root!r}")
+            if root in self._parent:
+                raise ValueError(f"declared root {root!r} has a parent")
+        else:
+            if len(roots) != 1:
+                raise ValueError(f"tree must have exactly one root, found {roots}")
+            root = roots[0]
+        if len(roots) != 1:
+            raise ValueError(f"forest given, not a tree: roots {roots}")
+        self._root = root
+
+        self._children: dict[str, tuple[str, ...]] = {nid: () for nid in self._nodes}
+        for child, par in self._parent.items():
+            self._children[par] = self._children[par] + (child,)
+        # Reject cycles: walking up from every node must reach the root.
+        for nid in self._nodes:
+            seen = {nid}
+            cur = nid
+            while cur in self._parent:
+                cur = self._parent[cur]
+                if cur in seen:
+                    raise ValueError("parent map contains a cycle")
+                seen.add(cur)
+            if cur != self._root:
+                raise ValueError("tree is not connected")
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def single_node(
+        cls,
+        bag: Iterable[Vertex],
+        cover: FractionalCover | Mapping[str, float],
+        node_id: str = "root",
+    ) -> "Decomposition":
+        """A one-node decomposition."""
+        return cls([(node_id, bag, cover)], parent={}, root=node_id)
+
+    @classmethod
+    def path(
+        cls,
+        nodes: Sequence[tuple[str, Iterable[Vertex], FractionalCover | Mapping[str, float]]],
+    ) -> "Decomposition":
+        """A path-shaped decomposition rooted at the first node.
+
+        Used e.g. for the Table 1 GHD of the hardness reduction, whose
+        tree is the path u_C, u_B, u_A, u_min⊖1, ..., u'_C (Figure 2).
+        """
+        if not nodes:
+            raise ValueError("path needs at least one node")
+        parent = {
+            str(nodes[i][0]): str(nodes[i - 1][0]) for i in range(1, len(nodes))
+        }
+        return cls(nodes, parent=parent, root=str(nodes[0][0]))
+
+    # ------------------------------------------------------------------
+    # Structure accessors
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> str:
+        return self._root
+
+    @property
+    def node_ids(self) -> tuple[str, ...]:
+        return tuple(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node(self, node_id: str) -> DecompositionNode:
+        return self._nodes[node_id]
+
+    def bag(self, node_id: str) -> frozenset:
+        return self._nodes[node_id].bag
+
+    def cover(self, node_id: str) -> FractionalCover:
+        return self._nodes[node_id].cover
+
+    def parent(self, node_id: str) -> str | None:
+        return self._parent.get(node_id)
+
+    def children(self, node_id: str) -> tuple[str, ...]:
+        return self._children[node_id]
+
+    def preorder(self) -> list[str]:
+        """Node ids root-first (parents before children)."""
+        order: list[str] = []
+        stack = [self._root]
+        while stack:
+            nid = stack.pop()
+            order.append(nid)
+            stack.extend(reversed(self._children[nid]))
+        return order
+
+    def subtree_nodes(self, node_id: str) -> list[str]:
+        """All node ids in the subtree ``T_u`` rooted at ``node_id``."""
+        out: list[str] = []
+        stack = [node_id]
+        while stack:
+            nid = stack.pop()
+            out.append(nid)
+            stack.extend(self._children[nid])
+        return out
+
+    def subtree_vertices(self, node_id: str) -> frozenset:
+        """``V(T_u)``: union of bags over the subtree rooted at node_id."""
+        out: set = set()
+        for nid in self.subtree_nodes(node_id):
+            out.update(self._nodes[nid].bag)
+        return frozenset(out)
+
+    def nodes_containing(self, vertex: Vertex) -> frozenset:
+        """``nodes({v})``: ids of nodes whose bag contains ``vertex``."""
+        return frozenset(
+            nid for nid, node in self._nodes.items() if vertex in node.bag
+        )
+
+    def nodes_intersecting(self, vertex_set: Iterable[Vertex]) -> frozenset:
+        """``nodes(V')``: ids of nodes whose bag meets ``vertex_set``."""
+        vs = frozenset(vertex_set)
+        return frozenset(
+            nid for nid, node in self._nodes.items() if node.bag & vs
+        )
+
+    def path_between(self, u: str, v: str) -> list[str]:
+        """Node ids on the unique tree path from u to v, inclusive.
+
+        The path descends from u to the lowest common ancestor and then
+        ascends to v (so the returned sequence starts at u and ends at v).
+        """
+        ancestors_u: list[str] = [u]
+        cur: str | None = u
+        while (cur := self._parent.get(cur)) is not None:
+            ancestors_u.append(cur)
+        index = {nid: i for i, nid in enumerate(ancestors_u)}
+        up_from_v: list[str] = []
+        cur = v
+        while cur not in index:
+            up_from_v.append(cur)
+            cur = self._parent[cur]
+        meet = cur
+        return ancestors_u[: index[meet] + 1] + list(reversed(up_from_v))
+
+    # ------------------------------------------------------------------
+    # Measures and exports
+    # ------------------------------------------------------------------
+    def width(self) -> float:
+        """Maximum cover weight over all nodes (the decomposition width)."""
+        return max(node.cover.weight for node in self._nodes.values())
+
+    def is_integral(self) -> bool:
+        """True iff every node's cover is a 0/1 function (GHD/HD shape)."""
+        return all(node.cover.is_integral() for node in self._nodes.values())
+
+    def replace_node(
+        self,
+        node_id: str,
+        bag: Iterable[Vertex] | None = None,
+        cover: FractionalCover | Mapping[str, float] | None = None,
+    ) -> "Decomposition":
+        """A copy with one node's bag and/or cover replaced."""
+        nodes = []
+        for nid, node in self._nodes.items():
+            if nid == node_id:
+                nodes.append(
+                    (
+                        nid,
+                        node.bag if bag is None else bag,
+                        node.cover if cover is None else cover,
+                    )
+                )
+            else:
+                nodes.append((nid, node.bag, node.cover))
+        return Decomposition(nodes, parent=self._parent, root=self._root)
+
+    def as_dict(self) -> dict:
+        """A plain-data export (ids, bags, covers, parents) for logging."""
+        return {
+            "root": self._root,
+            "nodes": {
+                nid: {
+                    "bag": sorted(map(str, node.bag)),
+                    "cover": dict(node.cover.weights),
+                }
+                for nid, node in self._nodes.items()
+            },
+            "parent": dict(self._parent),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Decomposition(nodes={len(self._nodes)}, "
+            f"width={self.width():.3g}, root={self._root!r})"
+        )

@@ -1,0 +1,72 @@
+"""Decomposition serialization: JSON round trips and Graphviz export.
+
+Downstream systems want to persist and display decompositions; this
+module provides a stable JSON schema (mirroring
+:meth:`repro.decomposition.Decomposition.as_dict`) and a DOT rendering
+whose nodes show bags and covers.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..covers import FractionalCover
+from .base import Decomposition
+
+__all__ = [
+    "decomposition_to_json",
+    "decomposition_from_json",
+    "decomposition_to_dot",
+]
+
+
+def decomposition_to_json(decomposition: Decomposition, indent: int = 2) -> str:
+    """Serialize a decomposition to JSON (stable key order)."""
+    return json.dumps(decomposition.as_dict(), indent=indent, sort_keys=True)
+
+
+def decomposition_from_json(text: str) -> Decomposition:
+    """Parse a decomposition serialized by :func:`decomposition_to_json`.
+
+    Raises ``ValueError`` on malformed payloads (missing keys, bag or
+    cover of the wrong shape, broken tree structure).
+    """
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"not valid JSON: {exc}") from exc
+    for key in ("root", "nodes", "parent"):
+        if key not in payload:
+            raise ValueError(f"missing key {key!r} in decomposition JSON")
+    nodes = []
+    for node_id, entry in payload["nodes"].items():
+        if "bag" not in entry or "cover" not in entry:
+            raise ValueError(f"node {node_id!r} lacks bag/cover")
+        cover = FractionalCover(
+            {str(e): float(w) for e, w in entry["cover"].items()}
+        )
+        nodes.append((node_id, frozenset(entry["bag"]), cover))
+    return Decomposition(
+        nodes, parent=dict(payload["parent"]), root=payload["root"]
+    )
+
+
+def decomposition_to_dot(
+    decomposition: Decomposition, title: str = "decomposition"
+) -> str:
+    """Render as Graphviz DOT: one box per node with bag and cover."""
+    lines = [f'digraph "{title}" {{', "  node [shape=box, fontsize=10];"]
+    for nid in decomposition.preorder():
+        bag = ",".join(sorted(map(str, decomposition.bag(nid))))
+        cover = ", ".join(
+            f"{e}:{w:g}"
+            for e, w in sorted(decomposition.cover(nid).weights.items())
+        )
+        label = f"{nid}\\n{{{bag}}}\\n[{cover}]"
+        lines.append(f'  "{nid}" [label="{label}"];')
+    for nid in decomposition.node_ids:
+        parent = decomposition.parent(nid)
+        if parent is not None:
+            lines.append(f'  "{parent}" -> "{nid}";')
+    lines.append("}")
+    return "\n".join(lines)

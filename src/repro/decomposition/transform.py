@@ -1,0 +1,347 @@
+"""Decomposition transformations from the paper.
+
+* :func:`make_bag_maximal` — Lemma 4.6: exhaustively add vertices from
+  ``B(γ_u) \\ B_u`` to bags while connectedness allows.
+* :func:`prune_redundant_nodes` — drop nodes whose bag is contained in the
+  parent's bag (the clean-up step of Example 4.7).
+* :func:`normalize` — Theorem A.3: transform any (F)HD/GHD into
+  (fractional) normal form of the same width.
+* :func:`repair_special_violations` — the subedge repair of Example 4.4:
+  turn a GHD of H into an HD of an edge-augmented H'.
+* :func:`project_to_original` — map covers of an augmented hypergraph back
+  to originator edges of H (the GHD ⇠ HD direction of Theorem 4.11).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from ..covers import FractionalCover, covered_vertices
+from ..hypergraph import Hypergraph, components
+from .base import Decomposition
+
+__all__ = [
+    "make_bag_maximal",
+    "prune_redundant_nodes",
+    "normalize",
+    "special_condition_violations",
+    "repair_special_violations",
+    "project_to_original",
+]
+
+
+class _MutableTree:
+    """Mutable scratch representation used by the transformations."""
+
+    def __init__(self, decomp: Decomposition) -> None:
+        self.root = decomp.root
+        self.bag: dict[str, frozenset] = {
+            nid: decomp.bag(nid) for nid in decomp.node_ids
+        }
+        self.cover: dict[str, FractionalCover] = {
+            nid: decomp.cover(nid) for nid in decomp.node_ids
+        }
+        self.parent: dict[str, str] = {
+            nid: decomp.parent(nid)
+            for nid in decomp.node_ids
+            if decomp.parent(nid) is not None
+        }
+        self._fresh = 0
+
+    def children(self, nid: str) -> list[str]:
+        return [c for c, p in self.parent.items() if p == nid]
+
+    def subtree(self, nid: str) -> list[str]:
+        out = [nid]
+        stack = [nid]
+        while stack:
+            cur = stack.pop()
+            for c in self.children(cur):
+                out.append(c)
+                stack.append(c)
+        return out
+
+    def subtree_vertices(self, nid: str) -> frozenset:
+        vs: set = set()
+        for n in self.subtree(nid):
+            vs.update(self.bag[n])
+        return frozenset(vs)
+
+    def remove_node(self, nid: str) -> None:
+        par = self.parent.pop(nid)
+        for c in self.children(nid):
+            self.parent[c] = par
+        del self.bag[nid]
+        del self.cover[nid]
+
+    def remove_subtree(self, nid: str) -> None:
+        for n in self.subtree(nid):
+            self.bag.pop(n)
+            self.cover.pop(n)
+            self.parent.pop(n, None)
+
+    def fresh_id(self, base: str) -> str:
+        self._fresh += 1
+        return f"{base}#{self._fresh}"
+
+    def freeze(self) -> Decomposition:
+        nodes = [(nid, self.bag[nid], self.cover[nid]) for nid in self.bag]
+        return Decomposition(nodes, parent=dict(self.parent), root=self.root)
+
+
+def make_bag_maximal(
+    hypergraph: Hypergraph, decomp: Decomposition
+) -> Decomposition:
+    """A bag-maximal decomposition of the same width (Lemma 4.6).
+
+    Repeatedly picks a node u and a vertex ``v ∈ B(γ_u) \\ B_u`` whose
+    addition to ``B_u`` keeps the connectedness condition — i.e. u lies in
+    or adjacent to the subtree of nodes already containing v — and adds it.
+    Covers are untouched, so the width is unchanged.
+    """
+    tree = _MutableTree(decomp)
+    covered: dict[str, frozenset] = {
+        nid: covered_vertices(hypergraph, tree.cover[nid]) for nid in tree.bag
+    }
+    changed = True
+    while changed:
+        changed = False
+        occurrences: dict = {}
+        for nid, bag in tree.bag.items():
+            for v in bag:
+                occurrences.setdefault(v, set()).add(nid)
+        for nid in list(tree.bag):
+            candidates = covered[nid] - tree.bag[nid]
+            for v in sorted(candidates, key=str):
+                occ = occurrences.get(v, set())
+                if occ:
+                    neighbourhood = set(occ)
+                    for o in occ:
+                        if o in tree.parent:
+                            neighbourhood.add(tree.parent[o])
+                        neighbourhood.update(tree.children(o))
+                    if nid not in neighbourhood:
+                        continue
+                tree.bag[nid] = tree.bag[nid] | {v}
+                occurrences.setdefault(v, set()).add(nid)
+                changed = True
+    return tree.freeze()
+
+
+def prune_redundant_nodes(
+    hypergraph: Hypergraph, decomp: Decomposition
+) -> Decomposition:
+    """Remove non-root nodes whose bag is contained in the parent's bag.
+
+    Safe: edge coverage moves to the parent, and connectedness cannot
+    break because every bag vertex of the removed node also sits in the
+    parent.  (Example 4.7 uses this after bag-maximization.)
+    """
+    tree = _MutableTree(decomp)
+    changed = True
+    while changed:
+        changed = False
+        for nid in list(tree.bag):
+            par = tree.parent.get(nid)
+            if par is not None and tree.bag[nid] <= tree.bag[par]:
+                tree.remove_node(nid)
+                changed = True
+                break
+    return tree.freeze()
+
+
+def normalize(
+    hypergraph: Hypergraph, decomp: Decomposition, max_rounds: int | None = None
+) -> Decomposition:
+    """Transform into (fractional) normal form — Theorem A.3 / Def. 5.20.
+
+    Width is preserved; bags only ever shrink (except for FNF condition 3,
+    which adds vertices of ``B(γ_s) ∩ B_r`` already covered by γ_s).
+    Works for HDs, GHDs and FHDs alike.
+    """
+    tree = _MutableTree(decomp)
+    budget = max_rounds if max_rounds is not None else (
+        10 * (len(decomp) + 1) * (hypergraph.num_vertices + 1) + 100
+    )
+
+    queue = [tree.root]
+    while queue:
+        r = queue.pop(0)
+        stable = False
+        while not stable:
+            budget -= 1
+            if budget < 0:
+                raise RuntimeError("normalization did not converge (bug)")
+            stable = True
+            for s in tree.children(r):
+                if _normalize_child(hypergraph, tree, r, s):
+                    stable = False
+                    break
+        # FNF condition 3: pull parent-bag vertices covered by γ_s into B_s.
+        for s in tree.children(r):
+            covered = covered_vertices(hypergraph, tree.cover[s])
+            tree.bag[s] = tree.bag[s] | (covered & tree.bag[r])
+        queue.extend(tree.children(r))
+    return tree.freeze()
+
+
+def _normalize_child(
+    hypergraph: Hypergraph, tree: _MutableTree, r: str, s: str
+) -> bool:
+    """One normalization step on child s of r; True if the tree changed."""
+    bag_r = tree.bag[r]
+    subtree_vs = tree.subtree_vertices(s)
+    comps = [
+        c for c in components(hypergraph, bag_r) if c & subtree_vs
+    ]
+
+    satisfies_cond1 = (
+        len(comps) == 1
+        and subtree_vs == comps[0] | (bag_r & tree.bag[s])
+    )
+    if satisfies_cond1:
+        if not (tree.bag[s] & comps[0]):
+            # Condition 2 violated => B_s ⊆ B_r: splice s out.
+            tree.remove_node(s)
+            return True
+        return False
+
+    if not comps:
+        # V(T_s) ⊆ B_r: the whole subtree is redundant.
+        tree.remove_subtree(s)
+        return True
+
+    # Condition 1 violated: split T_s into one tree per component.
+    old_nodes = tree.subtree(s)
+    for comp in comps:
+        members = [n for n in old_nodes if tree.bag[n] & comp]
+        if not members:
+            continue
+        member_set = set(members)
+        clone: dict[str, str] = {}
+        for n in members:
+            clone[n] = tree.fresh_id(n)
+        for n in members:
+            new_id = clone[n]
+            tree.bag[new_id] = tree.bag[n] & (comp | bag_r)
+            tree.cover[new_id] = tree.cover[n]
+            old_parent = tree.parent.get(n)
+            if n == s or old_parent not in member_set:
+                # nodes(C) induces a subtree of T_s, so a member whose tree
+                # parent is outside the member set is that subtree's root.
+                tree.parent[new_id] = r
+            else:
+                tree.parent[new_id] = clone[old_parent]
+    tree.remove_subtree(s)
+    return True
+
+
+def special_condition_violations(
+    hypergraph: Hypergraph, decomp: Decomposition
+) -> list[tuple[str, str, frozenset]]:
+    """All SCVs: triples (node, edge in supp(λ_u), offending vertices).
+
+    An SCV is a node u, an edge e with λ_u(e) = 1 and vertices
+    ``v ∈ e ∩ V(T_u) \\ B_u`` (Section 4).
+    """
+    out = []
+    for nid in decomp.node_ids:
+        subtree_vs = decomp.subtree_vertices(nid)
+        for edge_name in decomp.cover(nid).support:
+            e = hypergraph.edge(edge_name)
+            offenders = (e & subtree_vs) - decomp.bag(nid)
+            if offenders:
+                out.append((nid, edge_name, offenders))
+    return out
+
+
+def repair_special_violations(
+    hypergraph: Hypergraph, decomp: Decomposition
+) -> tuple[Hypergraph, Decomposition]:
+    """Repair all SCVs of a GHD by swapping edges for subedges (Ex. 4.4).
+
+    Every offending cover edge e at node u is replaced by the subedge
+    ``e ∩ B_u``, which is added to the hypergraph (named ``sub:<e>:<n>``).
+    Returns the augmented hypergraph H' and a decomposition that is an HD
+    of H' of the same width.
+    """
+    new_edges: dict[str, frozenset] = {}
+
+    def subedge_name(content: frozenset) -> str:
+        label = "sub:" + "|".join(sorted(map(str, content)))
+        new_edges[label] = content
+        return label
+
+    nodes = []
+    for nid in decomp.node_ids:
+        bag = decomp.bag(nid)
+        subtree_vs = decomp.subtree_vertices(nid)
+        weights: dict[str, float] = {}
+        for edge_name, w in decomp.cover(nid).weights.items():
+            e = hypergraph.edge(edge_name)
+            if (e & subtree_vs) - bag:
+                trimmed = e & bag
+                if trimmed:
+                    name = subedge_name(trimmed)
+                    weights[name] = weights.get(name, 0.0) + w
+            else:
+                weights[edge_name] = weights.get(edge_name, 0.0) + w
+        nodes.append((nid, bag, FractionalCover(weights)))
+
+    augmented = hypergraph.with_edges(new_edges)
+    repaired = Decomposition(
+        nodes,
+        parent={
+            nid: decomp.parent(nid)
+            for nid in decomp.node_ids
+            if decomp.parent(nid) is not None
+        },
+        root=decomp.root,
+    )
+    return augmented, repaired
+
+
+def project_to_original(
+    original: Hypergraph,
+    augmented: Hypergraph,
+    decomp: Decomposition,
+    originator_map: Mapping[str, str] | None = None,
+) -> Decomposition:
+    """Replace augmented-only cover edges by originators from ``original``.
+
+    Every cover edge that exists only in the augmented hypergraph must be
+    a subedge of some original edge; its weight moves to one such
+    originator (smallest by name, or per ``originator_map``).  Bags are
+    unchanged, so the result is a GHD/FHD of the original hypergraph of
+    the same width (the easy direction of Theorem 4.11 / Theorem 5.22).
+    """
+    original_names = frozenset(original.edge_names)
+    nodes = []
+    for nid in decomp.node_ids:
+        weights: dict[str, float] = {}
+        for edge_name, w in decomp.cover(nid).weights.items():
+            if edge_name in original_names:
+                target = edge_name
+            elif originator_map is not None and edge_name in originator_map:
+                target = originator_map[edge_name]
+            else:
+                content = augmented.edge(edge_name)
+                candidates = sorted(
+                    e for e in original_names if content <= original.edge(e)
+                )
+                if not candidates:
+                    raise ValueError(
+                        f"edge {edge_name!r} has no originator in the original"
+                    )
+                target = candidates[0]
+            weights[target] = weights.get(target, 0.0) + w
+        nodes.append((nid, decomp.bag(nid), FractionalCover(weights)))
+    return Decomposition(
+        nodes,
+        parent={
+            nid: decomp.parent(nid)
+            for nid in decomp.node_ids
+            if decomp.parent(nid) is not None
+        },
+        root=decomp.root,
+    )

@@ -1,0 +1,324 @@
+"""Validators for every decomposition condition defined in the paper.
+
+These checks are deliberately independent of the search algorithms: every
+decomposition an algorithm returns is re-validated here, so algorithmic
+soundness never rests on the search code being right.
+
+Conditions covered (paper references in parentheses):
+
+* condition (1): every edge is contained in some bag       (Def. 2.4)
+* condition (2): connectedness of each vertex's nodes       (Def. 2.4)
+* condition (3)/(3'): bags are covered by their λ/γ         (Def. 2.4/2.6)
+* condition (4): the special condition of HDs               (Def. 2.5)
+* weak special condition                                    (Def. 6.3)
+* c-bounded fractional part                                 (Def. 6.2)
+* strictness: B_u = B(γ_u) = ∪ supp(γ_u)                    (Def. 5.18)
+* fractional normal form (FNF)                              (Def. 5.20)
+* bag-maximality                                            (Def. 4.5)
+"""
+
+from __future__ import annotations
+
+from ..covers import EPS, covered_vertices
+from ..hypergraph import Hypergraph, components
+from .base import Decomposition
+
+__all__ = [
+    "violations",
+    "validate",
+    "is_tree_decomposition",
+    "is_ghd",
+    "is_hd",
+    "is_fhd",
+    "check_edge_coverage",
+    "check_connectedness",
+    "check_bag_covers",
+    "check_special_condition",
+    "check_weak_special_condition",
+    "check_fractional_part_bounded",
+    "is_strict",
+    "is_bag_maximal",
+    "check_fnf",
+    "treecomp",
+]
+
+_KINDS = ("tree", "ghd", "hd", "fhd")
+
+
+def check_edge_coverage(hypergraph: Hypergraph, decomp: Decomposition) -> list[str]:
+    """Condition (1): for each edge e there is a node u with e ⊆ B_u."""
+    problems = []
+    bags = [decomp.bag(nid) for nid in decomp.node_ids]
+    for name in hypergraph.edge_names:
+        e = hypergraph.edge(name)
+        if not any(e <= bag for bag in bags):
+            problems.append(f"edge {name!r} is not contained in any bag")
+    return problems
+
+
+def check_connectedness(hypergraph: Hypergraph, decomp: Decomposition) -> list[str]:
+    """Condition (2): {u : v ∈ B_u} induces a connected subtree, ∀v.
+
+    Checked by a single preorder sweep: a vertex's occurrence set is
+    connected iff it has exactly one 'topmost' node (a node whose parent
+    does not contain the vertex).
+    """
+    problems = []
+    tops: dict = {}
+    for nid in decomp.preorder():
+        bag = decomp.bag(nid)
+        par = decomp.parent(nid)
+        parent_bag = decomp.bag(par) if par is not None else frozenset()
+        for v in bag:
+            if v not in parent_bag:
+                tops[v] = tops.get(v, 0) + 1
+    for v, count in sorted(tops.items(), key=lambda kv: str(kv[0])):
+        if count > 1:
+            problems.append(
+                f"vertex {v!r} occurs in {count} disconnected subtrees"
+            )
+    # Also surface bag vertices that are not hypergraph vertices at all.
+    for nid in decomp.node_ids:
+        stray = decomp.bag(nid) - hypergraph.vertices
+        if stray:
+            problems.append(
+                f"node {nid}: bag contains non-vertices {sorted(map(str, stray))}"
+            )
+    return problems
+
+
+def check_bag_covers(
+    hypergraph: Hypergraph, decomp: Decomposition, integral: bool
+) -> list[str]:
+    """Condition (3)/(3'): B_u ⊆ B(λ_u) resp. B(γ_u); λ must be 0/1."""
+    problems = []
+    for nid in decomp.node_ids:
+        cover = decomp.cover(nid)
+        unknown = cover.support - frozenset(hypergraph.edge_names)
+        if unknown:
+            problems.append(
+                f"node {nid}: cover uses unknown edges {sorted(unknown)}"
+            )
+            continue
+        if integral and not cover.is_integral():
+            problems.append(f"node {nid}: cover is not integral (λ needed)")
+        covered = covered_vertices(hypergraph, cover)
+        missing = decomp.bag(nid) - covered
+        if missing:
+            problems.append(
+                f"node {nid}: bag vertices not covered: {sorted(map(str, missing))}"
+            )
+    return problems
+
+
+def check_special_condition(
+    hypergraph: Hypergraph, decomp: Decomposition
+) -> list[str]:
+    """Condition (4) of HDs: B(λ_u) ∩ V(T_u) ⊆ B_u for every node u."""
+    problems = []
+    for nid in decomp.node_ids:
+        b_lambda = covered_vertices(hypergraph, decomp.cover(nid))
+        offenders = (b_lambda & decomp.subtree_vertices(nid)) - decomp.bag(nid)
+        if offenders:
+            problems.append(
+                f"node {nid}: special condition violated by "
+                f"{sorted(map(str, offenders))}"
+            )
+    return problems
+
+
+def check_weak_special_condition(
+    hypergraph: Hypergraph, decomp: Decomposition
+) -> list[str]:
+    """Definition 6.3: for S = {e : γ_u(e) = 1}, B(γ_u|S) ∩ V(T_u) ⊆ B_u."""
+    problems = []
+    for nid in decomp.node_ids:
+        integral_part = decomp.cover(nid).scaled_to_integral_part()
+        b_s = covered_vertices(hypergraph, integral_part)
+        offenders = (b_s & decomp.subtree_vertices(nid)) - decomp.bag(nid)
+        if offenders:
+            problems.append(
+                f"node {nid}: weak special condition violated by "
+                f"{sorted(map(str, offenders))}"
+            )
+    return problems
+
+
+def check_fractional_part_bounded(
+    hypergraph: Hypergraph, decomp: Decomposition, c: int
+) -> list[str]:
+    """Definition 6.2: |B(γ_u|R)| <= c for R = {e : γ_u(e) < 1}, ∀u."""
+    problems = []
+    for nid in decomp.node_ids:
+        cover = decomp.cover(nid)
+        fractional_part = {
+            e: w for e, w in cover.weights.items() if w < 1.0 - EPS
+        }
+        covered = covered_vertices(hypergraph, fractional_part)
+        if len(covered) > c:
+            problems.append(
+                f"node {nid}: fractional part covers {len(covered)} > {c} vertices"
+            )
+    return problems
+
+
+def is_strict(hypergraph: Hypergraph, decomp: Decomposition) -> bool:
+    """Definition 5.18: B_u = B(γ_u) = ∪ supp(γ_u) at every node."""
+    for nid in decomp.node_ids:
+        cover = decomp.cover(nid)
+        support_union = hypergraph.vertices_of(cover.support)
+        covered = covered_vertices(hypergraph, cover)
+        if not (decomp.bag(nid) == covered == support_union):
+            return False
+    return True
+
+
+def is_bag_maximal(hypergraph: Hypergraph, decomp: Decomposition) -> bool:
+    """Definition 4.5: no vertex of B(γ_u) \\ B_u can join B_u without
+    breaking connectedness.
+
+    Adding v to B_u preserves connectedness iff u already touches the
+    (possibly empty) subtree of nodes containing v — i.e. u is in it or
+    adjacent to it.
+    """
+    for nid in decomp.node_ids:
+        extra = covered_vertices(hypergraph, decomp.cover(nid)) - decomp.bag(nid)
+        for v in extra:
+            occurrences = decomp.nodes_containing(v)
+            if not occurrences:
+                return False  # v occurs nowhere: adding it is always safe
+            neighbourhood = set(occurrences)
+            for occ in occurrences:
+                par = decomp.parent(occ)
+                if par is not None:
+                    neighbourhood.add(par)
+                neighbourhood.update(decomp.children(occ))
+            if nid in neighbourhood:
+                return False
+    return True
+
+
+def treecomp(
+    hypergraph: Hypergraph, decomp: Decomposition, node_id: str
+) -> frozenset:
+    """``treecomp(s)`` for decompositions in FNF (Section 6.1).
+
+    Root: all of V(H).  Other nodes s with parent r: the unique
+    [B_r]-component C_r with V(T_s) = C_r ∪ (B_r ∩ B_s).  Raises
+    ``ValueError`` when no such unique component exists (i.e. the
+    decomposition is not in FNF at s).
+    """
+    par = decomp.parent(node_id)
+    if par is None:
+        return hypergraph.vertices
+    subtree_vs = decomp.subtree_vertices(node_id)
+    parent_bag = decomp.bag(par)
+    matches = [
+        comp
+        for comp in components(hypergraph, parent_bag)
+        if subtree_vs == comp | (parent_bag & decomp.bag(node_id))
+    ]
+    if len(matches) != 1:
+        raise ValueError(
+            f"node {node_id}: no unique [B_r]-component matches V(T_s) "
+            f"(found {len(matches)}); decomposition not in FNF"
+        )
+    return matches[0]
+
+
+def check_fnf(hypergraph: Hypergraph, decomp: Decomposition) -> list[str]:
+    """Definition 5.20 (fractional normal form), conditions 1-3."""
+    problems = []
+    for nid in decomp.node_ids:
+        par = decomp.parent(nid)
+        if par is None:
+            continue
+        parent_bag = decomp.bag(par)
+        subtree_vs = decomp.subtree_vertices(nid)
+        comps = components(hypergraph, parent_bag)
+        matches = [
+            comp
+            for comp in comps
+            if subtree_vs == comp | (parent_bag & decomp.bag(nid))
+        ]
+        if len(matches) != 1:
+            problems.append(
+                f"node {nid}: FNF condition 1 fails "
+                f"({len(matches)} matching [B_r]-components)"
+            )
+            continue
+        comp = matches[0]
+        if not (decomp.bag(nid) & comp):
+            problems.append(f"node {nid}: FNF condition 2 fails (B_s ∩ C_r = ∅)")
+        covered = covered_vertices(hypergraph, decomp.cover(nid))
+        if not ((covered & parent_bag) <= decomp.bag(nid)):
+            problems.append(
+                f"node {nid}: FNF condition 3 fails (B(γ_s) ∩ B_r ⊄ B_s)"
+            )
+    return problems
+
+
+def violations(
+    hypergraph: Hypergraph,
+    decomp: Decomposition,
+    kind: str = "ghd",
+    width: float | None = None,
+) -> list[str]:
+    """All violated conditions for the requested decomposition kind.
+
+    ``kind`` is one of ``"tree"`` (conditions 1+2 only), ``"ghd"``,
+    ``"hd"``, ``"fhd"``.  If ``width`` is given, exceeding it is also
+    reported.
+    """
+    if kind not in _KINDS:
+        raise ValueError(f"kind must be one of {_KINDS}")
+    problems = check_edge_coverage(hypergraph, decomp)
+    problems += check_connectedness(hypergraph, decomp)
+    if kind in ("ghd", "hd"):
+        problems += check_bag_covers(hypergraph, decomp, integral=True)
+    elif kind == "fhd":
+        problems += check_bag_covers(hypergraph, decomp, integral=False)
+    if kind == "hd":
+        problems += check_special_condition(hypergraph, decomp)
+    if width is not None and decomp.width() > width + EPS:
+        problems.append(
+            f"width {decomp.width():.6g} exceeds requested bound {width:.6g}"
+        )
+    return problems
+
+
+def validate(
+    hypergraph: Hypergraph,
+    decomp: Decomposition,
+    kind: str = "ghd",
+    width: float | None = None,
+) -> None:
+    """Raise ``ValueError`` listing all violations, or return silently."""
+    problems = violations(hypergraph, decomp, kind=kind, width=width)
+    if problems:
+        raise ValueError(
+            f"invalid {kind.upper()}:\n  " + "\n  ".join(problems)
+        )
+
+
+def is_tree_decomposition(hypergraph: Hypergraph, decomp: Decomposition) -> bool:
+    """Conditions (1) and (2) only (λ/γ ignored)."""
+    return not violations(hypergraph, decomp, kind="tree")
+
+
+def is_ghd(
+    hypergraph: Hypergraph, decomp: Decomposition, width: float | None = None
+) -> bool:
+    return not violations(hypergraph, decomp, kind="ghd", width=width)
+
+
+def is_hd(
+    hypergraph: Hypergraph, decomp: Decomposition, width: float | None = None
+) -> bool:
+    return not violations(hypergraph, decomp, kind="hd", width=width)
+
+
+def is_fhd(
+    hypergraph: Hypergraph, decomp: Decomposition, width: float | None = None
+) -> bool:
+    return not violations(hypergraph, decomp, kind="fhd", width=width)

@@ -1,0 +1,29 @@
+"""The Section 3 NP-hardness machinery: SAT substrate, the Lemma 3.1
+gadget, the Theorem 3.2 reduction with LP certificates, and width lifting."""
+
+from .cnf import CNF, dpll, paper_example_formula, random_3sat
+from .gadgets import (
+    GADGET_CORE,
+    GADGET_RESTRICTED,
+    gadget_edges,
+    gadget_hypergraph,
+    gadget_vertex_names,
+)
+from .lifting import lift_by_clique, lift_by_cycle_windows
+from .reduction import Reduction, build_reduction
+
+__all__ = [
+    "CNF",
+    "dpll",
+    "random_3sat",
+    "paper_example_formula",
+    "gadget_edges",
+    "gadget_hypergraph",
+    "gadget_vertex_names",
+    "GADGET_CORE",
+    "GADGET_RESTRICTED",
+    "Reduction",
+    "build_reduction",
+    "lift_by_clique",
+    "lift_by_cycle_windows",
+]

@@ -1,0 +1,206 @@
+"""3SAT substrate: CNF formulas, a DPLL solver, random instances.
+
+The NP-hardness reduction of Theorem 3.2 maps 3SAT formulas to
+hypergraphs; driving and verifying it needs a complete SAT solver (small
+instances only — DPLL with unit propagation and pure-literal elimination
+is ample here).
+
+Literals are non-zero integers: ``+l`` is variable ``x_l``, ``-l`` its
+negation (DIMACS convention).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+__all__ = ["CNF", "dpll", "random_3sat", "paper_example_formula"]
+
+
+@dataclass(frozen=True)
+class CNF:
+    """A CNF formula as a tuple of clauses (tuples of non-zero ints).
+
+    ``num_variables`` is the largest variable index mentioned (variables
+    are 1-based: x_1, ..., x_n).  The reduction requires exactly three
+    literals per clause; :meth:`as_3sat` pads shorter clauses by
+    repeating a literal (semantically neutral) and rejects longer ones.
+    """
+
+    clauses: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        cleaned = []
+        for clause in self.clauses:
+            if not clause:
+                raise ValueError("empty clause: formula is trivially unsat")
+            if any(lit == 0 for lit in clause):
+                raise ValueError("literal 0 is not allowed")
+            cleaned.append(tuple(int(lit) for lit in clause))
+        object.__setattr__(self, "clauses", tuple(cleaned))
+
+    @classmethod
+    def from_clauses(cls, clauses: Iterable[Iterable[int]]) -> "CNF":
+        return cls(tuple(tuple(c) for c in clauses))
+
+    @classmethod
+    def from_dimacs(cls, text: str) -> "CNF":
+        """Parse DIMACS CNF (``c`` comments, ``p cnf n m`` header, clauses
+        terminated by 0; clauses may span lines)."""
+        literals: list[int] = []
+        clauses: list[tuple[int, ...]] = []
+        for raw in text.splitlines():
+            line = raw.strip()
+            if not line or line.startswith(("c", "p", "%")):
+                continue
+            for token in line.split():
+                lit = int(token)
+                if lit == 0:
+                    if literals:
+                        clauses.append(tuple(literals))
+                        literals = []
+                else:
+                    literals.append(lit)
+        if literals:
+            clauses.append(tuple(literals))
+        if not clauses:
+            raise ValueError("no clauses found in DIMACS input")
+        return cls(tuple(clauses))
+
+    def to_dimacs(self) -> str:
+        """Serialize to DIMACS CNF."""
+        lines = [f"p cnf {self.num_variables} {self.num_clauses}"]
+        for clause in self.clauses:
+            lines.append(" ".join(map(str, clause)) + " 0")
+        return "\n".join(lines) + "\n"
+
+    @property
+    def num_variables(self) -> int:
+        return max(abs(lit) for clause in self.clauses for lit in clause)
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
+    def as_3sat(self) -> "CNF":
+        """This formula with every clause padded/verified to width 3."""
+        out = []
+        for clause in self.clauses:
+            if len(clause) > 3:
+                raise ValueError(f"clause {clause} has more than 3 literals")
+            padded = list(clause)
+            while len(padded) < 3:
+                padded.append(clause[-1])
+            out.append(tuple(padded))
+        return CNF(tuple(out))
+
+    def evaluate(self, assignment: Sequence[bool]) -> bool:
+        """True iff the 1-indexed assignment satisfies every clause."""
+        if len(assignment) < self.num_variables:
+            raise ValueError("assignment too short")
+        return all(
+            any(
+                assignment[abs(lit) - 1] == (lit > 0)
+                for lit in clause
+            )
+            for clause in self.clauses
+        )
+
+    def satisfying_assignment(self) -> list[bool] | None:
+        """A satisfying assignment via DPLL, or None if unsatisfiable."""
+        return dpll(self)
+
+    def is_satisfiable(self) -> bool:
+        return self.satisfying_assignment() is not None
+
+
+def dpll(formula: CNF) -> list[bool] | None:
+    """DPLL with unit propagation and pure-literal elimination.
+
+    Returns a total assignment (unconstrained variables default to True)
+    or None.
+    """
+    n = formula.num_variables
+
+    def solve(clauses: list[tuple[int, ...]], fixed: dict[int, bool]):
+        while True:
+            # Simplify under `fixed`.
+            next_clauses: list[tuple[int, ...]] = []
+            unit: int | None = None
+            for clause in clauses:
+                live: list[int] = []
+                satisfied = False
+                for lit in clause:
+                    var = abs(lit)
+                    if var in fixed:
+                        if fixed[var] == (lit > 0):
+                            satisfied = True
+                            break
+                    else:
+                        live.append(lit)
+                if satisfied:
+                    continue
+                if not live:
+                    return None  # conflict
+                if len(live) == 1 and unit is None:
+                    unit = live[0]
+                next_clauses.append(tuple(live))
+            clauses = next_clauses
+            if unit is not None:
+                fixed[abs(unit)] = unit > 0
+                continue
+            break
+        if not clauses:
+            return fixed
+        # Pure literal elimination.
+        polarity: dict[int, set[bool]] = {}
+        for clause in clauses:
+            for lit in clause:
+                polarity.setdefault(abs(lit), set()).add(lit > 0)
+        pures = [
+            (var, sides.pop())
+            for var, sides in polarity.items()
+            if len(sides) == 1
+        ]
+        if pures:
+            for var, value in pures:
+                fixed[var] = value
+            return solve(clauses, fixed)
+        # Branch on the most frequent variable.
+        counts: dict[int, int] = {}
+        for clause in clauses:
+            for lit in clause:
+                counts[abs(lit)] = counts.get(abs(lit), 0) + 1
+        var = max(sorted(counts), key=lambda v: counts[v])
+        for value in (True, False):
+            attempt = solve(clauses, {**fixed, var: value})
+            if attempt is not None:
+                return attempt
+        return None
+
+    fixed = solve(list(formula.clauses), {})
+    if fixed is None:
+        return None
+    return [fixed.get(v, True) for v in range(1, n + 1)]
+
+
+def random_3sat(
+    n_vars: int, n_clauses: int, rng: random.Random | None = None
+) -> CNF:
+    """A uniform random 3SAT formula (distinct variables per clause)."""
+    rng = rng or random.Random(0)
+    if n_vars < 3:
+        raise ValueError("need at least 3 variables for 3-literal clauses")
+    clauses = []
+    for _ in range(n_clauses):
+        vs = rng.sample(range(1, n_vars + 1), 3)
+        clauses.append(
+            tuple(v if rng.random() < 0.5 else -v for v in vs)
+        )
+    return CNF(tuple(clauses))
+
+
+def paper_example_formula() -> CNF:
+    """Example 3.3's formula: (x1 ∨ ¬x2 ∨ x3) ∧ (¬x1 ∨ x2 ∨ ¬x3)."""
+    return CNF(((1, -2, 3), (-1, 2, -3)))

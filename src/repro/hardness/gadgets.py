@@ -1,0 +1,87 @@
+"""The Lemma 3.1 gadget H₀ (Figure 1) and its vertex/edge naming scheme.
+
+The gadget forces any width-2 FHD of the ambient hypergraph to contain
+three nodes u_A, u_B, u_C in a row whose bags are (essentially) the three
+4-cliques {a1,a2,b1,b2}, {b1,b2,c1,c2}, {c1,c2,d1,d2} plus M = M1 ∪ M2 —
+the mechanism that pins the set S onto the "long path" of the reduction.
+
+``gadget_edges(M1, M2, prime)`` builds E_A ∪ E_B ∪ E_C with the edge
+names ``gA1..gA5, gB1..gB6, gC1..gC5`` (suffix ``p`` for the primed copy
+H₀').
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..hypergraph import Hypergraph
+
+__all__ = [
+    "gadget_vertex_names",
+    "gadget_edges",
+    "gadget_hypergraph",
+    "GADGET_CORE",
+    "GADGET_RESTRICTED",
+]
+
+#: The eight core vertices of the gadget (unprimed copy).
+GADGET_CORE = ("a1", "a2", "b1", "b2", "c1", "c2", "d1", "d2")
+
+#: The set R of Lemma 3.1: vertices that may not occur outside the gadget.
+GADGET_RESTRICTED = ("a2", "b1", "b2", "c1", "c2", "d1", "d2")
+
+
+def gadget_vertex_names(prime: bool = False) -> dict[str, str]:
+    """Core vertex names, suffixed with ``p`` for the primed copy."""
+    suffix = "p" if prime else ""
+    return {base: f"{base}{suffix}" for base in GADGET_CORE}
+
+
+def gadget_edges(
+    m1: Iterable, m2: Iterable, prime: bool = False
+) -> dict[str, frozenset]:
+    """The edges E_A ∪ E_B ∪ E_C of Lemma 3.1 for the given M1, M2.
+
+    Edge names carry the suffix ``p`` when ``prime`` is set, matching the
+    primed copy H₀' of the Theorem 3.2 construction.
+    """
+    v = gadget_vertex_names(prime)
+    m1 = frozenset(m1)
+    m2 = frozenset(m2)
+    s = "p" if prime else ""
+    return {
+        # E_A
+        f"gA1{s}": frozenset([v["a1"], v["b1"]]) | m1,
+        f"gA2{s}": frozenset([v["a2"], v["b2"]]) | m2,
+        f"gA3{s}": frozenset([v["a1"], v["b2"]]),
+        f"gA4{s}": frozenset([v["a2"], v["b1"]]),
+        f"gA5{s}": frozenset([v["a1"], v["a2"]]),
+        # E_B
+        f"gB1{s}": frozenset([v["b1"], v["c1"]]) | m1,
+        f"gB2{s}": frozenset([v["b2"], v["c2"]]) | m2,
+        f"gB3{s}": frozenset([v["b1"], v["c2"]]),
+        f"gB4{s}": frozenset([v["b2"], v["c1"]]),
+        f"gB5{s}": frozenset([v["b1"], v["b2"]]),
+        f"gB6{s}": frozenset([v["c1"], v["c2"]]),
+        # E_C
+        f"gC1{s}": frozenset([v["c1"], v["d1"]]) | m1,
+        f"gC2{s}": frozenset([v["c2"], v["d2"]]) | m2,
+        f"gC3{s}": frozenset([v["c1"], v["d2"]]),
+        f"gC4{s}": frozenset([v["c2"], v["d1"]]),
+        f"gC5{s}": frozenset([v["d1"], v["d2"]]),
+    }
+
+
+def gadget_hypergraph(
+    m1: Iterable = ("m1",), m2: Iterable = ("m2",), prime: bool = False
+) -> Hypergraph:
+    """The standalone gadget H₀ as a hypergraph (defaults: tiny M1/M2).
+
+    Useful for unit-testing the Lemma 3.1 cover arguments in isolation:
+    e.g. that covering {a1,a2,b1,b2} with weight <= 2 confines the
+    support to ``E_A ∪ {gB5}``.
+    """
+    return Hypergraph(
+        gadget_edges(m1, m2, prime=prime),
+        name="Lemma3.1-H0" + ("'" if prime else ""),
+    )

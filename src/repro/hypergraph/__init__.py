@@ -1,0 +1,79 @@
+"""Hypergraph substrate: data structure, connectivity, properties, duality,
+generators and I/O (Section 2.1 of the paper and the restrictions of
+Sections 4-6)."""
+
+from .acyclicity import gyo_reduction, is_alpha_acyclic, join_tree
+from .components import (
+    component_of,
+    components,
+    connected_components,
+    is_connected,
+    separator_path,
+)
+from .duality import dual_hypergraph, is_reduced, reduce_hypergraph
+from .generators import (
+    acyclic_hypergraph,
+    bounded_vc_unbounded_miwidth_family,
+    clique,
+    cycle,
+    grid,
+    hyperbench_like_suite,
+    path_hypergraph,
+    random_cq_hypergraph,
+    random_csp_hypergraph,
+    triangle_cascade,
+    unbounded_support_family,
+)
+from .hypergraph import Hypergraph, Vertex
+from .io import dump_file, load_file, parse_hyperbench, to_hyperbench
+from .properties import (
+    degree,
+    has_bounded_degree,
+    has_bounded_intersection,
+    has_bounded_multi_intersection,
+    intersection_width,
+    is_shattered,
+    multi_intersection_width,
+    rank,
+    vc_dimension,
+)
+
+__all__ = [
+    "Hypergraph",
+    "gyo_reduction",
+    "is_alpha_acyclic",
+    "join_tree",
+    "Vertex",
+    "components",
+    "component_of",
+    "connected_components",
+    "is_connected",
+    "separator_path",
+    "dual_hypergraph",
+    "reduce_hypergraph",
+    "is_reduced",
+    "degree",
+    "rank",
+    "intersection_width",
+    "multi_intersection_width",
+    "has_bounded_intersection",
+    "has_bounded_multi_intersection",
+    "has_bounded_degree",
+    "vc_dimension",
+    "is_shattered",
+    "clique",
+    "cycle",
+    "grid",
+    "path_hypergraph",
+    "acyclic_hypergraph",
+    "unbounded_support_family",
+    "bounded_vc_unbounded_miwidth_family",
+    "triangle_cascade",
+    "random_cq_hypergraph",
+    "random_csp_hypergraph",
+    "hyperbench_like_suite",
+    "parse_hyperbench",
+    "to_hyperbench",
+    "load_file",
+    "dump_file",
+]

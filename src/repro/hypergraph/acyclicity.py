@@ -1,0 +1,104 @@
+"""α-acyclicity via the GYO reduction, and join trees.
+
+The paper's footnote 1 fixes the acyclicity notion: α-acyclicity in the
+sense of [50]/[22].  A hypergraph is α-acyclic iff the GYO (Graham /
+Yu-Özsoyoğlu) reduction — repeatedly delete *ear* vertices (vertices in
+exactly one edge) and edges contained in other edges — deletes
+everything.  Equivalently ``ghw(H) = hw(H) = 1``, which makes this the
+fast path for width-1 checks and the source of join trees for the
+Yannakakis evaluator.
+"""
+
+from __future__ import annotations
+
+from .hypergraph import Hypergraph
+
+__all__ = ["gyo_reduction", "is_alpha_acyclic", "join_tree"]
+
+
+def gyo_reduction(
+    hypergraph: Hypergraph,
+) -> tuple[dict[str, frozenset], list[tuple[str, str]]]:
+    """Run the GYO reduction to a fixpoint.
+
+    Returns ``(residue, absorptions)``: the edges that could not be
+    eliminated (empty iff H is α-acyclic) and, for each edge removed by
+    the containment rule, the pair ``(absorbed, absorber)`` — exactly the
+    parent relation of a join tree.  Edges whose vertices all became
+    ears are removed without an absorber (they are component roots).
+    """
+    edges: dict[str, set] = {
+        name: set(vs) for name, vs in hypergraph.edges.items()
+    }
+    absorptions: list[tuple[str, str]] = []
+    while True:
+        progressed = False
+        # Rule 1: delete vertices occurring in exactly one edge.
+        counts: dict = {}
+        for vs in edges.values():
+            for v in vs:
+                counts[v] = counts.get(v, 0) + 1
+        for vs in edges.values():
+            ears = {v for v in vs if counts[v] == 1}
+            if ears:
+                vs -= ears
+                progressed = True
+        # Fully-eared edges are their component's join-tree root.
+        for name in [n for n, vs in edges.items() if not vs]:
+            del edges[name]
+            progressed = True
+        # Rule 2: delete edges contained in another edge.
+        for small in sorted(edges, key=lambda n: (len(edges[n]), n)):
+            if small not in edges:
+                continue
+            absorber = next(
+                (
+                    big
+                    for big in sorted(
+                        edges, key=lambda n: (-len(edges[n]), n)
+                    )
+                    if big != small and edges[small] <= edges[big]
+                ),
+                None,
+            )
+            if absorber is not None:
+                absorptions.append((small, absorber))
+                del edges[small]
+                progressed = True
+        if not progressed:
+            break
+    return (
+        {name: frozenset(vs) for name, vs in edges.items()},
+        absorptions,
+    )
+
+
+def is_alpha_acyclic(hypergraph: Hypergraph) -> bool:
+    """True iff H is α-acyclic (the GYO reduction deletes every edge)."""
+    residue, _absorptions = gyo_reduction(hypergraph)
+    return not residue
+
+
+def join_tree(hypergraph: Hypergraph):
+    """A width-1 GHD (join tree) of an α-acyclic hypergraph, else None.
+
+    Bags are the original (full) edges; the parent of an absorbed edge is
+    its absorber.  Component roots (and duplicate-free leftovers) hang
+    off a single global root so the result is one tree.
+    """
+    from ..covers import FractionalCover  # deferred: import cycle
+    from ..decomposition import Decomposition  # deferred: import cycle
+
+    if not is_alpha_acyclic(hypergraph):
+        return None
+    _residue, absorptions = gyo_reduction(hypergraph)
+    parent = dict(absorptions)
+    roots = [n for n in hypergraph.edge_names if n not in parent]
+    root = roots[0]
+    for other in roots[1:]:
+        parent[other] = root
+    nodes = [
+        (name, hypergraph.edge(name), FractionalCover({name: 1.0}))
+        for name in hypergraph.edge_names
+    ]
+    return Decomposition(nodes, parent=parent, root=root)

@@ -1,0 +1,161 @@
+"""``[C]``-connectivity: components and paths (Section 2.1).
+
+Given a hypergraph ``H`` and a separator ``C ⊆ V(H)``:
+
+* two vertices are ``[C]``-adjacent if some edge contains both of them
+  outside ``C``;
+* a ``[C]``-path is a vertex/edge sequence whose consecutive vertices are
+  ``[C]``-adjacent via the listed edges;
+* a ``[C]``-component is a maximal ``[C]``-connected non-empty subset of
+  ``V(H) \\ C``.
+
+These notions drive every decomposition algorithm in the paper (normal
+forms, ``k-decomp``, ``frac-decomp``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+
+from .hypergraph import Hypergraph, Vertex
+
+__all__ = [
+    "components",
+    "component_of",
+    "is_connected",
+    "separator_path",
+    "connected_components",
+]
+
+
+def components(
+    hypergraph: Hypergraph, separator: Iterable[Vertex] = ()
+) -> list[frozenset]:
+    """All ``[C]``-components of the hypergraph, for ``C = separator``.
+
+    Returns a list of disjoint frozensets partitioning the vertices of
+    ``V(H) \\ C`` that lie in some edge not fully inside ``C``.  Vertices
+    of ``V(H) \\ C`` always belong to some component because every vertex
+    lies in at least one edge.
+
+    The algorithm is a BFS over vertices: from a vertex ``v`` we can reach
+    every vertex of ``e \\ C`` for each edge ``e`` containing ``v``.
+    Each edge is expanded at most once, so the cost is ``O(size(H))`` per
+    component sweep.
+    """
+    sep = frozenset(separator)
+    seen: set = set(sep)
+    out: list[frozenset] = []
+    for start in hypergraph.vertices:
+        if start in seen:
+            continue
+        comp: set = set()
+        queue: deque = deque([start])
+        seen.add(start)
+        used_edges: set = set()
+        while queue:
+            v = queue.popleft()
+            comp.add(v)
+            for edge_name in hypergraph.edges_of(v):
+                if edge_name in used_edges:
+                    continue
+                used_edges.add(edge_name)
+                for u in hypergraph.edge(edge_name) - sep:
+                    if u not in seen:
+                        seen.add(u)
+                        queue.append(u)
+        out.append(frozenset(comp))
+    return out
+
+
+def component_of(
+    hypergraph: Hypergraph, separator: Iterable[Vertex], vertex: Vertex
+) -> frozenset:
+    """The ``[C]``-component containing ``vertex``.
+
+    Raises ``ValueError`` if ``vertex`` lies inside the separator.
+    """
+    sep = frozenset(separator)
+    if vertex in sep:
+        raise ValueError(f"vertex {vertex!r} lies in the separator")
+    comp: set = set()
+    seen: set = {vertex}
+    queue: deque = deque([vertex])
+    used_edges: set = set()
+    while queue:
+        v = queue.popleft()
+        comp.add(v)
+        for edge_name in hypergraph.edges_of(v):
+            if edge_name in used_edges:
+                continue
+            used_edges.add(edge_name)
+            for u in hypergraph.edge(edge_name) - sep:
+                if u not in seen:
+                    seen.add(u)
+                    queue.append(u)
+    return frozenset(comp)
+
+
+def is_connected(hypergraph: Hypergraph, separator: Iterable[Vertex] = ()) -> bool:
+    """True iff ``V(H) \\ C`` forms a single ``[C]``-component (or is empty)."""
+    return len(components(hypergraph, separator)) <= 1
+
+
+def connected_components(hypergraph: Hypergraph) -> list[frozenset]:
+    """Plain connected components (``[∅]``-components)."""
+    return components(hypergraph, ())
+
+
+def separator_path(
+    hypergraph: Hypergraph,
+    separator: Iterable[Vertex],
+    source: Vertex,
+    target: Vertex,
+) -> tuple[list[Vertex], list[str]] | None:
+    """A ``[C]``-path from ``source`` to ``target`` or None.
+
+    Returns ``(vertex_sequence, edge_name_sequence)`` with
+    ``len(vertices) == len(edges) + 1`` matching the paper's definition:
+    ``{v_i, v_{i+1}} ⊆ e_i \\ C``.  The trivial path (``source == target``,
+    h = 0) is allowed as in the paper.
+    """
+    sep = frozenset(separator)
+    if source in sep or target in sep:
+        return None
+    if source == target:
+        return [source], []
+    # BFS storing (previous vertex, connecting edge).
+    prev: dict[Vertex, tuple[Vertex, str]] = {}
+    seen: set = {source}
+    queue: deque = deque([source])
+    while queue:
+        v = queue.popleft()
+        for edge_name in hypergraph.edges_of(v):
+            reachable = hypergraph.edge(edge_name) - sep
+            if v not in reachable:
+                continue
+            for u in reachable:
+                if u in seen:
+                    continue
+                seen.add(u)
+                prev[u] = (v, edge_name)
+                if u == target:
+                    return _reconstruct(prev, source, target)
+                queue.append(u)
+    return None
+
+
+def _reconstruct(
+    prev: dict[Vertex, tuple[Vertex, str]], source: Vertex, target: Vertex
+) -> tuple[list[Vertex], list[str]]:
+    vertices = [target]
+    edges: list[str] = []
+    v = target
+    while v != source:
+        v, edge_name = prev[v]
+        vertices.append(v)
+        edges.append(edge_name)
+    vertices.reverse()
+    edges.reverse()
+    return vertices, edges

@@ -1,0 +1,100 @@
+"""Dual and reduced hypergraphs (Section 5 assumptions (1)-(4), Section 6.2).
+
+The dual ``H^d = (W, F)`` of ``H = (V, E)`` has one vertex per edge of H
+and one edge per vertex of H (the set of H-edges containing that vertex).
+Under the paper's assumptions (no isolated vertices, no empty edges, no two
+vertices of the same edge-type, no duplicate edges) the dual is an
+involution: ``H^dd = H`` up to renaming, and
+
+* fractional edge covers of H  =  fractional transversals of H^d,
+* ``ρ*(H) = τ*(H^d)``, ``τ*(H) = ρ*(H^d)``,
+* ``degree(H) = rank(H^d)``, ``cigap(H) = tigap(H^d)``.
+
+:func:`reduce_hypergraph` produces the reduced form: vertices of identical
+edge-type are fused into one representative and duplicate edges collapse to
+a single named edge, exactly the ``H^-`` of Section 5.
+"""
+
+from __future__ import annotations
+
+from .hypergraph import Hypergraph, Vertex
+
+__all__ = ["dual_hypergraph", "reduce_hypergraph", "is_reduced"]
+
+
+def dual_hypergraph(hypergraph: Hypergraph) -> Hypergraph:
+    """The dual hypergraph ``H^d``.
+
+    Vertices of the dual are the edge *names* of H; the dual edge for an
+    H-vertex ``v`` is named ``"d:<v>"`` and consists of the names of the
+    H-edges containing v.  Requires no isolated vertices (each dual edge
+    must be non-empty).
+    """
+    isolated = hypergraph.isolated_vertices()
+    if isolated:
+        raise ValueError(
+            "dual undefined with isolated vertices: "
+            f"{sorted(map(str, isolated))}"
+        )
+    edges = {
+        f"d:{v}": frozenset(hypergraph.edges_of(v))
+        for v in sorted(hypergraph.vertices, key=str)
+    }
+    return Hypergraph(
+        edges, name=f"{hypergraph.name}^d" if hypergraph.name else None
+    )
+
+
+def reduce_hypergraph(
+    hypergraph: Hypergraph,
+) -> tuple[Hypergraph, dict[Vertex, Vertex], dict[str, str]]:
+    """The reduced hypergraph ``H^-`` plus the fusing maps.
+
+    Returns ``(reduced, vertex_map, edge_map)`` where ``vertex_map`` sends
+    each original vertex to its representative (vertices with identical
+    edge-type are fused; the representative is the smallest by string
+    order) and ``edge_map`` sends each original edge name to the surviving
+    edge name among its duplicates.
+
+    ``ρ*(H) = ρ*(H^-)`` (Section 5): fusing same-type vertices removes
+    duplicate LP constraints, and collapsing duplicate edges merges LP
+    variables whose columns coincide.
+    """
+    # Fuse vertices of equal edge-type.
+    by_type: dict[frozenset, list[Vertex]] = {}
+    for v in hypergraph.vertices:
+        by_type.setdefault(hypergraph.edge_type(v), []).append(v)
+    vertex_map: dict[Vertex, Vertex] = {}
+    for group in by_type.values():
+        rep = min(group, key=str)
+        for v in group:
+            vertex_map[v] = rep
+
+    # Collapse duplicate edges (identical vertex-type after fusing).
+    by_content: dict[frozenset, list[str]] = {}
+    for name, vs in hypergraph.edges.items():
+        content = frozenset(vertex_map[v] for v in vs)
+        by_content.setdefault(content, []).append(name)
+    edge_map: dict[str, str] = {}
+    edges: dict[str, frozenset] = {}
+    for content, names in by_content.items():
+        keeper = min(names)
+        edges[keeper] = content
+        for n in names:
+            edge_map[n] = keeper
+
+    reduced = Hypergraph(
+        edges, name=f"{hypergraph.name}^-" if hypergraph.name else None
+    )
+    return reduced, vertex_map, edge_map
+
+
+def is_reduced(hypergraph: Hypergraph) -> bool:
+    """True iff H satisfies assumptions (1)-(4) of Section 5."""
+    if hypergraph.isolated_vertices():
+        return False
+    types = [hypergraph.edge_type(v) for v in hypergraph.vertices]
+    if len(set(types)) != len(types):
+        return False
+    contents = list(hypergraph.edges.values())
+    return len(set(contents)) == len(contents)

@@ -1,0 +1,283 @@
+"""Hypergraph generators: paper families plus benchmark-style suites.
+
+Paper-specific families
+-----------------------
+* :func:`clique` — ``K_n`` (Lemma 2.3: ρ(K_2n) = ρ*(K_2n) = n; a class of
+  unbounded ghw with 1-BIP).
+* :func:`grid` — n×m grid graphs (also 1-BIP, unbounded ghw).
+* :func:`unbounded_support_family` — the family H_n of Example 5.1 with
+  iwidth 1 but optimal fractional covers of support n+1.
+* :func:`bounded_vc_unbounded_miwidth_family` — the family of Lemma 6.24
+  with vc(H_n) < 2 but c-miwidth(H_n) >= n - c: bounded VC dimension does
+  NOT imply the BMIP.
+
+Benchmark-style suites
+----------------------
+The HyperBench study [23] cited throughout Section 1/4 reports that most
+real-world CQs are acyclic or have ghw 2, and almost all enjoy the BIP/BMIP
+with tiny constants.  :func:`random_cq_hypergraph` and
+:func:`hyperbench_like_suite` synthesize structurally similar workloads
+(offline stand-ins for the proprietary corpus, per DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from .hypergraph import Hypergraph
+
+__all__ = [
+    "clique",
+    "cycle",
+    "grid",
+    "path_hypergraph",
+    "acyclic_hypergraph",
+    "unbounded_support_family",
+    "bounded_vc_unbounded_miwidth_family",
+    "triangle_cascade",
+    "random_cq_hypergraph",
+    "random_csp_hypergraph",
+    "hyperbench_like_suite",
+]
+
+
+def clique(n: int, prefix: str = "v") -> Hypergraph:
+    """The clique ``K_n`` as a graph (all 2-element edges).
+
+    Lemma 2.3: for even n = 2m, ``ρ(K_n) = ρ*(K_n) = m``.  Cliques are
+    1-BIP yet have unbounded ghw, witnessing that the BIP is non-trivial.
+    """
+    if n < 2:
+        raise ValueError("clique needs n >= 2")
+    vs = [f"{prefix}{i}" for i in range(1, n + 1)]
+    edges = {
+        f"e_{i}_{j}": (vs[i - 1], vs[j - 1])
+        for i in range(1, n + 1)
+        for j in range(i + 1, n + 1)
+    }
+    return Hypergraph(edges, name=f"K{n}")
+
+
+def cycle(n: int, prefix: str = "v") -> Hypergraph:
+    """The cycle ``C_n`` (ghw 2 for n >= 4, acyclic-as-graph but cyclic CQ)."""
+    if n < 3:
+        raise ValueError("cycle needs n >= 3")
+    vs = [f"{prefix}{i}" for i in range(1, n + 1)]
+    edges = {
+        f"e{i}": (vs[i - 1], vs[i % n]) for i in range(1, n + 1)
+    }
+    return Hypergraph(edges, name=f"C{n}")
+
+
+def grid(rows: int, cols: int) -> Hypergraph:
+    """The rows×cols grid graph — 1-BIP, treewidth min(rows, cols)."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid needs positive dimensions")
+    edges: dict[str, tuple] = {}
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges[f"h_{r}_{c}"] = (f"v_{r}_{c}", f"v_{r}_{c + 1}")
+            if r + 1 < rows:
+                edges[f"w_{r}_{c}"] = (f"v_{r}_{c}", f"v_{r + 1}_{c}")
+    return Hypergraph(edges, name=f"grid{rows}x{cols}")
+
+
+def path_hypergraph(n_edges: int, edge_size: int, overlap: int) -> Hypergraph:
+    """A chain of ``n_edges`` hyperedges of size ``edge_size`` overlapping in
+    ``overlap`` vertices — acyclic, iwidth = overlap.  Handy for BIP suites.
+    """
+    if not 0 <= overlap < edge_size:
+        raise ValueError("need 0 <= overlap < edge_size")
+    edges: dict[str, list[str]] = {}
+    step = edge_size - overlap
+    for i in range(n_edges):
+        start = i * step
+        edges[f"e{i + 1}"] = [f"v{start + j}" for j in range(edge_size)]
+    return Hypergraph(edges, name=f"path({n_edges},{edge_size},{overlap})")
+
+
+def acyclic_hypergraph(
+    n_edges: int, edge_size: int, rng: random.Random | None = None
+) -> Hypergraph:
+    """A random connected α-acyclic hypergraph built edge-by-edge.
+
+    Each new edge shares a random non-empty subset of an existing edge
+    and adds fresh vertices, giving a join-tree-like (ghw = 1) instance.
+    """
+    rng = rng or random.Random(0)
+    edges: dict[str, frozenset] = {}
+    counter = 0
+
+    def fresh(k: int) -> list[str]:
+        nonlocal counter
+        out = [f"v{counter + j}" for j in range(k)]
+        counter += k
+        return out
+
+    edges["e1"] = frozenset(fresh(edge_size))
+    for i in range(2, n_edges + 1):
+        host = rng.choice(list(edges.values()))
+        shared_count = rng.randint(1, min(edge_size - 1, len(host)))
+        shared = rng.sample(sorted(host), shared_count)
+        edges[f"e{i}"] = frozenset(shared + fresh(edge_size - shared_count))
+    return Hypergraph(edges, name=f"acyclic({n_edges},{edge_size})")
+
+
+def unbounded_support_family(n: int) -> Hypergraph:
+    """Example 5.1: ``V = {v0..vn}``, star edges {v0,vi} plus {v1..vn}.
+
+    ``iwidth = 1`` but the optimal fractional edge cover puts weight 1/n on
+    every star edge and 1 − 1/n on the big edge: weight 2 − 1/n with
+    support n + 1, showing supports of optimal covers are unbounded even
+    under the BIP.
+    """
+    if n < 2:
+        raise ValueError("family defined for n >= 2")
+    edges: dict[str, list[str]] = {
+        f"star{i}": ["v0", f"v{i}"] for i in range(1, n + 1)
+    }
+    edges["big"] = [f"v{i}" for i in range(1, n + 1)]
+    return Hypergraph(edges, name=f"Ex5.1(n={n})")
+
+
+def bounded_vc_unbounded_miwidth_family(n: int) -> Hypergraph:
+    """Lemma 6.24 counterexample: ``E = {V \\ {v_i}}`` for each i.
+
+    ``vc(H_n) < 2`` (no 2-set is shattered: the empty trace is missing)
+    while any intersection of c <= n edges has >= n − c vertices, so no
+    constant multi-intersection bound holds.
+    """
+    if n < 3:
+        raise ValueError("family defined for n >= 3")
+    vs = [f"v{i}" for i in range(1, n + 1)]
+    edges = {
+        f"e{i}": [v for v in vs if v != f"v{i}"] for i in range(1, n + 1)
+    }
+    return Hypergraph(edges, name=f"Lem6.24(n={n})")
+
+
+def triangle_cascade(levels: int) -> Hypergraph:
+    """A cascade of overlapping triangles with ghw 2 — a small cyclic CQ
+    shape common in benchmark corpora (used by the E15 suite)."""
+    if levels < 1:
+        raise ValueError("levels >= 1")
+    edges: dict[str, tuple] = {}
+    for i in range(levels):
+        a, b, c = f"t{i}", f"t{i + 1}", f"m{i}"
+        edges[f"ab{i}"] = (a, b)
+        edges[f"bc{i}"] = (b, c)
+        edges[f"ca{i}"] = (c, a)
+    return Hypergraph(edges, name=f"triangles({levels})")
+
+
+def random_cq_hypergraph(
+    n_atoms: int,
+    max_arity: int = 4,
+    cyclicity: float = 0.3,
+    max_shared: int = 2,
+    rng: random.Random | None = None,
+) -> Hypergraph:
+    """A random CQ-shaped hypergraph.
+
+    Starts from an acyclic backbone (join-tree style) and then, with
+    probability ``cyclicity`` per atom, reuses variables from two distinct
+    earlier atoms, creating cycles.  ``max_shared`` caps how many variables
+    an atom shares with any single earlier atom, which keeps the suite in
+    the max_shared-BIP — matching the HyperBench finding that real CQs
+    rarely join on more than 2 attributes.
+    """
+    rng = rng or random.Random(0)
+    if n_atoms < 1:
+        raise ValueError("need at least one atom")
+    edges: dict[str, frozenset] = {}
+    counter = 0
+
+    def fresh(k: int) -> list[str]:
+        nonlocal counter
+        out = [f"x{counter + j}" for j in range(k)]
+        counter += k
+        return out
+
+    first_arity = rng.randint(2, max_arity)
+    edges["a1"] = frozenset(fresh(first_arity))
+    for i in range(2, n_atoms + 1):
+        arity = rng.randint(2, max_arity)
+        prior = list(edges.values())
+        shared: set[str] = set()
+        hosts = 2 if (rng.random() < cyclicity and len(prior) >= 2) else 1
+        for host in rng.sample(prior, hosts):
+            take = rng.randint(1, min(max_shared, len(host), arity - 1))
+            shared.update(rng.sample(sorted(host), take))
+        shared_list = sorted(shared)[: arity - 1]
+        edges[f"a{i}"] = frozenset(
+            shared_list + fresh(arity - len(shared_list))
+        )
+    return Hypergraph(edges, name=f"cq({n_atoms})")
+
+
+def random_csp_hypergraph(
+    n_vars: int,
+    n_constraints: int,
+    arity: int = 2,
+    rng: random.Random | None = None,
+) -> Hypergraph:
+    """A random CSP-shaped hypergraph: many small constraints over a fixed
+    variable pool (higher vertex degree than CQs, as Section 1 notes)."""
+    rng = rng or random.Random(0)
+    if arity > n_vars:
+        raise ValueError("arity exceeds number of variables")
+    vs = [f"x{i}" for i in range(1, n_vars + 1)]
+    edges: dict[str, tuple] = {}
+    seen: set[frozenset] = set()
+    attempts = 0
+    while len(edges) < n_constraints and attempts < 100 * n_constraints:
+        attempts += 1
+        scope = frozenset(rng.sample(vs, arity))
+        if scope in seen:
+            continue
+        seen.add(scope)
+        edges[f"c{len(edges) + 1}"] = tuple(sorted(scope))
+    hg = Hypergraph(edges, name=f"csp({n_vars},{n_constraints})")
+    # Reject isolated vertices by construction: re-sample is overkill;
+    # simply drop vertices that ended up unused (they are not in any edge,
+    # so they never appear in the Hypergraph anyway).
+    return hg
+
+
+def hyperbench_like_suite(
+    seed: int = 0,
+    n_cq: int = 30,
+    n_csp: int = 10,
+) -> list[Hypergraph]:
+    """A mixed suite echoing the HyperBench composition of [23].
+
+    Roughly: many small CQs (mostly acyclic or ghw 2, tiny intersections),
+    fewer but denser CSPs, plus a handful of the paper's named families.
+    Deterministic given ``seed``.
+    """
+    rng = random.Random(seed)
+    suite: list[Hypergraph] = []
+    for i in range(n_cq):
+        suite.append(
+            random_cq_hypergraph(
+                n_atoms=rng.randint(3, 9),
+                max_arity=rng.randint(2, 5),
+                cyclicity=rng.choice([0.0, 0.2, 0.4]),
+                rng=random.Random(rng.randint(0, 10**9)),
+            )
+        )
+    for i in range(n_csp):
+        suite.append(
+            random_csp_hypergraph(
+                n_vars=rng.randint(6, 12),
+                n_constraints=rng.randint(6, 16),
+                arity=rng.choice([2, 2, 3]),
+                rng=random.Random(rng.randint(0, 10**9)),
+            )
+        )
+    suite.append(cycle(6))
+    suite.append(grid(3, 3))
+    suite.append(triangle_cascade(3))
+    return suite

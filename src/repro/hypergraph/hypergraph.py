@@ -1,0 +1,250 @@
+"""Core hypergraph data structure (Section 2.1 of the paper).
+
+A hypergraph is a pair ``H = (V(H), E(H))`` of a vertex set and a set of
+non-empty hyperedges.  Following the paper we assume no isolated vertices:
+every vertex occurs in at least one edge, so the vertex set is implied by
+the edges (extra isolated vertices may still be declared explicitly; most
+algorithms reject them early with a clear error).
+
+Edges are *named*: the edge set is a mapping from edge name to a frozen set
+of vertices.  Named edges are essential for conjunctive queries (two atoms
+may share a relation schema) and for the paper's reductions, which refer to
+edges such as ``e_p^{k,0}`` by name.  Duplicate edge *contents* under
+different names are allowed; :meth:`Hypergraph.reduced` removes them when
+an algorithm needs the paper's reduced form (Section 5, assumptions (1)-(4)).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping
+from typing import Any
+
+Vertex = Hashable
+
+__all__ = ["Hypergraph", "Vertex"]
+
+
+def _normalize_edges(
+    edges: Mapping[str, Iterable[Vertex]] | Iterable[Iterable[Vertex]],
+) -> dict[str, frozenset]:
+    """Return a name -> frozenset mapping from any accepted edge spec."""
+    if isinstance(edges, Mapping):
+        named = {str(name): frozenset(vs) for name, vs in edges.items()}
+    else:
+        named = {f"e{i}": frozenset(vs) for i, vs in enumerate(edges, start=1)}
+    for name, vs in named.items():
+        if not vs:
+            raise ValueError(f"edge {name!r} is empty; hyperedges must be non-empty")
+    return named
+
+
+class Hypergraph:
+    """An immutable hypergraph ``H = (V(H), E(H))`` with named edges.
+
+    Parameters
+    ----------
+    edges:
+        Either a mapping ``{name: vertices}`` or an iterable of vertex
+        collections (auto-named ``e1, e2, ...``).
+    vertices:
+        Optional extra vertices.  Vertices occurring in edges are always
+        included; pass this only to declare isolated vertices explicitly
+        (the paper disallows them for width computations, and the cover
+        LPs will raise if asked to cover one).
+    name:
+        Optional display name used in ``repr`` and experiment logs.
+
+    Examples
+    --------
+    >>> h = Hypergraph({"ab": ["a", "b"], "bc": ["b", "c"]})
+    >>> sorted(h.vertices)
+    ['a', 'b', 'c']
+    >>> h.edge("ab")
+    frozenset({'a', 'b'})
+    """
+
+    __slots__ = ("_edges", "_vertices", "_incidence", "name")
+
+    def __init__(
+        self,
+        edges: Mapping[str, Iterable[Vertex]] | Iterable[Iterable[Vertex]],
+        vertices: Iterable[Vertex] = (),
+        name: str | None = None,
+    ) -> None:
+        self._edges: dict[str, frozenset] = _normalize_edges(edges)
+        declared = frozenset(vertices)
+        in_edges: set = set()
+        incidence: dict[Vertex, set] = {}
+        for edge_name, vs in self._edges.items():
+            in_edges.update(vs)
+            for v in vs:
+                incidence.setdefault(v, set()).add(edge_name)
+        self._vertices: frozenset = frozenset(in_edges) | declared
+        self._incidence: dict[Vertex, frozenset] = {
+            v: frozenset(incidence.get(v, ())) for v in self._vertices
+        }
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def vertices(self) -> frozenset:
+        """The vertex set ``V(H)``."""
+        return self._vertices
+
+    @property
+    def edges(self) -> dict[str, frozenset]:
+        """The edge mapping ``{name: vertex set}`` (a defensive copy)."""
+        return dict(self._edges)
+
+    @property
+    def edge_names(self) -> tuple[str, ...]:
+        """Edge names in insertion order."""
+        return tuple(self._edges)
+
+    def edge(self, name: str) -> frozenset:
+        """The vertex set of the edge called ``name``."""
+        return self._edges[name]
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vertices)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    @property
+    def size(self) -> int:
+        """``|V| + sum of edge cardinalities`` — the paper's input size n."""
+        return len(self._vertices) + sum(len(vs) for vs in self._edges.values())
+
+    def __contains__(self, vertex: Vertex) -> bool:
+        return vertex in self._vertices
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Hypergraph):
+            return NotImplemented
+        return self._edges == other._edges and self._vertices == other._vertices
+
+    def __hash__(self) -> int:
+        return hash((self._vertices, frozenset(self._edges.items())))
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"Hypergraph{label}(|V|={self.num_vertices}, |E|={self.num_edges})"
+        )
+
+    # ------------------------------------------------------------------
+    # Incidence
+    # ------------------------------------------------------------------
+    def edges_of(self, vertex: Vertex) -> frozenset:
+        """Names of the edges containing ``vertex``."""
+        return self._incidence[vertex]
+
+    def incident_edges(self, vertex_set: Iterable[Vertex]) -> frozenset:
+        """``edges(C)``: names of edges with non-empty intersection with C.
+
+        This is the paper's ``edges(C) = {e in E(H) | e ∩ C != ∅}``.
+        """
+        names: set = set()
+        for v in vertex_set:
+            names.update(self._incidence.get(v, ()))
+        return frozenset(names)
+
+    def vertices_of(self, edge_names: Iterable[str]) -> frozenset:
+        """``V(S) = ∪ S`` for a set S of edge names."""
+        out: set = set()
+        for name in edge_names:
+            out.update(self._edges[name])
+        return frozenset(out)
+
+    def isolated_vertices(self) -> frozenset:
+        """Vertices contained in no edge (disallowed by the paper)."""
+        return frozenset(v for v, inc in self._incidence.items() if not inc)
+
+    # ------------------------------------------------------------------
+    # Derived hypergraphs
+    # ------------------------------------------------------------------
+    def induced(self, vertex_set: Iterable[Vertex]) -> "Hypergraph":
+        """The vertex-induced subhypergraph on ``vertex_set`` (Lemma 2.7).
+
+        Edges are intersected with the vertex set; empty intersections are
+        dropped.  Edge names are preserved, so duplicates may arise (use
+        :meth:`reduced` to collapse them).
+        """
+        keep = frozenset(vertex_set)
+        unknown = keep - self._vertices
+        if unknown:
+            raise ValueError(f"vertices not in hypergraph: {sorted(map(str, unknown))}")
+        edges = {
+            name: vs & keep for name, vs in self._edges.items() if vs & keep
+        }
+        return Hypergraph(edges, name=self.name and f"{self.name}[induced]")
+
+    def restrict_edges(self, edge_names: Iterable[str]) -> "Hypergraph":
+        """The subhypergraph consisting of only the given edges."""
+        names = list(edge_names)
+        missing = [n for n in names if n not in self._edges]
+        if missing:
+            raise KeyError(f"unknown edges: {missing}")
+        return Hypergraph(
+            {n: self._edges[n] for n in names},
+            name=self.name and f"{self.name}[edges]",
+        )
+
+    def with_edges(
+        self, extra: Mapping[str, Iterable[Vertex]], prefix: str = ""
+    ) -> "Hypergraph":
+        """A new hypergraph with ``extra`` edges added.
+
+        Used for the subedge augmentation ``H' = (V, E ∪ f(H,k))`` of
+        Sections 4 and 5.  Name clashes raise unless the contents agree.
+        """
+        merged = dict(self._edges)
+        for name, vs in extra.items():
+            full = f"{prefix}{name}"
+            fs = frozenset(vs)
+            if full in merged and merged[full] != fs:
+                raise ValueError(f"edge name clash with different contents: {full!r}")
+            if not fs:
+                raise ValueError(f"edge {full!r} is empty")
+            merged[full] = fs
+        return Hypergraph(merged, vertices=self._vertices, name=self.name)
+
+    def primal_graph(self) -> dict[Vertex, frozenset]:
+        """Adjacency mapping of the primal (Gaifman) graph.
+
+        Two vertices are adjacent iff they co-occur in some edge.  Every
+        hyperedge becomes a clique, which is why Lemma 2.8 applies to
+        tree decompositions of this graph.
+        """
+        adj: dict[Vertex, set] = {v: set() for v in self._vertices}
+        for vs in self._edges.values():
+            for v in vs:
+                adj[v].update(vs)
+        return {v: frozenset(nbrs - {v}) for v, nbrs in adj.items()}
+
+    # ------------------------------------------------------------------
+    # Misc structural helpers
+    # ------------------------------------------------------------------
+    def adjacent(self, u: Vertex, v: Vertex) -> bool:
+        """True iff some edge contains both ``u`` and ``v``."""
+        if u == v:
+            return True
+        return bool(self._incidence[u] & self._incidence[v])
+
+    def is_clique(self, vertex_set: Iterable[Vertex]) -> bool:
+        """True iff every pair in ``vertex_set`` co-occurs in some edge."""
+        vs = list(frozenset(vertex_set))
+        return all(
+            self.adjacent(vs[i], vs[j])
+            for i in range(len(vs))
+            for j in range(i + 1, len(vs))
+        )
+
+    def edge_type(self, vertex: Vertex) -> frozenset:
+        """The edge-type of a vertex: the set of edges it occurs in (§5)."""
+        return self._incidence[vertex]

@@ -1,0 +1,164 @@
+"""Structural hypergraph properties used by the paper's restrictions.
+
+* **degree** (Section 1/5, BDP): maximum number of edges a vertex occurs in.
+* **rank**: maximum edge cardinality (needed for Proposition 5.4 duality).
+* **intersection width** ``iwidth`` (Definition 4.1, BIP): maximum size of
+  the intersection of two distinct edges.
+* **c-multi-intersection width** ``c-miwidth`` (Definition 4.2, BMIP):
+  maximum size of the intersection of ``c`` distinct edges.
+* **VC dimension** (Definition 6.21): maximum size of a shattered vertex
+  set; links the BMIP to the integrality-gap approximation of Section 6.2.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from .hypergraph import Hypergraph
+
+__all__ = [
+    "degree",
+    "rank",
+    "intersection_width",
+    "multi_intersection_width",
+    "has_bounded_intersection",
+    "has_bounded_multi_intersection",
+    "has_bounded_degree",
+    "vc_dimension",
+    "is_shattered",
+]
+
+
+def degree(hypergraph: Hypergraph) -> int:
+    """``max_v |{e : v ∈ e}|`` — the degree d of the hypergraph."""
+    if not hypergraph.vertices:
+        return 0
+    return max(len(hypergraph.edges_of(v)) for v in hypergraph.vertices)
+
+
+def rank(hypergraph: Hypergraph) -> int:
+    """Maximum edge cardinality (the dual notion of degree)."""
+    if not hypergraph.num_edges:
+        return 0
+    return max(len(vs) for vs in hypergraph.edges.values())
+
+
+def intersection_width(hypergraph: Hypergraph) -> int:
+    """``iwidth(H)``: max cardinality of e1 ∩ e2 over distinct edges.
+
+    Distinctness is by edge *name*; two identically-named... rather, two
+    different edges with identical contents intersect in their full size,
+    matching the paper (it forbids duplicate edges only in reduced form).
+    A hypergraph with fewer than two edges has intersection width 0.
+    """
+    return multi_intersection_width(hypergraph, 2)
+
+
+def multi_intersection_width(hypergraph: Hypergraph, c: int) -> int:
+    """``c-miwidth(H)``: max cardinality of an intersection of c distinct edges.
+
+    Implemented by incremental pruning rather than brute-force
+    ``C(m, c)`` enumeration: partial intersections that drop to a size
+    no larger than the current best are abandoned early.
+    """
+    if c < 1:
+        raise ValueError("c must be >= 1")
+    edge_sets = list(hypergraph.edges.values())
+    if len(edge_sets) < c:
+        return 0
+    if c == 1:
+        return rank(hypergraph)
+
+    best = 0
+    # Order by decreasing size so large intersections are found early,
+    # which makes the pruning bound effective.
+    edge_sets.sort(key=len, reverse=True)
+
+    def extend(current: frozenset, start: int, chosen: int) -> None:
+        nonlocal best
+        if chosen == c:
+            best = max(best, len(current))
+            return
+        remaining = c - chosen
+        for idx in range(start, len(edge_sets) - remaining + 1):
+            nxt = current & edge_sets[idx]
+            if len(nxt) > best:
+                extend(nxt, idx + 1, chosen + 1)
+
+    for idx in range(len(edge_sets) - c + 1):
+        if len(edge_sets[idx]) > best:
+            extend(edge_sets[idx], idx + 1, 1)
+    return best
+
+
+def has_bounded_intersection(hypergraph: Hypergraph, i: int) -> bool:
+    """True iff H has the i-BIP: ``iwidth(H) <= i`` (Definition 4.1)."""
+    return intersection_width(hypergraph) <= i
+
+
+def has_bounded_multi_intersection(hypergraph: Hypergraph, c: int, i: int) -> bool:
+    """True iff H has the i_c-BMIP: ``c-miwidth(H) <= i`` (Definition 4.2)."""
+    return multi_intersection_width(hypergraph, c) <= i
+
+
+def has_bounded_degree(hypergraph: Hypergraph, d: int) -> bool:
+    """True iff H has the d-BDP: ``degree(H) <= d`` (Definition 4.13)."""
+    return degree(hypergraph) <= d
+
+
+def is_shattered(hypergraph: Hypergraph, vertex_set: frozenset) -> bool:
+    """True iff ``E(H)|_X = 2^X`` for ``X = vertex_set`` (Definition 6.21)."""
+    traces = {vs & vertex_set for vs in hypergraph.edges.values()}
+    # The empty trace need not come from an edge disjoint from X when X
+    # itself is empty; 2^∅ = {∅} and any edge provides the trace only if
+    # disjoint.  The paper's convention: ∅ is shattered iff H has an edge
+    # (all sets of traces contain ∅ vacuously for |X|=0 as E|_X ⊆ {∅}).
+    if not vertex_set:
+        return True
+    return len(traces) == 2 ** len(vertex_set)
+
+
+def vc_dimension(hypergraph: Hypergraph, upper_bound: int | None = None) -> int:
+    """Exact VC dimension by bounded subset search (Definition 6.21).
+
+    Checks candidate sets by increasing size.  Only vertices with distinct
+    edge-types need be considered (two same-type vertices can never both
+    belong to a shattered set of size >= 1: no edge separates them, so the
+    singleton traces already collide).  ``upper_bound`` truncates the
+    search — useful when only "vc <= b?" matters (Lemma 6.24 checks).
+
+    Exponential in the answer, as it must be: computing VC dimension is
+    complete for LogNP [Shinohara 1995, cited as [45]].
+    """
+    # Deduplicate vertices by edge-type (assumption (3) of Section 5).
+    seen_types: set[frozenset] = set()
+    candidates: list = []
+    for v in sorted(hypergraph.vertices, key=str):
+        t = hypergraph.edge_type(v)
+        if t and t not in seen_types:
+            seen_types.add(t)
+            candidates.append(v)
+
+    max_size = len(candidates) if upper_bound is None else min(
+        upper_bound, len(candidates)
+    )
+    # An edge set of size m can shatter at most log2(m)+... : |E|_X| <= |E|+1
+    # distinct traces (plus the empty one), so 2^|X| <= |E| + 1.
+    m = hypergraph.num_edges
+    cap = 0
+    while 2 ** (cap + 1) <= m + 1:
+        cap += 1
+    max_size = min(max_size, cap)
+
+    best = 0
+    for d in range(1, max_size + 1):
+        found = False
+        for combo in combinations(candidates, d):
+            if is_shattered(hypergraph, frozenset(combo)):
+                found = True
+                break
+        if found:
+            best = d
+        else:
+            break
+    return best

@@ -1,0 +1,128 @@
+"""Named artifacts from the paper's figures and examples (Section 4).
+
+The hypergraph of Example 4.3 / Figure 4 is pinned down uniquely by the
+constraints visible in Figures 5 and 6 and Examples 4.4/4.10/4.12 (an
+exhaustive search over the hub-assignment variants admits exactly one
+hypergraph with hw = 3, ghw = 2 for which both printed decompositions are
+valid).  It is an 8-cycle v1..v8 with two central vertices v9, v10 hung
+onto alternating cycle edges — the shape from [28], inspired by Adler [3].
+"""
+
+from __future__ import annotations
+
+from .decomposition import Decomposition
+from .hypergraph import Hypergraph
+
+__all__ = [
+    "example_4_3_hypergraph",
+    "figure_5_hd",
+    "figure_6a_ghd",
+    "figure_6b_ghd",
+]
+
+
+def example_4_3_hypergraph() -> Hypergraph:
+    """The hypergraph H₀ of Example 4.3 (Figure 4): hw = 3, ghw = 2.
+
+    Its intersection width is 1 and its 3-multi-intersection width is 1;
+    from c = 4 on, the c-multi-intersection width is 0 (as stated in
+    Example 4.3).
+    """
+    return Hypergraph(
+        {
+            "e1": ["v1", "v2"],
+            "e2": ["v2", "v3", "v9"],
+            "e3": ["v3", "v4", "v10"],
+            "e4": ["v4", "v5"],
+            "e5": ["v5", "v6", "v9"],
+            "e6": ["v6", "v7", "v10"],
+            "e7": ["v7", "v8", "v9"],
+            "e8": ["v8", "v1", "v10"],
+        },
+        name="Example4.3-H0",
+    )
+
+
+def figure_5_hd() -> Decomposition:
+    """The width-3 HD of H₀ shown in Figure 5."""
+    return Decomposition(
+        [
+            (
+                "root",
+                ["v1", "v2", "v3", "v6", "v7", "v9", "v10"],
+                {"e1": 1.0, "e2": 1.0, "e6": 1.0},
+            ),
+            (
+                "left",
+                ["v3", "v4", "v5", "v6", "v9", "v10"],
+                {"e3": 1.0, "e5": 1.0},
+            ),
+            (
+                "right",
+                ["v1", "v7", "v8", "v9", "v10"],
+                {"e7": 1.0, "e8": 1.0},
+            ),
+        ],
+        parent={"left": "root", "right": "root"},
+        root="root",
+    )
+
+
+def figure_6a_ghd() -> Decomposition:
+    """The width-2 GHD of Figure 6(a): valid, but *not* bag-maximal.
+
+    Node u' = {v3,v6,v9,v10} can absorb v4 and v5 from B(λ_{u'}) without
+    violating connectedness (Example 4.7); doing so makes it equal to its
+    child, which :func:`repro.decomposition.prune_redundant_nodes` then
+    removes — yielding Figure 6(b).
+    """
+    return Decomposition(
+        [
+            ("u0", ["v3", "v6", "v7", "v9", "v10"], {"e2": 1.0, "e6": 1.0}),
+            ("u1", ["v3", "v7", "v8", "v9", "v10"], {"e3": 1.0, "e7": 1.0}),
+            (
+                "u2",
+                ["v1", "v2", "v3", "v8", "v9", "v10"],
+                {"e2": 1.0, "e8": 1.0},
+            ),
+            ("uprime", ["v3", "v6", "v9", "v10"], {"e3": 1.0, "e5": 1.0}),
+            (
+                "uprime_child",
+                ["v3", "v4", "v5", "v6", "v9", "v10"],
+                {"e3": 1.0, "e5": 1.0},
+            ),
+        ],
+        parent={
+            "u1": "u0",
+            "u2": "u1",
+            "uprime": "u0",
+            "uprime_child": "uprime",
+        },
+        root="u0",
+    )
+
+
+def figure_6b_ghd() -> Decomposition:
+    """The bag-maximal width-2 GHD of Figure 6(b).
+
+    Node u0 has the special condition violation discussed in Example 4.4:
+    e2 ∈ λ_{u0} while v2 ∈ e2 occurs below (in u2) but not in B_{u0}.
+    """
+    return Decomposition(
+        [
+            ("u0", ["v3", "v6", "v7", "v9", "v10"], {"e2": 1.0, "e6": 1.0}),
+            ("u1", ["v3", "v7", "v8", "v9", "v10"], {"e3": 1.0, "e7": 1.0}),
+            (
+                "u2",
+                ["v1", "v2", "v3", "v8", "v9", "v10"],
+                {"e2": 1.0, "e8": 1.0},
+            ),
+            (
+                "uprime",
+                ["v3", "v4", "v5", "v6", "v9", "v10"],
+                {"e3": 1.0, "e5": 1.0},
+            ),
+        ],
+        parent={"u1": "u0", "u2": "u1", "uprime": "u0"},
+        root="u0",
+    )

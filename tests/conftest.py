@@ -1,0 +1,69 @@
+"""Shared fixtures: small hypergraphs with known widths."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.hypergraph import Hypergraph
+from repro.hypergraph.generators import (
+    acyclic_hypergraph,
+    clique,
+    cycle,
+    grid,
+    random_cq_hypergraph,
+)
+from repro.paper_artifacts import example_4_3_hypergraph
+
+
+@pytest.fixture
+def triangle() -> Hypergraph:
+    """Three binary edges forming a triangle: hw = ghw = 2, fhw = 1.5."""
+    return Hypergraph({"r": ["x", "y"], "s": ["y", "z"], "t": ["z", "x"]})
+
+
+@pytest.fixture
+def small_acyclic() -> Hypergraph:
+    return acyclic_hypergraph(5, 3, rng=random.Random(7))
+
+
+@pytest.fixture
+def c6() -> Hypergraph:
+    return cycle(6)
+
+
+@pytest.fixture
+def k4() -> Hypergraph:
+    return clique(4)
+
+
+@pytest.fixture
+def k5() -> Hypergraph:
+    return clique(5)
+
+
+@pytest.fixture
+def grid33() -> Hypergraph:
+    return grid(3, 3)
+
+
+@pytest.fixture
+def paper_h0() -> Hypergraph:
+    return example_4_3_hypergraph()
+
+
+def small_random_suite(count: int = 8, seed: int = 3) -> list[Hypergraph]:
+    """Deterministic pool of small random CQ hypergraphs for oracles."""
+    rng = random.Random(seed)
+    out = []
+    for _ in range(count):
+        out.append(
+            random_cq_hypergraph(
+                n_atoms=rng.randint(3, 6),
+                max_arity=3,
+                cyclicity=rng.choice([0.0, 0.3, 0.6]),
+                rng=random.Random(rng.randint(0, 10**9)),
+            )
+        )
+    return [h for h in out if h.num_vertices <= 12]

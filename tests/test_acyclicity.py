@@ -1,0 +1,94 @@
+"""GYO reduction, α-acyclicity and join trees."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms import check_hd
+from repro.decomposition import is_ghd
+from repro.hypergraph import (
+    Hypergraph,
+    gyo_reduction,
+    is_alpha_acyclic,
+    join_tree,
+)
+from repro.hypergraph.generators import (
+    acyclic_hypergraph,
+    clique,
+    cycle,
+    grid,
+    path_hypergraph,
+)
+from repro.paper_artifacts import example_4_3_hypergraph
+
+from .strategies import hypergraphs
+
+
+class TestAcyclicity:
+    def test_single_edge_acyclic(self):
+        assert is_alpha_acyclic(Hypergraph({"e": ["a", "b", "c"]}))
+
+    def test_path_acyclic(self):
+        assert is_alpha_acyclic(path_hypergraph(5, 3, 1))
+
+    def test_cycle_cyclic(self):
+        for n in (3, 4, 7):
+            assert not is_alpha_acyclic(cycle(n))
+
+    def test_grid_cyclic(self):
+        assert not is_alpha_acyclic(grid(2, 2))
+
+    def test_clique_cyclic_but_covered_clique_acyclic(self):
+        """K3 as three binary edges is cyclic; adding the full triangle
+        edge makes it α-acyclic — the classic α-acyclicity quirk."""
+        k3 = clique(3)
+        assert not is_alpha_acyclic(k3)
+        fixed = k3.with_edges({"full": ["v1", "v2", "v3"]})
+        assert is_alpha_acyclic(fixed)
+
+    def test_example_4_3_cyclic(self):
+        assert not is_alpha_acyclic(example_4_3_hypergraph())
+
+    def test_disconnected_acyclic(self):
+        h = Hypergraph({"e1": ["a", "b"], "e2": ["c", "d"]})
+        assert is_alpha_acyclic(h)
+
+    def test_gyo_residue_on_cycle(self):
+        residue, _abs = gyo_reduction(cycle(4))
+        assert residue  # nothing reducible in a chordless cycle
+
+
+class TestJoinTree:
+    def test_join_tree_validates_as_width_1_ghd(self):
+        for seed in range(5):
+            h = acyclic_hypergraph(6, 3, rng=random.Random(seed))
+            jt = join_tree(h)
+            assert jt is not None
+            assert is_ghd(h, jt, width=1)
+
+    def test_join_tree_none_for_cyclic(self):
+        assert join_tree(cycle(5)) is None
+
+    def test_join_tree_bags_are_edges(self):
+        h = path_hypergraph(4, 3, 1)
+        jt = join_tree(h)
+        assert {jt.bag(n) for n in jt.node_ids} == set(h.edges.values())
+
+    def test_disconnected_join_tree(self):
+        h = Hypergraph({"e1": ["a", "b"], "e2": ["c", "d"]})
+        jt = join_tree(h)
+        assert jt is not None
+        assert is_ghd(h, jt, width=1)
+
+
+@given(hypergraphs())
+@settings(max_examples=50, deadline=None)
+def test_gyo_agrees_with_check_hd_1(h: Hypergraph):
+    """α-acyclic ⟺ hw = 1 ⟺ ghw = 1 (the paper's footnote 1 notion)."""
+    acyclic = is_alpha_acyclic(h)
+    assert acyclic == check_hd(h, 1)
+    if acyclic:
+        jt = join_tree(h)
+        assert jt is not None
+        assert is_ghd(h, jt, width=1)

@@ -1,0 +1,137 @@
+"""Tests for the Section 6 approximation algorithms."""
+
+import math
+
+import pytest
+
+from repro.algorithms import (
+    fhw_approximation,
+    frac_decomp,
+    fractional_hypertree_width_exact,
+    fractional_part_bound,
+    integralize,
+    oklogk_decomposition,
+)
+from repro.covers import EPS, dsw_gap_bound
+from repro.decomposition import (
+    check_fractional_part_bounded,
+    check_weak_special_condition,
+    is_fhd,
+    is_ghd,
+)
+from repro.hypergraph import Hypergraph, intersection_width
+from repro.hypergraph.generators import clique, cycle, grid, triangle_cascade
+
+
+class TestFractionalPartBound:
+    def test_lemma_6_4_formula(self):
+        assert fractional_part_bound(2, 1, 1.0) == math.ceil(2 * 1 * 4 + 4 * 8 * 1 / 1)
+
+    def test_eps_must_be_positive(self):
+        with pytest.raises(ValueError):
+            fractional_part_bound(2, 1, 0)
+
+
+class TestFracDecomp:
+    def test_finds_fhd_within_k_plus_eps(self):
+        for h, fhw in ((clique(4), 2.0), (cycle(6), 2.0)):
+            d = frac_decomp(h, fhw, eps=0.5)
+            assert d is not None
+            assert is_fhd(h, d, width=fhw + 0.5 + EPS)
+
+    def test_rejects_below_fhw(self):
+        k5 = clique(5)  # fhw = 2.5
+        assert frac_decomp(k5, 1.5, eps=0.4) is None
+
+    def test_fractional_part_is_c_bounded(self):
+        k5 = clique(5)
+        c = 3
+        d = frac_decomp(k5, 2.5, eps=0.5, c=c)
+        assert d is not None
+        assert check_fractional_part_bounded(k5, d, c) == []
+
+    def test_weak_special_condition_holds(self):
+        t = triangle_cascade(2)
+        d = frac_decomp(t, 2, eps=0.5)
+        assert d is not None
+        assert check_weak_special_condition(t, d) == []
+
+    def test_integral_only_instances(self):
+        """With c = 0 the search degenerates to GHD-style covers."""
+        c4 = cycle(4)
+        d = frac_decomp(c4, 2, eps=0.1, c=0)
+        assert d is not None
+        assert d.is_integral()
+
+
+class TestPTAAS:
+    def test_theorem_6_20_gap(self):
+        """Algorithm 4 returns width < fhw + eps when fhw <= K."""
+        for h in (cycle(6), clique(4), triangle_cascade(2)):
+            fhw, _d = fractional_hypertree_width_exact(h)
+            result = fhw_approximation(h, K=3, eps=0.75)
+            assert not result.failed
+            assert result.width < fhw + 0.75 + EPS
+
+    def test_fails_above_K(self):
+        k6 = clique(6)  # fhw = 3
+        result = fhw_approximation(k6, K=2, eps=0.5)
+        assert result.failed
+        assert result.width is None
+
+    def test_iteration_bound(self):
+        """#iterations <= ceil(log2((K + eps - 1)/eps)) + small slack."""
+        h = cycle(6)
+        K, eps = 4.0, 0.5
+        result = fhw_approximation(h, K=K, eps=eps)
+        bound = math.ceil(math.log2((K + eps - 1) / (eps / 3))) + 2
+        assert result.iterations <= bound
+        assert len(result.trace) == result.iterations
+
+    def test_trace_brackets_shrink(self):
+        result = fhw_approximation(grid(2, 3), K=3, eps=0.5)
+        widths = [high - low for low, high, _ok in result.trace]
+        assert all(b <= a + EPS for a, b in zip(widths, widths[1:]))
+
+    def test_custom_oracle(self):
+        """Plugging the exact oracle in as find_fhd tightens the answer."""
+        h = clique(5)
+
+        def exact_find(hg, k, eps):
+            width, d = fractional_hypertree_width_exact(hg)
+            return d if width <= k + eps + EPS else None
+
+        result = fhw_approximation(h, K=3, eps=0.3, find_fhd=exact_find)
+        assert not result.failed
+        assert result.width == pytest.approx(2.5)
+
+
+class TestIntegralize:
+    def test_produces_valid_ghd(self):
+        for h in (clique(5), cycle(7)):
+            _w, fhd = fractional_hypertree_width_exact(h)
+            ghd = integralize(h, fhd)
+            assert is_ghd(h, ghd)
+            assert ghd.is_integral()
+
+    def test_theorem_6_23_ratio_bound(self):
+        """width(GHD)/width(FHD) <= max per-bag cigap <= DSW bound."""
+        for h in (clique(5), clique(6), cycle(7), triangle_cascade(3)):
+            fhw, fhd = fractional_hypertree_width_exact(h)
+            ghd, ratio = oklogk_decomposition(h, fhd)
+            assert ratio >= 1.0 - EPS
+            assert ghd.width() <= dsw_gap_bound(h) * fhw + EPS
+
+    def test_greedy_never_below_fhw(self):
+        h = clique(5)
+        fhw, fhd = fractional_hypertree_width_exact(h)
+        ghd, _ratio = oklogk_decomposition(h, fhd)
+        assert ghd.width() >= fhw - EPS
+
+
+def test_frac_decomp_default_c_uses_iwidth():
+    h = Hypergraph({"r": ["x", "y"], "s": ["y", "z"], "t": ["z", "x"]})
+    assert intersection_width(h) == 1
+    d = frac_decomp(h, 1.5, eps=0.5)
+    assert d is not None
+    assert d.width() <= 2.0 + EPS

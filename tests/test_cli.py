@@ -1,0 +1,127 @@
+"""CLI integration tests (direct main() invocation, no subprocesses)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.hardness import CNF, paper_example_formula
+from repro.hypergraph import to_hyperbench
+from repro.hypergraph.generators import cycle
+
+
+@pytest.fixture
+def c6_file(tmp_path):
+    path = tmp_path / "c6.hg"
+    path.write_text(to_hyperbench(cycle(6)))
+    return str(path)
+
+
+@pytest.fixture
+def cnf_file(tmp_path):
+    path = tmp_path / "phi.cnf"
+    path.write_text(paper_example_formula().to_dimacs())
+    return str(path)
+
+
+class TestStats:
+    def test_text_output(self, c6_file, capsys):
+        assert main(["stats", c6_file]) == 0
+        out = capsys.readouterr().out
+        assert "vertices: 6" in out
+        assert "alpha_acyclic: False" in out
+
+    def test_json_output(self, c6_file, capsys):
+        assert main(["stats", c6_file, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["edges"] == 6
+        assert data["iwidth"] == 1
+        assert data["vc_dimension"] == 2
+
+
+class TestWidth:
+    @pytest.mark.parametrize(
+        "kind,expected", [("hw", "2"), ("ghw", "2"), ("fhw", "2.0")]
+    )
+    def test_widths_of_c6(self, c6_file, capsys, kind, expected):
+        assert main(["width", c6_file, "--kind", kind]) == 0
+        assert f"= {expected}" in capsys.readouterr().out
+
+    def test_show_witness(self, c6_file, capsys):
+        assert main(["width", c6_file, "--kind", "ghw", "--show"]) == 0
+        out = capsys.readouterr().out
+        assert "{" in out  # bags printed
+
+
+class TestDecompose:
+    def test_success(self, c6_file, capsys):
+        assert main(["decompose", c6_file, "-k", "2"]) == 0
+        assert "width 2" in capsys.readouterr().out
+
+    def test_failure_exit_code(self, c6_file, capsys):
+        assert main(["decompose", c6_file, "-k", "1"]) == 1
+        assert "no GHD" in capsys.readouterr().err
+
+    def test_json_payload(self, c6_file, capsys):
+        assert main(["decompose", c6_file, "-k", "2", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert "nodes" in data and "root" in data
+
+
+class TestBounds:
+    def test_fractional_bounds(self, c6_file, capsys):
+        assert main(["bounds", c6_file]) == 0
+        out = capsys.readouterr().out
+        assert "<= fhw(" in out
+
+
+class TestReduce:
+    def test_report(self, cnf_file, capsys):
+        assert main(["reduce", cnf_file]) == 0
+        out = capsys.readouterr().out
+        assert "satisfiable: True" in out
+        assert "validated, 25 nodes" in out
+
+    def test_certify(self, cnf_file, capsys):
+        assert main(["reduce", cnf_file, "--certify"]) == 0
+        out = capsys.readouterr().out
+        assert "Lemma 3.5 certificate: True" in out
+        assert "LP equivalence: True" in out
+
+    def test_unsat_report(self, tmp_path, capsys):
+        path = tmp_path / "unsat.cnf"
+        path.write_text(CNF(((1, 1, 1), (-1, -1, -1))).to_dimacs())
+        assert main(["reduce", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "satisfiable: False" in out
+        assert "none (unsat)" in out
+
+
+class TestGenerate:
+    def test_roundtrip_through_stats(self, tmp_path, capsys):
+        assert main(["generate", "grid", "3"]) == 0
+        text = capsys.readouterr().out
+        path = tmp_path / "g.hg"
+        path.write_text(text)
+        assert main(["stats", str(path)]) == 0
+        assert "vertices: 9" in capsys.readouterr().out
+
+    def test_unknown_family(self, capsys):
+        assert main(["generate", "zzz", "3"]) == 1
+        assert "unknown family" in capsys.readouterr().err
+
+
+class TestReport:
+    def test_text_report(self, c6_file, capsys):
+        assert main(["report", c6_file]) == 0
+        out = capsys.readouterr().out
+        assert "(exact)" in out and "hw=2" in out
+
+    def test_json_report(self, c6_file, capsys):
+        assert main(["report", c6_file, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["ghw_lower"] == data["ghw_upper"] == 2.0
+
+    def test_integral_bounds(self, c6_file, capsys):
+        assert main(["bounds", c6_file, "--cost", "integral"]) == 0
+        assert "<= ghw(" in capsys.readouterr().out

@@ -1,0 +1,89 @@
+"""Tests for the SAT substrate."""
+
+from itertools import product
+
+import pytest
+from hypothesis import given, settings
+
+from repro.hardness import CNF, dpll, paper_example_formula, random_3sat
+
+from .strategies import cnf_formulas
+
+
+def brute_force_satisfiable(formula: CNF) -> bool:
+    n = formula.num_variables
+    return any(
+        formula.evaluate(list(bits)) for bits in product([False, True], repeat=n)
+    )
+
+
+class TestCNF:
+    def test_counts(self):
+        f = CNF(((1, -2, 3), (2, -3, 1)))
+        assert f.num_variables == 3
+        assert f.num_clauses == 2
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(ValueError):
+            CNF(((),))
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(ValueError):
+            CNF(((0, 1, 2),))
+
+    def test_as_3sat_pads(self):
+        f = CNF(((1, -2),)).as_3sat()
+        assert all(len(c) == 3 for c in f.clauses)
+        assert brute_force_satisfiable(f) == brute_force_satisfiable(
+            CNF(((1, -2),))
+        )
+
+    def test_as_3sat_rejects_wide(self):
+        with pytest.raises(ValueError):
+            CNF(((1, 2, 3, 4),)).as_3sat()
+
+    def test_evaluate(self):
+        f = CNF(((1, -2, 3),))
+        assert f.evaluate([True, True, False])
+        assert not f.evaluate([False, True, False])
+
+    def test_evaluate_short_assignment(self):
+        with pytest.raises(ValueError):
+            CNF(((1, 2, 3),)).evaluate([True])
+
+
+class TestDPLL:
+    def test_paper_formula_satisfiable(self):
+        f = paper_example_formula()
+        model = f.satisfying_assignment()
+        assert model is not None
+        assert f.evaluate(model)
+
+    def test_simple_unsat(self):
+        f = CNF(((1, 1, 1), (-1, -1, -1)))
+        assert not f.is_satisfiable()
+
+    def test_unit_propagation_chain(self):
+        f = CNF(((1,), (-1, 2), (-2, 3), (-3, -1, 4)))
+        model = dpll(f)
+        assert model is not None and f.evaluate(model)
+
+    def test_pigeonhole_2_into_1(self):
+        # p1 ∨ p2; ¬p1 ∨ ¬p2 with forced singles: unsat core shape.
+        f = CNF(((1, 2), (-1,), (-2,)))
+        assert dpll(f) is None
+
+    def test_random_instances_roundtrip(self):
+        for seed in range(5):
+            f = random_3sat(5, 12, rng=__import__("random").Random(seed))
+            assert f.is_satisfiable() == brute_force_satisfiable(f)
+
+
+@given(cnf_formulas())
+@settings(max_examples=60, deadline=None)
+def test_dpll_matches_bruteforce(formula: CNF):
+    model = dpll(formula)
+    if model is None:
+        assert not brute_force_satisfiable(formula)
+    else:
+        assert formula.evaluate(model)

@@ -1,0 +1,130 @@
+"""Tests for [C]-components and [C]-paths (Section 2.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypergraph import (
+    Hypergraph,
+    component_of,
+    components,
+    connected_components,
+    is_connected,
+    separator_path,
+)
+from repro.hypergraph.generators import cycle, grid
+
+from .strategies import hypergraphs
+
+
+class TestComponents:
+    def test_cycle_minus_one_vertex_is_connected(self):
+        c = cycle(6)
+        comps = components(c, ["v1"])
+        assert len(comps) == 1
+        assert comps[0] == frozenset({f"v{i}" for i in range(2, 7)})
+
+    def test_cycle_minus_two_opposite_vertices_splits(self):
+        c = cycle(6)
+        comps = components(c, ["v1", "v4"])
+        assert sorted(sorted(comp) for comp in comps) == [
+            ["v2", "v3"],
+            ["v5", "v6"],
+        ]
+
+    def test_empty_separator_gives_connected_components(self):
+        h = Hypergraph({"e1": ["a", "b"], "e2": ["c", "d"]})
+        assert len(connected_components(h)) == 2
+        assert not is_connected(h)
+
+    def test_hyperedge_connects_all_its_vertices(self):
+        h = Hypergraph({"big": ["a", "b", "c", "d"]})
+        assert len(components(h, [])) == 1
+
+    def test_separator_inside_edge_blocks(self):
+        # a-b-c in one edge; removing b does NOT disconnect a from c,
+        # because the edge still contains both outside the separator.
+        h = Hypergraph({"abc": ["a", "b", "c"]})
+        assert len(components(h, ["b"])) == 1
+
+    def test_component_of(self):
+        c = cycle(6)
+        comp = component_of(c, ["v1", "v4"], "v2")
+        assert comp == frozenset({"v2", "v3"})
+
+    def test_component_of_separator_vertex_rejected(self):
+        c = cycle(6)
+        with pytest.raises(ValueError, match="separator"):
+            component_of(c, ["v1"], "v1")
+
+    def test_all_vertices_removed(self):
+        h = Hypergraph({"e": ["a", "b"]})
+        assert components(h, ["a", "b"]) == []
+
+
+class TestPaths:
+    def test_trivial_path(self):
+        h = Hypergraph({"e": ["a", "b"]})
+        vertices, edges = separator_path(h, [], "a", "a")
+        assert vertices == ["a"]
+        assert edges == []
+
+    def test_path_in_grid(self):
+        g = grid(2, 3)
+        result = separator_path(g, [], "v_0_0", "v_1_2")
+        assert result is not None
+        vertices, edges = result
+        assert vertices[0] == "v_0_0"
+        assert vertices[-1] == "v_1_2"
+        assert len(edges) == len(vertices) - 1
+
+    def test_path_blocked_by_separator(self):
+        c = cycle(6)
+        assert separator_path(c, ["v2", "v6"], "v1", "v4") is None
+
+    def test_path_respects_separator_detour(self):
+        c = cycle(6)
+        result = separator_path(c, ["v2"], "v1", "v3")
+        assert result is not None
+        vertices, _edges = result
+        assert "v2" not in vertices
+
+    def test_source_in_separator(self):
+        c = cycle(6)
+        assert separator_path(c, ["v1"], "v1", "v3") is None
+
+
+@given(hypergraphs())
+@settings(max_examples=40, deadline=None)
+def test_components_partition_remaining_vertices(h: Hypergraph):
+    """Components are disjoint and cover V(H) \\ C exactly."""
+    separator = frozenset(list(sorted(h.vertices, key=str))[::2])
+    comps = components(h, separator)
+    union: set = set()
+    for comp in comps:
+        assert comp, "components are non-empty"
+        assert not comp & separator
+        assert not comp & union, "components are disjoint"
+        union |= comp
+    assert union == h.vertices - separator
+
+
+@given(hypergraphs(), st.randoms())
+@settings(max_examples=30, deadline=None)
+def test_paths_exist_within_components(h: Hypergraph, rng):
+    """Any two vertices of a [C]-component are joined by a [C]-path whose
+    edges avoid the separator at the endpoints used."""
+    separator = frozenset(
+        v for v in h.vertices if rng.random() < 0.3
+    )
+    for comp in components(h, separator):
+        vs = sorted(comp, key=str)
+        a, b = vs[0], vs[-1]
+        result = separator_path(h, separator, a, b)
+        assert result is not None
+        vertices, edges = result
+        assert vertices[0] == a and vertices[-1] == b
+        for i, edge_name in enumerate(edges):
+            reachable = h.edge(edge_name) - separator
+            assert vertices[i] in reachable
+            assert vertices[i + 1] in reachable

@@ -1,0 +1,229 @@
+"""Tests for covers: LP wrapper, ρ*/ρ, τ*/τ, support bounds, gaps."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.covers import (
+    EPS,
+    FractionalCover,
+    cover_feasible_within,
+    cover_integrality_gap,
+    covered_vertices,
+    dsw_gap_bound,
+    edge_cover_number,
+    edge_cover_of,
+    exact_set_cover,
+    fractional_cover_of,
+    fractional_edge_cover,
+    fractional_edge_cover_number,
+    fractional_vertex_cover_number,
+    greedy_set_cover,
+    minimal_support_cover,
+    solve_covering_lp,
+    transversal_integrality_gap,
+    transversality,
+)
+from repro.hypergraph import Hypergraph, degree
+from repro.hypergraph.generators import clique, cycle, unbounded_support_family
+
+from .strategies import hypergraphs
+
+
+class TestLPWrapper:
+    def test_simple_cover(self):
+        result = solve_covering_lp([[0], [0, 1], [1]], n_vars=2)
+        assert result.feasible
+        assert result.optimal == pytest.approx(2.0)
+
+    def test_infeasible_when_element_uncoverable(self):
+        result = solve_covering_lp([[0], []], n_vars=1)
+        assert not result.feasible
+        assert result.optimal is None
+
+    def test_empty_universe(self):
+        result = solve_covering_lp([], n_vars=3)
+        assert result.feasible
+        assert result.optimal == 0.0
+
+    def test_fractional_optimum(self):
+        # Triangle vertex cover LP: three constraints {0,1},{1,2},{0,2}
+        result = solve_covering_lp([[0, 1], [1, 2], [0, 2]], n_vars=3)
+        assert result.optimal == pytest.approx(1.5)
+
+    def test_weights_snapped(self):
+        result = solve_covering_lp([[0]], n_vars=2)
+        assert result.weights[0] == 1.0
+        assert result.weights[1] == 0.0
+
+
+class TestFractionalCoverObject:
+    def test_zero_weights_dropped(self):
+        cover = FractionalCover({"a": 0.0, "b": 0.5})
+        assert cover.support == frozenset({"b"})
+        assert cover.weight == pytest.approx(0.5)
+
+    def test_is_integral(self):
+        assert FractionalCover({"a": 1.0}).is_integral()
+        assert not FractionalCover({"a": 0.5}).is_integral()
+
+    def test_restricted(self):
+        cover = FractionalCover({"a": 0.5, "b": 0.5})
+        assert cover.restricted(["a"]).support == frozenset({"a"})
+
+    def test_integral_part(self):
+        cover = FractionalCover({"a": 1.0, "b": 0.5})
+        assert cover.scaled_to_integral_part().support == frozenset({"a"})
+
+    def test_getitem(self):
+        cover = FractionalCover({"a": 0.25})
+        assert cover["a"] == 0.25
+        assert cover["zzz"] == 0.0
+
+
+class TestRhoStar:
+    def test_lemma_2_3_clique_covers(self):
+        """Lemma 2.3: ρ(K_2n) = ρ*(K_2n) = n."""
+        for n in (2, 3, 4):
+            k = clique(2 * n)
+            assert fractional_edge_cover_number(k) == pytest.approx(n)
+            assert edge_cover_number(k) == n
+
+    def test_odd_clique_gap(self):
+        """ρ*(K5) = 2.5 < 3 = ρ(K5): fractional covers can win."""
+        k5 = clique(5)
+        assert fractional_edge_cover_number(k5) == pytest.approx(2.5)
+        assert edge_cover_number(k5) == 3
+
+    def test_example_5_1_weight_and_support(self):
+        """Example 5.1: weight 2 - 1/n with full support n + 1."""
+        for n in (3, 5, 8):
+            h = unbounded_support_family(n)
+            cover = fractional_edge_cover(h)
+            assert cover.weight == pytest.approx(2 - 1 / n)
+            assert len(cover.support) == n + 1
+
+    def test_isolated_vertex_rejected(self):
+        h = Hypergraph({"e": ["a"]}, vertices=["iso"])
+        with pytest.raises(ValueError, match="isolated"):
+            fractional_edge_cover(h)
+
+    def test_cover_of_subset(self):
+        c6 = cycle(6)
+        cover = fractional_cover_of(c6, ["v1", "v2"])
+        assert cover is not None
+        assert cover.weight == pytest.approx(1.0)
+
+    def test_allowed_edges_restriction(self):
+        c6 = cycle(6)
+        cover = fractional_cover_of(c6, ["v1", "v2"], allowed_edges=["e3"])
+        assert cover is None
+
+    def test_cover_feasible_within(self):
+        k5 = clique(5)
+        assert cover_feasible_within(k5, k5.vertices, 2.5)
+        assert not cover_feasible_within(k5, k5.vertices, 2.4)
+
+
+class TestIntegral:
+    def test_exact_set_cover_simple(self):
+        sets = {"a": frozenset({1, 2}), "b": frozenset({2, 3}), "c": frozenset({3})}
+        assert exact_set_cover(frozenset({1, 2, 3}), sets) == ["a", "b"]
+
+    def test_exact_set_cover_limit(self):
+        sets = {"a": frozenset({1}), "b": frozenset({2})}
+        assert exact_set_cover(frozenset({1, 2}), sets, limit=1) is None
+        assert exact_set_cover(frozenset({1, 2}), sets, limit=2) == ["a", "b"]
+
+    def test_exact_set_cover_uncoverable(self):
+        assert exact_set_cover(frozenset({1}), {"a": frozenset({2})}) is None
+
+    def test_greedy_is_a_cover(self):
+        sets = {
+            "big": frozenset({1, 2, 3, 4}),
+            "s1": frozenset({1, 5}),
+            "s2": frozenset({5, 6}),
+        }
+        chosen = greedy_set_cover(frozenset(range(1, 7)), sets)
+        covered = frozenset().union(*(sets[n] for n in chosen))
+        assert frozenset(range(1, 7)) <= covered
+
+    def test_edge_cover_of(self):
+        c6 = cycle(6)
+        cover = edge_cover_of(c6, c6.vertices)
+        assert cover is not None
+        assert cover.weight == 3.0
+        assert cover.is_integral()
+
+    def test_transversality_triangle(self):
+        assert transversality(clique(3)) == 2  # hit all 3 edges
+
+    def test_transversality_cycle(self):
+        assert transversality(cycle(6)) == 3
+
+
+class TestGapsAndBounds:
+    def test_integrality_gap_k5(self):
+        assert cover_integrality_gap(clique(5)) == pytest.approx(3 / 2.5)
+
+    def test_tigap_triangle(self):
+        assert transversal_integrality_gap(clique(3)) == pytest.approx(2 / 1.5)
+
+    def test_dsw_bound_dominates_gap(self):
+        for h in (clique(4), clique(5), clique(6), cycle(5), cycle(7)):
+            assert cover_integrality_gap(h) <= dsw_gap_bound(h) + EPS
+
+    def test_minimal_support_cover_respects_corollary_5_5(self):
+        """Corollary 5.5: optimal covers with support <= d · ρ* exist."""
+        for h in (cycle(6), clique(4), unbounded_support_family(5)):
+            cover = minimal_support_cover(h, h.vertices)
+            assert cover is not None
+            rho = fractional_edge_cover_number(h)
+            assert cover.weight == pytest.approx(rho, abs=1e-6)
+            assert len(cover.support) <= degree(h) * rho + EPS
+
+    def test_minimal_support_cover_of_uncoverable(self):
+        h = Hypergraph({"e": ["a"]}, vertices=["iso"])
+        assert minimal_support_cover(h, ["iso"]) is None
+
+
+@given(hypergraphs())
+@settings(max_examples=30, deadline=None)
+def test_rho_star_below_rho(h: Hypergraph):
+    """ρ*(H) <= ρ(H) always; both cover all vertices."""
+    if h.isolated_vertices():
+        return
+    rho_star = fractional_edge_cover_number(h)
+    rho = edge_cover_number(h)
+    assert rho_star <= rho + EPS
+    cover = fractional_edge_cover(h)
+    assert covered_vertices(h, cover) >= h.vertices
+
+
+@given(hypergraphs())
+@settings(max_examples=25, deadline=None)
+def test_tau_star_below_tau(h: Hypergraph):
+    """τ*(H) <= τ(H) (LP relaxation of the hitting set ILP)."""
+    assert fractional_vertex_cover_number(h) <= transversality(h) + EPS
+
+
+@given(hypergraphs(max_vertices=6, max_edges=5))
+@settings(max_examples=25, deadline=None)
+def test_exact_set_cover_is_minimum(h: Hypergraph):
+    """Branch-and-bound matches brute-force minimum set cover size."""
+    from itertools import combinations
+
+    universe = h.vertices
+    names = list(h.edge_names)
+    best = None
+    for r in range(1, len(names) + 1):
+        for combo in combinations(names, r):
+            if frozenset().union(*(h.edge(n) for n in combo)) >= universe:
+                best = r
+                break
+        if best is not None:
+            break
+    result = exact_set_cover(universe, h.edges)
+    if best is None:
+        assert result is None
+    else:
+        assert result is not None and len(result) == best

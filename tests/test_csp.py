@@ -1,0 +1,102 @@
+"""Tests for CSP solving via decompositions."""
+
+import pytest
+
+from repro.cqcsp import CSP, Constraint, backtracking_solve
+
+
+def coloring_csp(n: int, colors: int) -> CSP:
+    """n-cycle graph coloring."""
+    domains = {f"v{i}": tuple(range(colors)) for i in range(n)}
+    allowed = frozenset(
+        (a, b) for a in range(colors) for b in range(colors) if a != b
+    )
+    constraints = [
+        Constraint(f"ne{i}", (f"v{i}", f"v{(i + 1) % n}"), allowed)
+        for i in range(n)
+    ]
+    return CSP(domains, constraints)
+
+
+class TestConstraint:
+    def test_scope_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Constraint("c", ("x",), frozenset({(1, 2)}))
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            CSP({"x": (1,)}, [Constraint("c", ("y",), frozenset({(1,)}))])
+
+    def test_permits(self):
+        c = Constraint("c", ("x", "y"), frozenset({(1, 2)}))
+        assert c.permits({"x": 1, "y": 2})
+        assert not c.permits({"x": 2, "y": 1})
+
+
+class TestSolving:
+    def test_odd_cycle_2_coloring_unsat(self):
+        assert not coloring_csp(5, 2).is_satisfiable()
+        assert coloring_csp(5, 2).solve() is None
+
+    def test_even_cycle_2_coloring_sat(self):
+        csp = coloring_csp(6, 2)
+        solution = csp.solve()
+        assert solution is not None
+        assert all(c.permits(solution) for c in csp.constraints)
+
+    def test_odd_cycle_3_coloring_sat(self):
+        csp = coloring_csp(5, 3)
+        solution = csp.solve()
+        assert solution is not None
+        assert all(c.permits(solution) for c in csp.constraints)
+
+    def test_agrees_with_backtracking(self):
+        for n, colors in ((4, 2), (5, 2), (6, 2), (5, 3)):
+            csp = coloring_csp(n, colors)
+            assert (backtracking_solve(csp) is not None) == csp.is_satisfiable()
+
+    def test_unconstrained_variable(self):
+        csp = CSP({"x": (1, 2), "free": (7,)}, [
+            Constraint("c", ("x",), frozenset({(2,)}))
+        ])
+        solution = csp.solve()
+        assert solution == {"x": 2, "free": 7}
+
+    def test_empty_constraint_relation_unsat(self):
+        csp = CSP({"x": (1,)}, [Constraint("c", ("x",), frozenset())])
+        assert not csp.is_satisfiable()
+
+    def test_hypergraph_shape(self):
+        csp = coloring_csp(4, 2)
+        h = csp.hypergraph()
+        assert h.num_edges == 4
+        assert h.num_vertices == 4
+
+
+class TestHigherArity:
+    def test_ternary_parity_constraints(self):
+        """x+y+z even, chained; satisfiable with all zeros."""
+        even = frozenset(
+            (a, b, c)
+            for a in (0, 1)
+            for b in (0, 1)
+            for c in (0, 1)
+            if (a + b + c) % 2 == 0
+        )
+        domains = {f"x{i}": (0, 1) for i in range(5)}
+        constraints = [
+            Constraint(f"p{i}", (f"x{i}", f"x{i+1}", f"x{i+2}"), even)
+            for i in range(3)
+        ]
+        csp = CSP(domains, constraints)
+        solution = csp.solve()
+        assert solution is not None
+        assert all(c.permits(solution) for c in csp.constraints)
+
+    def test_contradictory_ternary(self):
+        domains = {"a": (0,), "b": (0,), "c": (0,)}
+        csp = CSP(
+            domains,
+            [Constraint("never", ("a", "b", "c"), frozenset({(1, 1, 1)}))],
+        )
+        assert not csp.is_satisfiable()

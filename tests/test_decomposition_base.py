@@ -1,0 +1,125 @@
+"""Tests for the Decomposition tree structure."""
+
+import pytest
+
+from repro.covers import FractionalCover
+from repro.decomposition import Decomposition
+
+
+def three_node_path() -> Decomposition:
+    return Decomposition.path(
+        [
+            ("a", ["x", "y"], {"e1": 1.0}),
+            ("b", ["y", "z"], {"e2": 1.0}),
+            ("c", ["z", "w"], {"e3": 0.5, "e4": 0.5}),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_path_shape(self):
+        d = three_node_path()
+        assert d.root == "a"
+        assert d.parent("b") == "a"
+        assert d.children("a") == ("b",)
+        assert len(d) == 3
+
+    def test_single_node(self):
+        d = Decomposition.single_node(["x"], {"e": 1.0})
+        assert d.root == "root"
+        assert d.children("root") == ()
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Decomposition(
+                [("a", ["x"], {}), ("a", ["y"], {})], parent={}, root="a"
+            )
+
+    def test_two_roots_rejected(self):
+        with pytest.raises(ValueError, match="root|forest"):
+            Decomposition(
+                [("a", ["x"], {}), ("b", ["y"], {})], parent={}
+            )
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            Decomposition(
+                [("a", ["x"], {}), ("b", ["y"], {})],
+                parent={"a": "b", "b": "a"},
+            )
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            Decomposition([("a", ["x"], {})], parent={"a": "zzz"})
+
+    def test_declared_root_with_parent_rejected(self):
+        with pytest.raises(ValueError, match="has a parent"):
+            Decomposition(
+                [("a", ["x"], {}), ("b", ["y"], {})],
+                parent={"b": "a", "a": "b"},
+                root="b",
+            )
+
+    def test_cover_mapping_coerced(self):
+        d = Decomposition.single_node(["x"], {"e": 1.0})
+        assert isinstance(d.cover("root"), FractionalCover)
+
+
+class TestStructure:
+    def test_preorder_parents_first(self):
+        d = three_node_path()
+        order = d.preorder()
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_subtree_nodes(self):
+        d = three_node_path()
+        assert set(d.subtree_nodes("b")) == {"b", "c"}
+
+    def test_subtree_vertices(self):
+        d = three_node_path()
+        assert d.subtree_vertices("b") == frozenset({"y", "z", "w"})
+
+    def test_nodes_containing(self):
+        d = three_node_path()
+        assert d.nodes_containing("z") == frozenset({"b", "c"})
+        assert d.nodes_containing("nope") == frozenset()
+
+    def test_nodes_intersecting(self):
+        d = three_node_path()
+        assert d.nodes_intersecting(["x", "w"]) == frozenset({"a", "c"})
+
+    def test_path_between_endpoints(self):
+        d = three_node_path()
+        assert d.path_between("a", "c") == ["a", "b", "c"]
+        assert d.path_between("c", "a") == ["c", "b", "a"]
+        assert d.path_between("b", "b") == ["b"]
+
+    def test_path_between_siblings(self):
+        d = Decomposition(
+            [("r", ["x"], {}), ("l", ["x"], {}), ("m", ["x"], {})],
+            parent={"l": "r", "m": "r"},
+        )
+        assert d.path_between("l", "m") == ["l", "r", "m"]
+
+
+class TestMeasures:
+    def test_width(self):
+        d = three_node_path()
+        assert d.width() == pytest.approx(1.0)
+
+    def test_is_integral(self):
+        d = three_node_path()
+        assert not d.is_integral()
+
+    def test_replace_node(self):
+        d = three_node_path()
+        d2 = d.replace_node("a", bag=["x"])
+        assert d2.bag("a") == frozenset({"x"})
+        assert d.bag("a") == frozenset({"x", "y"})  # original intact
+
+    def test_as_dict_roundtrippable_fields(self):
+        d = three_node_path()
+        data = d.as_dict()
+        assert data["root"] == "a"
+        assert set(data["nodes"]) == {"a", "b", "c"}
+        assert data["parent"]["c"] == "b"

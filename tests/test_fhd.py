@@ -1,0 +1,80 @@
+"""Tests for Check(FHD,k) under bounded degree (Section 5)."""
+
+import pytest
+
+from repro.algorithms import (
+    check_fhd,
+    fractional_hypertree_decomposition_bounded_degree,
+    fractional_hypertree_width,
+    fractional_hypertree_width_exact,
+)
+from repro.covers import EPS
+from repro.decomposition import is_fhd
+from repro.hypergraph import Hypergraph, degree
+from repro.hypergraph.generators import cycle, grid, path_hypergraph
+
+from .conftest import small_random_suite
+
+
+class TestBoundedDegreeCheck:
+    def test_triangle_fhw_1_5(self):
+        t = Hypergraph({"r": ["x", "y"], "s": ["y", "z"], "t": ["z", "x"]})
+        d = fractional_hypertree_decomposition_bounded_degree(t, 1.5)
+        assert d is not None
+        assert is_fhd(t, d, width=1.5 + EPS)
+        assert d.width() == pytest.approx(1.5)
+        assert not check_fhd(t, 1.4)
+
+    def test_cycle_fhw_2(self):
+        c6 = cycle(6)
+        assert check_fhd(c6, 2)
+        assert not check_fhd(c6, 1.9)
+
+    def test_path_hypergraph_fhw_1(self):
+        p = path_hypergraph(4, 3, 1)
+        d = fractional_hypertree_decomposition_bounded_degree(p, 1)
+        assert d is not None and d.width() == pytest.approx(1.0)
+
+    def test_grid_2x3(self):
+        g = grid(2, 3)
+        exact, _w = fractional_hypertree_width_exact(g)
+        assert check_fhd(g, exact + EPS)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            fractional_hypertree_decomposition_bounded_degree(cycle(4), 0.5)
+
+    def test_explicit_degree_parameter(self):
+        c5 = cycle(5)
+        d = fractional_hypertree_decomposition_bounded_degree(
+            c5, 2, d=degree(c5)
+        )
+        assert d is not None
+
+
+class TestAgainstExactOracle:
+    def test_agreement_on_low_degree_suite(self):
+        """On degree-<=3 random instances the BDP algorithm agrees with
+        the exact oracle at k = fhw and rejects at k = fhw - 0.1."""
+        tested = 0
+        for h in small_random_suite(count=6, seed=31):
+            if degree(h) > 3 or h.num_vertices > 10:
+                continue
+            exact, _d = fractional_hypertree_width_exact(h)
+            got = fractional_hypertree_decomposition_bounded_degree(
+                h, exact + 1e-6
+            )
+            assert got is not None, f"{h!r}: should accept at fhw={exact}"
+            assert got.width() <= exact + 1e-6
+            if exact > 1.05:
+                assert not check_fhd(h, exact - 0.05)
+            tested += 1
+        assert tested >= 2  # the suite must actually exercise the check
+
+
+def test_fractional_hypertree_width_delegates_to_exact():
+    c5 = cycle(5)
+    width, d = fractional_hypertree_width(c5)
+    exact, _d = fractional_hypertree_width_exact(c5)
+    assert width == pytest.approx(exact)
+    assert is_fhd(c5, d, width=width + EPS)

@@ -1,0 +1,109 @@
+"""Tests for the Lemma 3.1 gadget's cover-theoretic core."""
+
+import pytest
+
+from repro.covers import (
+    cover_feasible_within,
+    fractional_edge_cover_number,
+    support_confined,
+)
+from repro.hardness import (
+    GADGET_CORE,
+    GADGET_RESTRICTED,
+    gadget_edges,
+    gadget_hypergraph,
+    gadget_vertex_names,
+)
+from repro.hypergraph import Hypergraph
+
+
+class TestShape:
+    def test_edge_counts(self):
+        edges = gadget_edges(["m1"], ["m2"])
+        assert len(edges) == 5 + 6 + 5
+
+    def test_primed_names(self):
+        edges = gadget_edges(["m1"], ["m2"], prime=True)
+        assert "gA1p" in edges
+        assert "a1p" in edges["gA1p"]
+
+    def test_vertex_names(self):
+        assert gadget_vertex_names()["a1"] == "a1"
+        assert gadget_vertex_names(prime=True)["a1"] == "a1p"
+        assert set(GADGET_RESTRICTED) < set(GADGET_CORE)
+
+    def test_m_sets_placed(self):
+        edges = gadget_edges(["m1x"], ["m2x"])
+        for name in ("gA1", "gB1", "gC1"):
+            assert "m1x" in edges[name]
+        for name in ("gA2", "gB2", "gC2"):
+            assert "m2x" in edges[name]
+        for name in ("gA3", "gA4", "gA5", "gB5", "gB6"):
+            assert "m1x" not in edges[name] and "m2x" not in edges[name]
+
+
+class TestCliqueArguments:
+    def test_three_4_cliques(self):
+        g = gadget_hypergraph()
+        assert g.is_clique(["a1", "a2", "b1", "b2"])
+        assert g.is_clique(["b1", "b2", "c1", "c2"])
+        assert g.is_clique(["c1", "c2", "d1", "d2"])
+
+    def test_clique_cover_weight_2(self):
+        """Each 4-clique needs weight exactly 2 (Lemma 2.3 reasoning)."""
+        g = gadget_hypergraph()
+        assert cover_feasible_within(g, ["a1", "a2", "b1", "b2"], 2.0)
+        assert not cover_feasible_within(g, ["a1", "a2", "b1", "b2"], 1.9)
+
+    def test_support_confinement_lemma_3_1(self):
+        """Weight-2 covers of {a1,a2,b1,b2} use only E_A ∪ {{b1,b2}};
+        hence B_uA ⊆ M ∪ {a1,a2,b1,b2} (the Lemma 3.1 argument)."""
+        g = gadget_hypergraph(m1=["m1a", "m1b"], m2=["m2a", "m2b"])
+        assert support_confined(
+            g,
+            ["a1", "a2", "b1", "b2"],
+            2.0,
+            ["gA1", "gA2", "gA3", "gA4", "gA5", "gB5"],
+        )
+
+    def test_support_confinement_middle_clique(self):
+        g = gadget_hypergraph(m1=["m1a"], m2=["m2a"])
+        assert support_confined(
+            g,
+            ["b1", "b2", "c1", "c2"],
+            2.0,
+            ["gB1", "gB2", "gB3", "gB4", "gB5", "gB6"],
+        )
+
+    def test_middle_bag_not_forced_by_lp_alone(self):
+        """The LP does NOT force weight onto gB1/gB2 (gB3/gB4 suffice):
+        Lemma 3.1's conclusion M ⊆ B_uB genuinely needs the connectedness
+        argument about the disjoint subtrees T'_a and T'_d, not just the
+        cover polytope.  This test documents that distinction."""
+        from repro.covers import extremal_cover_value
+
+        g = gadget_hypergraph(m1=["m1a"], m2=["m2a"])
+        low = extremal_cover_value(
+            g, ["b1", "b2", "c1", "c2"], 2.0, {"gB1": 1.0, "gB2": 1.0},
+            maximize=False,
+        )
+        assert low == pytest.approx(0.0, abs=1e-6)
+
+
+class TestAmbientRestriction:
+    def test_restricted_vertices_stay_inside(self):
+        """Building a bigger hypergraph around the gadget must not touch
+        R = {a2, b1, b2, c1, c2, d1, d2} — mirror of the Lemma 3.1 premise."""
+        edges = dict(gadget_edges(["m1"], ["m2"]))
+        edges["outside"] = frozenset(["a1", "m1", "extern"])
+        h = Hypergraph(edges)
+        restricted = frozenset(GADGET_RESTRICTED)
+        for name, content in h.edges.items():
+            if not name.startswith("g"):
+                assert not content & restricted
+
+    def test_rho_star_of_gadget(self):
+        g = gadget_hypergraph()
+        # 8 core vertices + m1 + m2; three weight-2 cliques chained:
+        # full cover needs 4 (three cliques share pairs).
+        assert fractional_edge_cover_number(g) == pytest.approx(4.0)

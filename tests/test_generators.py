@@ -1,0 +1,120 @@
+"""Each generator delivers the structural properties it advertises."""
+
+import random
+
+import pytest
+
+from repro.hypergraph import (
+    degree,
+    intersection_width,
+    is_connected,
+    multi_intersection_width,
+)
+from repro.hypergraph.generators import (
+    acyclic_hypergraph,
+    bounded_vc_unbounded_miwidth_family,
+    clique,
+    cycle,
+    grid,
+    hyperbench_like_suite,
+    path_hypergraph,
+    random_cq_hypergraph,
+    random_csp_hypergraph,
+    triangle_cascade,
+    unbounded_support_family,
+)
+
+
+class TestBasicFamilies:
+    def test_clique_counts(self):
+        k5 = clique(5)
+        assert k5.num_vertices == 5
+        assert k5.num_edges == 10
+
+    def test_clique_too_small(self):
+        with pytest.raises(ValueError):
+            clique(1)
+
+    def test_cycle_counts(self):
+        c = cycle(7)
+        assert c.num_vertices == 7
+        assert c.num_edges == 7
+        assert all(len(e) == 2 for e in c.edges.values())
+
+    def test_grid_counts(self):
+        g = grid(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 2 * 4
+        assert is_connected(g)
+
+    def test_path_hypergraph_overlap(self):
+        p = path_hypergraph(4, 4, 2)
+        assert intersection_width(p) == 2
+        assert is_connected(p)
+
+    def test_path_hypergraph_bad_overlap(self):
+        with pytest.raises(ValueError):
+            path_hypergraph(3, 3, 3)
+
+    def test_triangle_cascade_connected(self):
+        t = triangle_cascade(4)
+        assert is_connected(t)
+        assert t.num_edges == 12
+
+
+class TestPaperFamilies:
+    def test_unbounded_support_structure(self):
+        h = unbounded_support_family(6)
+        assert h.num_vertices == 7
+        assert h.num_edges == 7
+        assert intersection_width(h) == 1
+
+    def test_unbounded_support_too_small(self):
+        with pytest.raises(ValueError):
+            unbounded_support_family(1)
+
+    def test_vc_family_structure(self):
+        h = bounded_vc_unbounded_miwidth_family(5)
+        assert h.num_edges == 5
+        assert all(len(e) == 4 for e in h.edges.values())
+        assert multi_intersection_width(h, 2) == 3
+
+
+class TestRandomFamilies:
+    def test_acyclic_is_width_1(self):
+        from repro.algorithms import hypertree_width
+
+        h = acyclic_hypergraph(6, 3, rng=random.Random(5))
+        assert hypertree_width(h)[0] == 1
+
+    def test_random_cq_respects_max_shared(self):
+        h = random_cq_hypergraph(
+            10, max_arity=4, max_shared=2, rng=random.Random(2)
+        )
+        # Intersections may exceed max_shared when an atom shares with two
+        # hosts that themselves overlap, but stay small.
+        assert intersection_width(h) <= 4
+
+    def test_random_cq_deterministic(self):
+        h1 = random_cq_hypergraph(6, rng=random.Random(9))
+        h2 = random_cq_hypergraph(6, rng=random.Random(9))
+        assert h1 == h2
+
+    def test_random_csp_shape(self):
+        h = random_csp_hypergraph(8, 10, arity=2, rng=random.Random(1))
+        assert all(len(e) == 2 for e in h.edges.values())
+        assert h.num_edges == 10
+
+    def test_random_csp_arity_check(self):
+        with pytest.raises(ValueError):
+            random_csp_hypergraph(2, 5, arity=3)
+
+    def test_hyperbench_suite_composition(self):
+        suite = hyperbench_like_suite(seed=1, n_cq=5, n_csp=2)
+        assert len(suite) == 5 + 2 + 3
+        assert all(h.num_vertices > 0 for h in suite)
+
+    def test_hyperbench_suite_deterministic(self):
+        s1 = hyperbench_like_suite(seed=4, n_cq=3, n_csp=1)
+        s2 = hyperbench_like_suite(seed=4, n_cq=3, n_csp=1)
+        assert all(a == b for a, b in zip(s1, s2))

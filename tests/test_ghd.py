@@ -1,0 +1,98 @@
+"""Tests for Check(GHD,k) via subedge augmentation (Section 4)."""
+
+import pytest
+
+from repro.algorithms import (
+    augmented_hypergraph,
+    check_ghd,
+    generalized_hypertree_decomposition,
+    generalized_hypertree_width,
+    generalized_hypertree_width_exact,
+)
+from repro.decomposition import is_ghd
+from repro.hypergraph import Hypergraph
+from repro.hypergraph.generators import clique, cycle, grid, triangle_cascade
+from repro.paper_artifacts import example_4_3_hypergraph
+
+from .conftest import small_random_suite
+
+
+class TestKnownInstances:
+    def test_example_4_3_ghw_2_via_subedges(self):
+        """The Section 4 pipeline finds the width-2 GHD that plain
+        Check(HD,2) cannot."""
+        h0 = example_4_3_hypergraph()
+        d = generalized_hypertree_decomposition(h0, 2)
+        assert d is not None
+        assert is_ghd(h0, d, width=2)
+
+    def test_cycles(self):
+        for n in (4, 6, 7):
+            assert not check_ghd(cycle(n), 1)
+            assert check_ghd(cycle(n), 2)
+
+    def test_cliques(self):
+        assert check_ghd(clique(4), 2)
+        assert not check_ghd(clique(5), 2)
+        assert check_ghd(clique(6), 3)
+
+    def test_acyclic_means_ghw_1(self):
+        h = Hypergraph({"e1": ["a", "b"], "e2": ["b", "c"]})
+        assert check_ghd(h, 1)
+
+    def test_width_search(self):
+        width, d = generalized_hypertree_width(triangle_cascade(3))
+        assert width == 2
+        assert is_ghd(triangle_cascade(3), d, width=2)
+
+
+class TestMethods:
+    @pytest.mark.parametrize("method", ["fixpoint", "bip", "limit"])
+    def test_methods_agree_on_example_4_3(self, method):
+        h0 = example_4_3_hypergraph()
+        assert check_ghd(h0, 2, method=method)
+        assert not check_ghd(h0, 1, method=method)
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="method"):
+            augmented_hypergraph(cycle(4), 2, method="zzz")
+
+    def test_augmented_contains_original(self):
+        h0 = example_4_3_hypergraph()
+        aug = augmented_hypergraph(h0, 2)
+        assert set(h0.edge_names) <= set(aug.edge_names)
+        assert aug.vertices == h0.vertices
+
+
+class TestAgainstExactOracle:
+    def test_random_suite_agreement(self):
+        """Check(GHD,k) via fixpoint subedges matches the exact
+        elimination oracle on the random CQ suite, for every relevant k."""
+        for h in small_random_suite(count=6, seed=23):
+            exact, _d = generalized_hypertree_width_exact(h)
+            for k in range(1, exact + 2):
+                assert check_ghd(h, k) == (k >= exact), (
+                    f"{h!r}: disagreement at k={k}, exact ghw={exact}"
+                )
+
+    def test_grid_agreement(self):
+        g = grid(3, 3)
+        exact, _d = generalized_hypertree_width_exact(g)
+        assert check_ghd(g, exact)
+        assert not check_ghd(g, exact - 1)
+
+
+class TestWidthOneFastPath:
+    def test_acyclic_returns_join_tree(self):
+        import random
+
+        from repro.hypergraph.generators import acyclic_hypergraph
+
+        h = acyclic_hypergraph(7, 3, rng=random.Random(2))
+        d = generalized_hypertree_decomposition(h, 1)
+        assert d is not None and is_ghd(h, d, width=1)
+        # Join-tree shape: one node per edge, bags are edges.
+        assert len(d) == h.num_edges
+
+    def test_cyclic_returns_none_quickly(self):
+        assert generalized_hypertree_decomposition(cycle(9), 1) is None

@@ -1,0 +1,112 @@
+"""Tests for Check(HD,k) — the k-decomp search."""
+
+import random
+
+import pytest
+
+from repro.algorithms import check_hd, hypertree_decomposition, hypertree_width
+from repro.decomposition import is_hd
+from repro.hypergraph import Hypergraph
+from repro.hypergraph.generators import (
+    acyclic_hypergraph,
+    clique,
+    cycle,
+    grid,
+    path_hypergraph,
+    triangle_cascade,
+)
+from repro.paper_artifacts import example_4_3_hypergraph
+
+from .conftest import small_random_suite
+
+
+class TestKnownWidths:
+    def test_acyclic_hw_1(self):
+        for seed in (1, 2, 3):
+            h = acyclic_hypergraph(6, 3, rng=random.Random(seed))
+            assert hypertree_width(h)[0] == 1
+
+    def test_single_edge(self):
+        h = Hypergraph({"e": ["a", "b", "c"]})
+        assert hypertree_width(h)[0] == 1
+
+    def test_path_hypergraph_hw_1(self):
+        assert hypertree_width(path_hypergraph(5, 3, 1))[0] == 1
+
+    def test_cycles_hw_2(self):
+        for n in (4, 5, 6, 8):
+            assert hypertree_width(cycle(n))[0] == 2
+
+    def test_triangle_cascade_hw_2(self):
+        assert hypertree_width(triangle_cascade(3))[0] == 2
+
+    def test_clique_widths(self):
+        """hw(K_n) = ceil(n/2) — bags are the whole clique (Lemma 2.8)."""
+        assert hypertree_width(clique(4))[0] == 2
+        assert hypertree_width(clique(5))[0] == 3
+        assert hypertree_width(clique(6))[0] == 3
+
+    def test_grid_hw(self):
+        assert hypertree_width(grid(2, 2))[0] == 2
+        assert hypertree_width(grid(3, 3))[0] == 2
+
+    def test_example_4_3_hw_is_3(self):
+        """The headline fact of Example 4.3: hw(H0) = 3 > 2 = ghw(H0)."""
+        h0 = example_4_3_hypergraph()
+        assert not check_hd(h0, 2)
+        assert check_hd(h0, 3)
+
+
+class TestWitnesses:
+    def test_witness_is_validated_hd(self):
+        h = cycle(6)
+        d = hypertree_decomposition(h, 2)
+        assert d is not None
+        assert is_hd(h, d, width=2)
+
+    def test_no_witness_below_width(self):
+        assert hypertree_decomposition(cycle(6), 1) is None
+
+    def test_disconnected_hypergraph(self):
+        h = Hypergraph({"e1": ["a", "b"], "e2": ["c", "d"]})
+        assert hypertree_width(h)[0] == 1
+
+    def test_duplicate_edge_contents(self):
+        h = Hypergraph({"e1": ["a", "b"], "e2": ["a", "b"], "e3": ["b", "c"]})
+        assert hypertree_width(h)[0] == 1
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            hypertree_decomposition(cycle(4), 0)
+
+    def test_kmax_cap(self):
+        with pytest.raises(ValueError, match="cap"):
+            hypertree_width(clique(6), kmax=2)
+
+
+class TestMonotonicity:
+    def test_hw_monotone_in_k(self):
+        """If Check(HD,k) accepts, Check(HD,k+1) accepts too."""
+        for h in (cycle(5), grid(2, 3), clique(4)):
+            k, _d = hypertree_width(h)
+            assert check_hd(h, k + 1)
+
+    def test_hw_of_vertex_induced_subhypergraph(self):
+        """Lemma 2.7: hw is monotone under vertex-induced subhypergraphs."""
+        h = grid(3, 3)
+        k, _d = hypertree_width(h)
+        sub = h.induced([v for v in sorted(h.vertices) if v != "v_1_1"])
+        k_sub, _d2 = hypertree_width(sub)
+        assert k_sub <= k
+
+
+def test_hd_on_random_suite_matches_bruteforce_bound():
+    """hw is between ghw and 3·ghw+1 [4] on the random suite, and every
+    returned witness validates."""
+    from repro.algorithms import generalized_hypertree_width_exact
+
+    for h in small_random_suite(count=6, seed=11):
+        hw, witness = hypertree_width(h)
+        assert is_hd(h, witness, width=hw)
+        ghw, _g = generalized_hypertree_width_exact(h)
+        assert ghw <= hw <= 3 * ghw + 1

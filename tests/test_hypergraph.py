@@ -1,0 +1,144 @@
+"""Unit tests for the core Hypergraph data structure."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypergraph import Hypergraph
+
+from .strategies import hypergraphs
+
+
+class TestConstruction:
+    def test_named_edges(self):
+        h = Hypergraph({"ab": ["a", "b"], "bc": ["b", "c"]})
+        assert h.edge("ab") == frozenset({"a", "b"})
+        assert h.num_edges == 2
+        assert h.num_vertices == 3
+
+    def test_autonamed_edges(self):
+        h = Hypergraph([["a", "b"], ["b", "c"]])
+        assert h.edge_names == ("e1", "e2")
+
+    def test_empty_edge_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            Hypergraph({"e": []})
+
+    def test_duplicate_contents_allowed(self):
+        h = Hypergraph({"e1": ["a", "b"], "e2": ["a", "b"]})
+        assert h.num_edges == 2
+
+    def test_declared_isolated_vertex(self):
+        h = Hypergraph({"e": ["a"]}, vertices=["z"])
+        assert "z" in h
+        assert h.isolated_vertices() == frozenset({"z"})
+
+    def test_size_counts_vertices_and_edge_slots(self):
+        h = Hypergraph({"e1": ["a", "b"], "e2": ["b", "c", "d"]})
+        assert h.size == 4 + 2 + 3
+
+    def test_equality_and_hash(self):
+        h1 = Hypergraph({"e": ["a", "b"]})
+        h2 = Hypergraph({"e": ["b", "a"]})
+        assert h1 == h2
+        assert hash(h1) == hash(h2)
+
+    def test_repr_mentions_counts(self):
+        h = Hypergraph({"e": ["a", "b"]}, name="demo")
+        assert "demo" in repr(h)
+        assert "|V|=2" in repr(h)
+
+
+class TestIncidence:
+    def test_edges_of(self):
+        h = Hypergraph({"e1": ["a", "b"], "e2": ["b", "c"]})
+        assert h.edges_of("b") == frozenset({"e1", "e2"})
+        assert h.edges_of("a") == frozenset({"e1"})
+
+    def test_incident_edges(self):
+        h = Hypergraph({"e1": ["a", "b"], "e2": ["b", "c"], "e3": ["d", "e"]})
+        assert h.incident_edges(["a", "c"]) == frozenset({"e1", "e2"})
+
+    def test_vertices_of(self):
+        h = Hypergraph({"e1": ["a", "b"], "e2": ["b", "c"]})
+        assert h.vertices_of(["e1", "e2"]) == frozenset({"a", "b", "c"})
+
+    def test_edge_type(self):
+        h = Hypergraph({"e1": ["a", "b"], "e2": ["b", "c"]})
+        assert h.edge_type("b") == frozenset({"e1", "e2"})
+
+
+class TestDerived:
+    def test_induced_drops_empty_intersections(self):
+        h = Hypergraph({"e1": ["a", "b"], "e2": ["c", "d"]})
+        sub = h.induced(["a", "b"])
+        assert sub.edge_names == ("e1",)
+        assert sub.vertices == frozenset({"a", "b"})
+
+    def test_induced_unknown_vertex_rejected(self):
+        h = Hypergraph({"e1": ["a", "b"]})
+        with pytest.raises(ValueError, match="not in hypergraph"):
+            h.induced(["a", "zzz"])
+
+    def test_restrict_edges(self):
+        h = Hypergraph({"e1": ["a", "b"], "e2": ["b", "c"]})
+        sub = h.restrict_edges(["e2"])
+        assert sub.vertices == frozenset({"b", "c"})
+
+    def test_restrict_unknown_edge(self):
+        h = Hypergraph({"e1": ["a", "b"]})
+        with pytest.raises(KeyError):
+            h.restrict_edges(["nope"])
+
+    def test_with_edges_adds(self):
+        h = Hypergraph({"e1": ["a", "b"]})
+        h2 = h.with_edges({"x": ["a"]})
+        assert h2.num_edges == 2
+        assert h.num_edges == 1  # original untouched
+
+    def test_with_edges_clash_same_content_ok(self):
+        h = Hypergraph({"e1": ["a", "b"]})
+        assert h.with_edges({"e1": ["b", "a"]}).num_edges == 1
+
+    def test_with_edges_clash_different_content_rejected(self):
+        h = Hypergraph({"e1": ["a", "b"]})
+        with pytest.raises(ValueError, match="clash"):
+            h.with_edges({"e1": ["a"]})
+
+    def test_primal_graph_makes_cliques(self):
+        h = Hypergraph({"e": ["a", "b", "c"]})
+        adj = h.primal_graph()
+        assert adj["a"] == frozenset({"b", "c"})
+
+    def test_adjacent_and_clique(self):
+        h = Hypergraph({"e1": ["a", "b"], "e2": ["b", "c"], "e3": ["a", "c"]})
+        assert h.adjacent("a", "b")
+        assert not h.adjacent("a", "zzz") if "zzz" in h else True
+        assert h.is_clique(["a", "b", "c"])
+        assert h.is_clique(["a"])
+
+
+@given(hypergraphs())
+@settings(max_examples=40, deadline=None)
+def test_incidence_is_consistent(h: Hypergraph):
+    """edges_of/vertices_of are inverse views of the same incidence."""
+    for v in h.vertices:
+        for e in h.edges_of(v):
+            assert v in h.edge(e)
+    for e in h.edge_names:
+        for v in h.edge(e):
+            assert e in h.edges_of(v)
+
+
+@given(hypergraphs(), st.randoms())
+@settings(max_examples=30, deadline=None)
+def test_induced_is_monotone(h: Hypergraph, rng):
+    """The induced subhypergraph keeps exactly the requested vertices."""
+    subset = frozenset(
+        v for v in h.vertices if rng.random() < 0.6
+    )
+    covered = {v for v in subset if any(h.edge(e) & subset for e in h.edges_of(v))}
+    sub = h.induced(subset)
+    assert sub.vertices == frozenset(covered)
+    for e in sub.edge_names:
+        assert sub.edge(e) == h.edge(e) & subset

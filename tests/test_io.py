@@ -1,0 +1,58 @@
+"""HyperBench-format I/O roundtrips."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.hypergraph import Hypergraph
+from repro.hypergraph.io import dump_file, load_file, parse_hyperbench, to_hyperbench
+
+from .strategies import hypergraphs
+
+
+class TestParse:
+    def test_basic(self):
+        h = parse_hyperbench("e1(a,b,c),\ne2(b,d).")
+        assert h.num_edges == 2
+        assert h.edge("e1") == frozenset({"a", "b", "c"})
+
+    def test_comments_ignored(self):
+        h = parse_hyperbench("% comment\ne1(a,b). # trailing\n")
+        assert h.num_edges == 1
+
+    def test_whitespace_tolerant(self):
+        h = parse_hyperbench("  e1 ( a , b )  ,  e2(b,c).")
+        assert h.edge("e2") == frozenset({"b", "c"})
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_hyperbench("e1(a), e1(b).")
+
+    def test_empty_scope_rejected(self):
+        with pytest.raises(ValueError, match="empty scope"):
+            parse_hyperbench("e1().")
+
+    def test_no_atoms_rejected(self):
+        with pytest.raises(ValueError, match="no atoms"):
+            parse_hyperbench("% nothing here")
+
+
+class TestRoundtrip:
+    def test_file_roundtrip(self, tmp_path):
+        h = Hypergraph({"e1": ["a", "b"], "e2": ["b", "c", "d"]})
+        path = tmp_path / "h.txt"
+        dump_file(h, path)
+        back = load_file(path)
+        assert back.edges == h.edges
+
+    def test_serialization_stable(self):
+        h = Hypergraph({"b": ["x", "y"], "a": ["y", "z"]})
+        assert to_hyperbench(h) == to_hyperbench(h)
+        assert to_hyperbench(h).startswith("a(")
+
+
+@given(hypergraphs())
+@settings(max_examples=30, deadline=None)
+def test_text_roundtrip_preserves_structure(h: Hypergraph):
+    back = parse_hyperbench(to_hyperbench(h))
+    assert back.edges == h.edges
+    assert back.vertices == h.vertices

@@ -1,0 +1,77 @@
+"""Width lifting (end of Section 3): adding cliques raises widths exactly."""
+
+import pytest
+
+from repro.algorithms import (
+    fractional_hypertree_width_exact,
+    generalized_hypertree_width_exact,
+)
+from repro.covers import EPS, fractional_edge_cover_number
+from repro.hardness import lift_by_clique, lift_by_cycle_windows
+from repro.hypergraph import Hypergraph
+from repro.hypergraph.generators import cycle
+
+
+@pytest.fixture
+def base() -> Hypergraph:
+    """A triangle: ghw = 2, fhw = 1.5."""
+    return Hypergraph({"r": ["x", "y"], "s": ["y", "z"], "t": ["z", "x"]})
+
+
+class TestCliqueLift:
+    def test_fhw_increases_by_ell(self, base):
+        fhw0, _d = fractional_hypertree_width_exact(base)
+        lifted = lift_by_clique(base, 1)
+        fhw1, _d1 = fractional_hypertree_width_exact(lifted)
+        assert fhw1 == pytest.approx(fhw0 + 1, abs=1e-6)
+
+    def test_ghw_increases_by_ell(self, base):
+        ghw0, _d = generalized_hypertree_width_exact(base)
+        lifted = lift_by_clique(base, 1)
+        ghw1, _d1 = generalized_hypertree_width_exact(lifted)
+        assert ghw1 == ghw0 + 1
+
+    def test_fresh_vertices_added(self, base):
+        lifted = lift_by_clique(base, 2)
+        assert lifted.num_vertices == base.num_vertices + 4
+
+    def test_invalid_ell(self, base):
+        with pytest.raises(ValueError):
+            lift_by_clique(base, 0)
+
+
+class TestCycleWindowLift:
+    def test_fresh_cycle_cover_number(self):
+        """The r-vertex/q-window fresh structure alone costs exactly r/q."""
+        seed = Hypergraph({"e": ["old"]})
+        lifted = lift_by_cycle_windows(seed, r=5, q=2)
+        fresh = lifted.induced([f"lift{i}" for i in range(1, 6)])
+        windows = fresh.restrict_edges(
+            [n for n in fresh.edge_names if n.startswith("liftwin")]
+        )
+        assert fractional_edge_cover_number(windows) == pytest.approx(5 / 2)
+
+    def test_rational_lift_on_triangle(self, base):
+        fhw0, _d = fractional_hypertree_width_exact(base)
+        lifted = lift_by_cycle_windows(base, r=3, q=2)
+        fhw1, _d1 = fractional_hypertree_width_exact(lifted)
+        assert fhw1 == pytest.approx(fhw0 + 3 / 2, abs=1e-6)
+
+    def test_invalid_ratio(self, base):
+        with pytest.raises(ValueError):
+            lift_by_cycle_windows(base, r=2, q=2)
+
+
+def test_lift_keeps_old_structure(base):
+    """The old hypergraph is untouched inside the lifted one."""
+    lifted = lift_by_clique(base, 1)
+    for name in base.edge_names:
+        assert lifted.edge(name) == base.edge(name)
+
+
+def test_fhw_of_lifted_cycle():
+    c4 = cycle(4)
+    fhw0, _ = fractional_hypertree_width_exact(c4)
+    lifted = lift_by_clique(c4, 1)
+    fhw1, _ = fractional_hypertree_width_exact(lifted)
+    assert fhw1 <= fhw0 + 1 + EPS

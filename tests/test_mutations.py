@@ -1,0 +1,115 @@
+"""Failure injection: every random corruption of a valid decomposition is
+caught by the validators.
+
+This is the safety net behind the library's "searches never self-certify"
+rule — if a validator silently accepted a corrupted decomposition, a bug
+in any search algorithm could slip through all other tests.
+"""
+
+import random
+
+import pytest
+
+from repro.covers import FractionalCover
+from repro.decomposition import Decomposition, violations
+from repro.hypergraph import Hypergraph
+from repro.paper_artifacts import example_4_3_hypergraph, figure_6b_ghd
+
+
+def _mutants(decomp: Decomposition, rng: random.Random):
+    """Yield (description, corrupted decomposition) pairs."""
+    node_ids = list(decomp.node_ids)
+
+    # 1. Drop a vertex from a bag that an edge needs (condition 1/2).
+    for nid in node_ids:
+        bag = sorted(decomp.bag(nid), key=str)
+        if len(bag) > 1:
+            victim = rng.choice(bag)
+            yield (
+                f"remove {victim} from bag of {nid}",
+                decomp.replace_node(nid, bag=set(bag) - {victim}),
+            )
+
+    # 2. Add a foreign vertex occurring elsewhere (condition 2).
+    all_vertices = sorted(
+        {v for n in node_ids for v in decomp.bag(n)}, key=str
+    )
+    for nid in node_ids:
+        outside = [v for v in all_vertices if v not in decomp.bag(nid)]
+        if outside:
+            adjacent = set()
+            par = decomp.parent(nid)
+            if par:
+                adjacent |= decomp.bag(par)
+            for child in decomp.children(nid):
+                adjacent |= decomp.bag(child)
+            far = [v for v in outside if v not in adjacent]
+            if far:
+                yield (
+                    f"inject {far[0]} into bag of {nid}",
+                    decomp.replace_node(
+                        nid, bag=decomp.bag(nid) | {far[0]}
+                    ),
+                )
+
+    # 3. Zero out a cover (condition 3).
+    for nid in node_ids:
+        yield (
+            f"erase cover of {nid}",
+            decomp.replace_node(nid, cover=FractionalCover({})),
+        )
+
+    # 4. Halve all weights (condition 3 for non-trivially covered bags).
+    for nid in node_ids:
+        halved = {
+            e: w / 2 for e, w in decomp.cover(nid).weights.items()
+        }
+        yield (
+            f"halve cover of {nid}",
+            decomp.replace_node(nid, cover=FractionalCover(halved)),
+        )
+
+
+def test_every_mutation_of_figure_6b_is_caught():
+    h0 = example_4_3_hypergraph()
+    base = figure_6b_ghd()
+    assert violations(h0, base, kind="ghd", width=2) == []
+    rng = random.Random(0)
+    caught = total = 0
+    for description, mutant in _mutants(base, rng):
+        total += 1
+        problems = violations(h0, mutant, kind="fhd", width=2)
+        # 'fhd' is the weakest kind: if even it rejects, all kinds do.
+        assert problems, f"validator missed: {description}"
+        caught += 1
+    assert total >= 12  # the generator really produced mutants
+
+
+def test_mutated_tree_structure_is_rejected_at_construction():
+    base = figure_6b_ghd()
+    nodes = [
+        (nid, base.bag(nid), base.cover(nid)) for nid in base.node_ids
+    ]
+    # Reparent u2 under itself: cycle.
+    with pytest.raises(ValueError):
+        Decomposition(
+            nodes,
+            parent={"u1": "u0", "u2": "u2", "uprime": "u0"},
+        )
+
+
+def test_width_inflation_is_caught():
+    h0 = example_4_3_hypergraph()
+    base = figure_6b_ghd()
+    heavy = base.replace_node(
+        "u0", cover=FractionalCover({"e2": 1.0, "e6": 1.0, "e1": 1.0})
+    )
+    assert violations(h0, heavy, kind="ghd", width=2)
+    assert not violations(h0, heavy, kind="ghd", width=3)
+
+
+def test_cover_over_wrong_hypergraph_is_caught():
+    other = Hypergraph({"zzz": ["v1", "v2"]})
+    base = figure_6b_ghd()
+    problems = violations(other, base, kind="ghd")
+    assert problems  # unknown edges, uncovered bags, missing vertices

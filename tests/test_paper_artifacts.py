@@ -1,0 +1,76 @@
+"""The pinned Example 4.3 artifacts stay faithful to the paper."""
+
+import pytest
+
+from repro.algorithms import (
+    check_ghd,
+    fractional_hypertree_width_exact,
+    generalized_hypertree_width_exact,
+    hypertree_width,
+)
+from repro.decomposition import is_ghd, is_hd
+from repro.hypergraph import intersection_width, multi_intersection_width
+from repro.paper_artifacts import (
+    example_4_3_hypergraph,
+    figure_5_hd,
+    figure_6a_ghd,
+    figure_6b_ghd,
+)
+
+
+def test_example_4_3_headline_widths():
+    """ghw(H0) = 2 but hw(H0) = 3 — the gap motivating Section 4."""
+    h0 = example_4_3_hypergraph()
+    assert hypertree_width(h0)[0] == 3
+    assert generalized_hypertree_width_exact(h0)[0] == 2
+
+
+def test_example_4_3_shape():
+    h0 = example_4_3_hypergraph()
+    assert h0.num_vertices == 10
+    assert h0.num_edges == 8
+    assert h0.edge("e2") == frozenset({"v2", "v3", "v9"})  # Example 4.4
+
+
+def test_intersection_profile():
+    """Example 4.3's closing remark: BIP and 3-BMIP are 1; c>=4 gives 0."""
+    h0 = example_4_3_hypergraph()
+    assert intersection_width(h0) == 1
+    assert multi_intersection_width(h0, 3) == 1
+    assert multi_intersection_width(h0, 4) == 0
+
+
+def test_figure_5_is_a_width_3_hd():
+    h0 = example_4_3_hypergraph()
+    assert is_hd(h0, figure_5_hd(), width=3)
+    assert figure_5_hd().width() == 3.0
+
+
+def test_figure_6_decompositions_are_width_2_ghds():
+    h0 = example_4_3_hypergraph()
+    assert is_ghd(h0, figure_6a_ghd(), width=2)
+    assert is_ghd(h0, figure_6b_ghd(), width=2)
+
+
+def test_figure_6_are_not_hds():
+    """Both Figure 6 GHDs violate the special condition at u (Ex. 4.4)."""
+    h0 = example_4_3_hypergraph()
+    assert not is_hd(h0, figure_6a_ghd())
+    assert not is_hd(h0, figure_6b_ghd())
+
+
+def test_fhw_of_h0_is_2():
+    """fhw <= ghw = 2; and Check(GHD,1) fails, so 1 < fhw."""
+    h0 = example_4_3_hypergraph()
+    fhw, _d = fractional_hypertree_width_exact(h0)
+    assert fhw <= 2.0 + 1e-9
+    assert not check_ghd(h0, 1)
+    assert fhw > 1.5  # the cycle structure forbids small fractional bags
+
+
+def test_uniqueness_pin():
+    """The exhaustive reconstruction (see module docstring) is stable:
+    e1 and e4 are the two hub-less cycle edges."""
+    h0 = example_4_3_hypergraph()
+    hubless = [n for n, e in h0.edges.items() if not e & {"v9", "v10"}]
+    assert sorted(hubless) == ["e1", "e4"]

@@ -1,0 +1,148 @@
+"""Tests for structural properties: degree, rank, iwidth, miwidth, VC."""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.hypergraph import (
+    Hypergraph,
+    degree,
+    has_bounded_degree,
+    has_bounded_intersection,
+    has_bounded_multi_intersection,
+    intersection_width,
+    is_shattered,
+    multi_intersection_width,
+    rank,
+    vc_dimension,
+)
+from repro.hypergraph.generators import (
+    bounded_vc_unbounded_miwidth_family,
+    clique,
+    grid,
+    unbounded_support_family,
+)
+from repro.paper_artifacts import example_4_3_hypergraph
+
+from .strategies import hypergraphs
+
+
+class TestBasics:
+    def test_degree(self):
+        h = Hypergraph({"e1": ["a", "b"], "e2": ["b", "c"], "e3": ["b", "d"]})
+        assert degree(h) == 3
+        assert has_bounded_degree(h, 3)
+        assert not has_bounded_degree(h, 2)
+
+    def test_rank(self):
+        h = Hypergraph({"e1": ["a", "b", "c"], "e2": ["c"]})
+        assert rank(h) == 3
+
+    def test_clique_properties(self):
+        k6 = clique(6)
+        assert intersection_width(k6) == 1
+        assert degree(k6) == 5
+        assert has_bounded_intersection(k6, 1)
+
+    def test_grid_is_1_bip(self):
+        assert intersection_width(grid(3, 4)) == 1
+
+    def test_single_edge(self):
+        h = Hypergraph({"e": ["a", "b"]})
+        assert intersection_width(h) == 0
+        assert multi_intersection_width(h, 2) == 0
+        assert multi_intersection_width(h, 1) == 2
+
+    def test_miwidth_c1_is_rank(self):
+        h = Hypergraph({"e1": ["a", "b", "c"], "e2": ["a", "b"]})
+        assert multi_intersection_width(h, 1) == 3
+
+    def test_miwidth_invalid_c(self):
+        with pytest.raises(ValueError):
+            multi_intersection_width(Hypergraph({"e": ["a"]}), 0)
+
+    def test_example_4_3_intersection_facts(self):
+        """Example 4.3: BIP and 3-BMIP of H0 are 1; from c=4 on, 0."""
+        h0 = example_4_3_hypergraph()
+        assert intersection_width(h0) == 1
+        assert multi_intersection_width(h0, 3) == 1
+        assert multi_intersection_width(h0, 4) == 0
+        assert has_bounded_multi_intersection(h0, 4, 0)
+
+
+class TestVCDimension:
+    def test_single_edge_vc_1(self):
+        # {a,b} shatters {a}: traces {∅?}... a single edge shatters any
+        # single vertex only if some edge misses it — not here, so vc
+        # counts sets where all subsets appear: {a} needs traces {} and
+        # {a}; trace {} unavailable => vc = 0.
+        h = Hypergraph({"e": ["a", "b"]})
+        assert vc_dimension(h) == 0
+
+    def test_two_disjoint_edges(self):
+        h = Hypergraph({"e1": ["a"], "e2": ["b"]})
+        # {a}: traces {a} (e1) and ∅ (e2) => shattered; {a,b} needs 4
+        # traces but only 2 edges: impossible.
+        assert vc_dimension(h) == 1
+
+    def test_clique_vc_2(self):
+        assert vc_dimension(clique(5)) == 2
+
+    def test_lemma_6_24_family_vc_below_2(self):
+        for n in (4, 6, 8):
+            assert vc_dimension(bounded_vc_unbounded_miwidth_family(n)) == 1
+
+    def test_lemma_6_24_family_unbounded_miwidth(self):
+        for n, c in ((6, 2), (6, 3), (8, 4)):
+            h = bounded_vc_unbounded_miwidth_family(n)
+            assert multi_intersection_width(h, c) >= n - c
+
+    def test_upper_bound_truncates(self):
+        assert vc_dimension(clique(6), upper_bound=1) == 1
+
+    def test_is_shattered_explicit(self):
+        h = Hypergraph(
+            {"e0": ["z"], "e1": ["a"], "e2": ["b"], "e3": ["a", "b"]}
+        )
+        assert is_shattered(h, frozenset({"a", "b"}))
+        assert vc_dimension(h) == 2
+
+
+@given(hypergraphs(max_vertices=6, max_edges=5))
+@settings(max_examples=30, deadline=None)
+def test_miwidth_matches_bruteforce(h: Hypergraph):
+    """The pruned search equals brute-force enumeration for c = 2, 3."""
+    edge_sets = list(h.edges.values())
+    for c in (2, 3):
+        if len(edge_sets) < c:
+            expected = 0
+        else:
+            expected = max(
+                (
+                    len(frozenset.intersection(*combo))
+                    for combo in combinations(edge_sets, c)
+                ),
+                default=0,
+            )
+        assert multi_intersection_width(h, c) == expected
+
+
+@given(hypergraphs(max_vertices=6, max_edges=6))
+@settings(max_examples=25, deadline=None)
+def test_vc_dimension_lemma_6_24_inequality(h: Hypergraph):
+    """Lemma 6.24 direction: c-miwidth <= i implies vc <= c + i (c = 2)."""
+    i = multi_intersection_width(h, 2)
+    assert vc_dimension(h) <= 2 + i
+
+
+@given(hypergraphs(max_vertices=7, max_edges=6))
+@settings(max_examples=30, deadline=None)
+def test_degree_of_unbounded_support_family_is_small(h: Hypergraph):
+    """Sauer-Shelah sanity: 2^vc <= |E|+1 (the trace-count cap)."""
+    assert 2 ** vc_dimension(h) <= h.num_edges + 1
+
+
+def test_unbounded_support_family_iwidth_1():
+    for n in (3, 5, 8):
+        assert intersection_width(unbounded_support_family(n)) == 1

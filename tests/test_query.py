@@ -1,0 +1,75 @@
+"""Tests for CQ parsing and query hypergraphs."""
+
+import pytest
+
+from repro.cqcsp import Atom, ConjunctiveQuery, parse_cq
+
+
+class TestParser:
+    def test_basic(self):
+        q = parse_cq("ans(x, y) :- r(x, z), s(z, y).")
+        assert q.head == ("x", "y")
+        assert q.name == "ans"
+        assert [a.relation for a in q.atoms] == ["r", "s"]
+
+    def test_boolean_query(self):
+        q = parse_cq(":- r(x), s(x)")
+        assert q.is_boolean
+
+    def test_missing_separator(self):
+        with pytest.raises(ValueError, match=":-"):
+            parse_cq("r(x), s(x)")
+
+    def test_empty_body(self):
+        with pytest.raises(ValueError, match="no atoms"):
+            parse_cq("ans(x) :- ")
+
+    def test_str_roundtrip(self):
+        q = parse_cq("q(x) :- r(x, y).")
+        assert parse_cq(str(q)) == q
+
+
+class TestQuery:
+    def test_unsafe_head_rejected(self):
+        with pytest.raises(ValueError, match="unsafe"):
+            ConjunctiveQuery(("z",), (Atom("r", ("x",)),))
+
+    def test_no_atoms_rejected(self):
+        with pytest.raises(ValueError):
+            ConjunctiveQuery((), ())
+
+    def test_variables(self):
+        q = parse_cq("q(x) :- r(x, y), s(y, z).")
+        assert q.variables == frozenset({"x", "y", "z"})
+
+    def test_empty_atom_rejected(self):
+        with pytest.raises(ValueError):
+            Atom("r", ())
+
+
+class TestQueryHypergraph:
+    def test_edges_per_atom_occurrence(self):
+        q = parse_cq("q(x) :- r(x, y), r(y, z).")
+        h = q.hypergraph()
+        assert h.num_edges == 2  # self-join keeps both occurrences
+        assert h.edge("r#0") == frozenset({"x", "y"})
+
+    def test_atom_for_edge(self):
+        q = parse_cq("q(x) :- r(x, y), s(y).")
+        assert q.atom_for_edge("s#1").relation == "s"
+
+    def test_repeated_variable_atom(self):
+        q = parse_cq("q(x) :- r(x, x).")
+        h = q.hypergraph()
+        assert h.edge("r#0") == frozenset({"x"})
+
+    def test_triangle_query_widths(self):
+        from repro.algorithms import (
+            fractional_hypertree_width_exact,
+            hypertree_width,
+        )
+
+        q = parse_cq("q(x, y, z) :- r(x, y), s(y, z), t(z, x).")
+        h = q.hypergraph()
+        assert hypertree_width(h)[0] == 2
+        assert fractional_hypertree_width_exact(h)[0] == pytest.approx(1.5)

@@ -1,0 +1,150 @@
+"""Tests for the Theorem 3.2 reduction and its LP certificates."""
+
+import pytest
+
+from repro.decomposition import is_fhd, is_ghd
+from repro.hardness import CNF, build_reduction, paper_example_formula
+from repro.hypergraph import is_connected
+
+SAT_FORMULAS = [
+    paper_example_formula(),
+    CNF(((1, 2, 3),)),
+    CNF(((1, -1, 2), (2, 2, 2))),
+]
+UNSAT_FORMULAS = [
+    CNF(((1, 1, 1), (-1, -1, -1))),
+    CNF(((1, 2, 2), (1, -2, -2), (-1, 2, 2), (-1, -2, -2))),
+]
+
+
+class TestConstructionShape:
+    def test_example_3_3_sizes(self):
+        """Example 3.3: n = 3, m = 2 — A and A' have 18 elements each,
+        Q has 21, S has 63."""
+        r = build_reduction(paper_example_formula())
+        assert len(r.positions) == 18
+        assert len(r.q_values) == 21
+        assert len(r.set_s) == 63
+        assert len(r.set_a) == len(r.set_a_prime) == 18
+        assert r.p_min == (1, 1) and r.p_max == (9, 2)
+
+    def test_lexicographic_positions(self):
+        r = build_reduction(CNF(((1, 1, 1), (1, 1, 1))))
+        assert r.positions[:3] == [(1, 1), (1, 2), (2, 1)]
+
+    def test_hypergraph_connected(self):
+        r = build_reduction(paper_example_formula())
+        assert is_connected(r.hypergraph)
+
+    def test_restricted_gadget_vertices_unshared(self):
+        """Lemma 3.1's premise: R-vertices occur only in gadget edges."""
+        r = build_reduction(paper_example_formula())
+        h = r.hypergraph
+        restricted = {"a2", "b1", "b2", "c1", "c2", "d1", "d2"}
+        for name, content in h.edges.items():
+            if not name.startswith("g") or name.endswith("p"):
+                if not name.startswith("g"):
+                    assert not content & restricted, name
+
+    def test_no_edge_covers_all_of_s(self):
+        """Definition 3.4 observation: no single edge covers S."""
+        r = build_reduction(paper_example_formula())
+        for content in r.hypergraph.edges.values():
+            assert not r.set_s <= content
+
+    def test_complementary_edges_partition_s(self):
+        r = build_reduction(paper_example_formula())
+        h = r.hypergraph
+        p = r.p_min
+        for k in (1, 2, 3):
+            e0 = h.edge(r.literal_name(p, k, 0))
+            e1 = h.edge(r.literal_name(p, k, 1))
+            assert (e0 & r.set_s) | (e1 & r.set_s) == r.set_s
+            assert not (e0 & r.set_s) & (e1 & r.set_s)
+
+
+class TestForwardDirection:
+    @pytest.mark.parametrize("formula", SAT_FORMULAS)
+    def test_satisfiable_gives_width_2_ghd(self, formula):
+        r = build_reduction(formula)
+        ghd = r.verify_forward()
+        assert ghd is not None
+        assert is_ghd(r.hypergraph, ghd, width=2)
+        assert is_fhd(r.hypergraph, ghd, width=2)  # GHD ⇒ FHD
+
+    @pytest.mark.parametrize("formula", UNSAT_FORMULAS)
+    def test_unsatisfiable_has_no_forward_witness(self, formula):
+        r = build_reduction(formula)
+        assert r.verify_forward() is None
+
+    def test_table1_rejects_bad_assignment(self):
+        r = build_reduction(paper_example_formula())
+        # x1=x2=x3 = False falsifies clause 1 (x1 ∨ ¬x2 ∨ x3)? No:
+        # ¬x2 is true. Use an assignment violating clause 1:
+        # x1=False, x2=True, x3=False.
+        with pytest.raises(ValueError, match="does not satisfy"):
+            r.table1_ghd([False, True, False])
+
+    def test_ghd_path_shape(self):
+        """Figure 2: the GHD is a path with 3 + 1 + |inner| + 1 + 3 nodes."""
+        r = build_reduction(paper_example_formula())
+        ghd = r.verify_forward()
+        assert len(ghd) == 3 + 1 + (len(r.positions) - 1) + 1 + 3
+        # Path shape: every node has at most one child.
+        assert all(len(ghd.children(n)) <= 1 for n in ghd.node_ids)
+
+
+class TestCertificates:
+    def test_lemma_3_5(self):
+        r = build_reduction(paper_example_formula())
+        assert r.certify_lemma_3_5()
+
+    def test_lemma_3_6(self):
+        r = build_reduction(paper_example_formula())
+        assert r.certify_lemma_3_6()
+        assert r.certify_lemma_3_6(p=(2, 1))
+
+    def test_claim_infeasibilities(self):
+        r = build_reduction(paper_example_formula())
+        assert all(r.certify_claim_infeasibilities().values())
+
+    @pytest.mark.parametrize("formula", SAT_FORMULAS + UNSAT_FORMULAS)
+    def test_lp_equivalence_tracks_satisfiability(self, formula):
+        """The computational Theorem 3.2: LP coverability of the path
+        bags ⟺ satisfiability, for sat AND unsat formulas."""
+        assert build_reduction(formula).certify_equivalence()
+
+    def test_clause_block_coverable_matches_clause_truth(self):
+        r = build_reduction(paper_example_formula())
+        # x1=True, x2=False, x3=False satisfies clause 1 via literal 1
+        # and clause 2 via ¬x3.
+        assignment = [True, False, False]
+        assert r.clause_block_coverable(1, assignment)
+        assert r.clause_block_coverable(2, assignment)
+        # x1=False, x2=True, x3=False falsifies clause 1.
+        assert not r.clause_block_coverable(1, [False, True, False])
+
+    def test_z_set(self):
+        r = build_reduction(paper_example_formula())
+        z = r.z_set([True, False, True])
+        assert z == frozenset({"y_1", "yp_2", "y_3"})
+
+
+class TestLiftedForward:
+    def test_satisfiable_lifts_to_width_3(self):
+        r = build_reduction(paper_example_formula())
+        witness = r.lifted_forward_witness(1)
+        assert witness is not None
+        assert witness.width() == 3.0
+        # Fresh vertices sit in every bag.
+        assert all("lift1" in witness.bag(n) for n in witness.node_ids)
+
+    def test_unsatisfiable_has_no_lifted_witness(self):
+        r = build_reduction(CNF(((1, 1, 1), (-1, -1, -1))))
+        assert r.lifted_forward_witness(1) is None
+
+    def test_larger_lift(self):
+        r = build_reduction(CNF(((1, 2, 3),)))
+        witness = r.lifted_forward_witness(2)
+        assert witness is not None
+        assert witness.width() == 4.0

@@ -1,0 +1,106 @@
+"""Tests for the relational algebra substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cqcsp import Relation, join_all
+
+
+def rel(name, attrs, rows):
+    return Relation.from_rows(name, attrs, rows)
+
+
+class TestConstruction:
+    def test_basic(self):
+        r = rel("r", ["a", "b"], [(1, 2), (3, 4)])
+        assert len(r) == 2
+        assert ("a", "b") == r.attributes
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(ValueError):
+            rel("r", ["a", "a"], [])
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            rel("r", ["a"], [(1, 2)])
+
+
+class TestOperators:
+    def test_project(self):
+        r = rel("r", ["a", "b"], [(1, 2), (1, 3)])
+        assert r.project(["a"]).tuples == frozenset({(1,)})
+
+    def test_project_unknown(self):
+        with pytest.raises(KeyError):
+            rel("r", ["a"], []).project(["z"])
+
+    def test_rename(self):
+        r = rel("r", ["a", "b"], [(1, 2)]).rename({"a": "x"})
+        assert r.attributes == ("x", "b")
+
+    def test_select_equal(self):
+        r = rel("r", ["a", "b"], [(1, 2), (3, 2), (1, 5)])
+        assert len(r.select_equal("a", 1)) == 2
+
+    def test_join_shared_attribute(self):
+        r = rel("r", ["a", "b"], [(1, 2), (2, 3)])
+        s = rel("s", ["b", "c"], [(2, 9), (7, 8)])
+        out = r.join(s)
+        assert out.tuples == frozenset({(1, 2, 9)})
+        assert out.attributes == ("a", "b", "c")
+
+    def test_join_no_shared_is_product(self):
+        r = rel("r", ["a"], [(1,), (2,)])
+        s = rel("s", ["b"], [(8,), (9,)])
+        assert len(r.join(s)) == 4
+
+    def test_semijoin(self):
+        r = rel("r", ["a", "b"], [(1, 2), (2, 3)])
+        s = rel("s", ["b"], [(2,)])
+        assert r.semijoin(s).tuples == frozenset({(1, 2)})
+
+    def test_empty_relation_flows(self):
+        r = rel("r", ["a"], [])
+        s = rel("s", ["a"], [(1,)])
+        assert r.join(s).is_empty()
+        assert s.semijoin(r).is_empty()
+
+    def test_join_all_tracks_intermediates(self):
+        rs = [
+            rel("r1", ["a", "b"], [(i, i + 1) for i in range(5)]),
+            rel("r2", ["b", "c"], [(i, i + 1) for i in range(5)]),
+        ]
+        out, cost = join_all(rs)
+        assert cost == len(rs[0]) + len(out)
+
+    def test_join_all_empty_input(self):
+        with pytest.raises(ValueError):
+            join_all([])
+
+
+@given(
+    st.sets(st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=12),
+    st.sets(st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=12),
+)
+@settings(max_examples=40, deadline=None)
+def test_join_matches_nested_loop_semantics(rows_r, rows_s):
+    r = rel("r", ["a", "b"], rows_r)
+    s = rel("s", ["b", "c"], rows_s)
+    expected = frozenset(
+        (ra, rb, sc) for ra, rb in rows_r for sb, sc in rows_s if rb == sb
+    )
+    assert r.join(s).tuples == expected
+
+
+@given(
+    st.sets(st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=12),
+    st.sets(st.tuples(st.integers(0, 4),), max_size=6),
+)
+@settings(max_examples=40, deadline=None)
+def test_semijoin_matches_filter_semantics(rows_r, rows_s):
+    r = rel("r", ["a", "b"], rows_r)
+    s = rel("s", ["b"], rows_s)
+    keys = {b for (b,) in rows_s}
+    expected = frozenset(row for row in rows_r if row[1] in keys)
+    assert r.semijoin(s).tuples == expected

@@ -1,0 +1,68 @@
+"""Tests for the unified width report."""
+
+import pytest
+
+from repro.algorithms import WidthReport, width_report
+from repro.covers import EPS
+from repro.hypergraph import Hypergraph
+from repro.hypergraph.generators import (
+    acyclic_hypergraph,
+    clique,
+    cycle,
+    grid,
+)
+from repro.paper_artifacts import example_4_3_hypergraph
+
+
+class TestExactRange:
+    def test_example_4_3_report(self):
+        report = width_report(example_4_3_hypergraph())
+        assert report.exact
+        assert report.hw == 3
+        assert report.ghw == 2.0
+        assert report.fhw == pytest.approx(2.0)
+        assert report.iwidth == 1 and report.miwidth3 == 1
+
+    def test_triangle(self):
+        t = Hypergraph({"r": ["x", "y"], "s": ["y", "z"], "t": ["z", "x"]})
+        report = width_report(t)
+        assert report.hw == 2
+        assert report.fhw == pytest.approx(1.5)
+
+    def test_acyclic_short_circuit(self):
+        import random
+
+        h = acyclic_hypergraph(6, 3, rng=random.Random(0))
+        report = width_report(h)
+        assert report.acyclic and report.exact
+        assert report.hw == 1 and report.ghw == 1.0 and report.fhw == 1.0
+
+    def test_hw_cap_gives_none(self):
+        report = width_report(clique(9), exact_limit=14, hw_cap=2)
+        assert report.hw is None  # hw(K9) = 5 > cap
+        assert report.ghw == 5.0
+
+    def test_as_dict_roundtrip(self):
+        data = width_report(cycle(5)).as_dict()
+        assert data["vertices"] == 5
+        assert WidthReport(**data).ghw == 2.0
+
+
+class TestBracketedRange:
+    def test_grid_5x5_brackets(self):
+        report = width_report(grid(5, 5))
+        assert not report.exact
+        assert report.hw is None
+        assert report.ghw_lower <= report.ghw_upper
+        assert report.fhw_lower <= report.fhw_upper + EPS
+        # Known: ghw(grid 5x5) = 3 lies inside the bracket.
+        assert report.ghw_lower - EPS <= 3 <= report.ghw_upper + EPS
+
+    def test_vc_skipped_on_large(self):
+        report = width_report(grid(5, 5))
+        assert report.vc is None
+
+    def test_forced_bracket_mode(self):
+        report = width_report(cycle(6), exact_limit=3)
+        assert not report.exact
+        assert report.ghw_lower - EPS <= 2 <= report.ghw_upper + EPS

@@ -1,0 +1,75 @@
+"""Balanced separators as sound lower bounds."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms import (
+    balanced_separator,
+    generalized_hypertree_width_exact,
+    ghw_balance_lower_bound,
+    is_balanced_separator,
+)
+from repro.hypergraph import Hypergraph
+from repro.hypergraph.generators import clique, cycle, grid
+
+from .strategies import hypergraphs
+
+
+class TestIsBalanced:
+    def test_middle_vertex_of_path(self):
+        h = Hypergraph({"e1": ["a", "b"], "e2": ["b", "c"]})
+        assert is_balanced_separator(h, frozenset({"b"}))
+
+    def test_endpoint_is_not(self):
+        h = Hypergraph(
+            {"e1": ["a", "b"], "e2": ["b", "c"], "e3": ["c", "d"]}
+        )
+        assert not is_balanced_separator(h, frozenset({"a"}))
+
+    def test_empty_separator_of_connected(self):
+        assert not is_balanced_separator(cycle(6), frozenset())
+
+    def test_custom_balance(self):
+        c = cycle(8)
+        sep = frozenset({"v1", "v5"})
+        assert is_balanced_separator(c, sep, balance=0.5)
+        assert not is_balanced_separator(c, sep, balance=0.3)
+
+
+class TestBalancedSeparator:
+    def test_cycle_needs_two_edges(self):
+        c = cycle(8)
+        assert balanced_separator(c, 1) is None
+        cover = balanced_separator(c, 2)
+        assert cover is not None and len(cover.support) == 2
+
+    def test_cover_is_actually_balanced(self):
+        g = grid(3, 3)
+        cover = balanced_separator(g, 2)
+        assert cover is not None
+        union = g.vertices_of(cover.support)
+        assert is_balanced_separator(g, union)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            balanced_separator(cycle(4), 0)
+
+
+class TestLowerBound:
+    def test_cycle_bound_is_exact(self):
+        assert ghw_balance_lower_bound(cycle(8)) == 2
+
+    def test_acyclic_bound_is_1(self):
+        h = Hypergraph({"e1": ["a", "b"], "e2": ["b", "c"]})
+        assert ghw_balance_lower_bound(h) == 1
+
+    def test_kmax_cap(self):
+        assert ghw_balance_lower_bound(clique(6), kmax=1) == 1
+
+
+@given(hypergraphs(max_vertices=7, max_edges=6))
+@settings(max_examples=25, deadline=None)
+def test_balance_bound_is_sound(h: Hypergraph):
+    """The balance lower bound never exceeds the true ghw."""
+    ghw, _d = generalized_hypertree_width_exact(h)
+    assert ghw_balance_lower_bound(h, kmax=ghw + 1) <= ghw

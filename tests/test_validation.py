@@ -1,0 +1,189 @@
+"""Every paper condition has a validator; every validator catches its
+violation."""
+
+import pytest
+
+from repro.decomposition import (
+    Decomposition,
+    check_connectedness,
+    check_edge_coverage,
+    check_fnf,
+    check_fractional_part_bounded,
+    check_special_condition,
+    check_weak_special_condition,
+    is_bag_maximal,
+    is_fhd,
+    is_ghd,
+    is_hd,
+    is_strict,
+    treecomp,
+    validate,
+    violations,
+)
+from repro.hypergraph import Hypergraph
+from repro.paper_artifacts import (
+    example_4_3_hypergraph,
+    figure_5_hd,
+    figure_6a_ghd,
+    figure_6b_ghd,
+)
+
+
+@pytest.fixture
+def triangle() -> Hypergraph:
+    return Hypergraph({"r": ["x", "y"], "s": ["y", "z"], "t": ["z", "x"]})
+
+
+def triangle_ghd() -> Decomposition:
+    return Decomposition.single_node(
+        ["x", "y", "z"], {"r": 1.0, "s": 1.0}
+    )
+
+
+class TestConditionOne:
+    def test_all_edges_covered(self, triangle):
+        assert not check_edge_coverage(triangle, triangle_ghd())
+
+    def test_missing_edge_detected(self, triangle):
+        d = Decomposition.single_node(["x", "y"], {"r": 1.0})
+        problems = check_edge_coverage(triangle, d)
+        assert any("'s'" in p for p in problems)
+
+
+class TestConditionTwo:
+    def test_disconnected_vertex_detected(self, triangle):
+        d = Decomposition.path(
+            [
+                ("a", ["x", "y"], {"r": 1.0}),
+                ("b", ["y", "z"], {"s": 1.0}),
+                ("c", ["z", "x"], {"t": 1.0}),
+            ]
+        )
+        problems = check_connectedness(triangle, d)
+        assert any("'x'" in p for p in problems)
+
+    def test_stray_bag_vertex_detected(self, triangle):
+        d = Decomposition.single_node(
+            ["x", "y", "z", "ghost"], {"r": 1.0, "s": 1.0}
+        )
+        problems = check_connectedness(triangle, d)
+        assert any("ghost" in p for p in problems)
+
+
+class TestConditionThree:
+    def test_uncovered_bag_detected(self, triangle):
+        d = Decomposition.single_node(["x", "y", "z"], {"r": 1.0})
+        problems = violations(triangle, d, kind="ghd")
+        assert any("not covered" in p for p in problems)
+
+    def test_fractional_cover_accepted_for_fhd(self, triangle):
+        d = Decomposition.single_node(
+            ["x", "y", "z"], {"r": 0.5, "s": 0.5, "t": 0.5}
+        )
+        assert is_fhd(triangle, d, width=1.5)
+        assert not is_ghd(triangle, d)  # not integral
+
+    def test_unknown_cover_edge_detected(self, triangle):
+        d = Decomposition.single_node(["x"], {"zzz": 1.0})
+        problems = violations(triangle, d, kind="ghd")
+        assert any("unknown edges" in p for p in problems)
+
+
+class TestSpecialCondition:
+    def test_figure_6b_is_ghd_but_not_hd(self):
+        """Example 4.4: Fig 6(b) violates the special condition at u0."""
+        h0 = example_4_3_hypergraph()
+        d = figure_6b_ghd()
+        assert is_ghd(h0, d, width=2)
+        problems = check_special_condition(h0, d)
+        assert any("u0" in p and "v2" in p for p in problems)
+        assert not is_hd(h0, d)
+
+    def test_figure_5_is_hd(self):
+        h0 = example_4_3_hypergraph()
+        assert is_hd(h0, figure_5_hd(), width=3)
+
+    def test_weak_special_condition_ignores_fractional_part(self, triangle):
+        # γ has no weight-1 edge => weak special condition is vacuous.
+        d = Decomposition.path(
+            [
+                ("a", ["x", "y", "z"], {"r": 0.5, "s": 0.5, "t": 0.5}),
+                ("b", ["x", "y"], {"r": 0.9, "s": 0.9}),
+            ]
+        )
+        assert not check_weak_special_condition(triangle, d)
+
+
+class TestFractionalPart:
+    def test_bounded(self, triangle):
+        d = Decomposition.single_node(
+            ["x", "y", "z"], {"r": 0.5, "s": 0.5, "t": 0.5}
+        )
+        assert check_fractional_part_bounded(triangle, d, 3) == []
+        assert check_fractional_part_bounded(triangle, d, 2) != []
+
+    def test_integral_cover_has_empty_fractional_part(self, triangle):
+        assert (
+            check_fractional_part_bounded(triangle, triangle_ghd(), 0) == []
+        )
+
+
+class TestStrictAndBagMaximal:
+    def test_strict(self, triangle):
+        strict = Decomposition.single_node(
+            ["x", "y", "z"], {"r": 1.0, "s": 1.0}
+        )
+        assert is_strict(triangle, strict)
+        loose = Decomposition.single_node(["x", "y"], {"r": 1.0, "s": 1.0})
+        assert not is_strict(triangle, loose)
+
+    def test_figure_6a_not_bag_maximal_but_6b_is(self):
+        """Example 4.7 verbatim."""
+        h0 = example_4_3_hypergraph()
+        assert not is_bag_maximal(h0, figure_6a_ghd())
+        assert is_bag_maximal(h0, figure_6b_ghd())
+
+
+class TestFNF:
+    def test_figure_6b_fnf(self):
+        h0 = example_4_3_hypergraph()
+        assert check_fnf(h0, figure_6b_ghd()) == []
+
+    def test_treecomp_of_root_is_everything(self):
+        h0 = example_4_3_hypergraph()
+        d = figure_6b_ghd()
+        assert treecomp(h0, d, "u0") == h0.vertices
+
+    def test_treecomp_of_child(self):
+        h0 = example_4_3_hypergraph()
+        d = figure_6b_ghd()
+        comp = treecomp(h0, d, "uprime")
+        assert comp == frozenset({"v4", "v5"})
+
+    def test_fnf_violation_detected(self, triangle):
+        # Child bag disjoint from any [B_r]-component requirement.
+        d = Decomposition.path(
+            [
+                ("a", ["x", "y", "z"], {"r": 1.0, "s": 1.0}),
+                ("b", ["x", "y"], {"r": 1.0}),
+            ]
+        )
+        problems = check_fnf(triangle, d)
+        assert problems  # V(T_b) has no matching component
+
+
+class TestValidateAPI:
+    def test_validate_raises_with_details(self, triangle):
+        d = Decomposition.single_node(["x", "y"], {"r": 1.0})
+        with pytest.raises(ValueError, match="invalid GHD"):
+            validate(triangle, d, kind="ghd")
+
+    def test_validate_width_bound(self, triangle):
+        d = triangle_ghd()
+        validate(triangle, d, kind="ghd", width=2)
+        with pytest.raises(ValueError, match="exceeds"):
+            validate(triangle, d, kind="ghd", width=1)
+
+    def test_unknown_kind(self, triangle):
+        with pytest.raises(ValueError, match="kind"):
+            violations(triangle, triangle_ghd(), kind="zzz")

@@ -1,0 +1,93 @@
+"""Workload generators: shapes, widths and engine agreement."""
+
+import pytest
+
+from repro.algorithms import check_ghd
+from repro.cqcsp import (
+    chain_query,
+    cycle_query,
+    evaluate,
+    evaluate_naive,
+    hub_relation,
+    random_graph_relation,
+    snowflake_query,
+    star_query,
+    zipf_relation,
+)
+from repro.hypergraph import is_alpha_acyclic
+
+
+class TestQueryShapes:
+    def test_star_is_acyclic(self):
+        q = star_query(4)
+        assert is_alpha_acyclic(q.hypergraph())
+        assert len(q.atoms) == 4
+
+    def test_chain_is_acyclic(self):
+        q = chain_query(5)
+        assert is_alpha_acyclic(q.hypergraph())
+        assert q.head == ("x0", "x5")
+
+    def test_boolean_chain(self):
+        assert chain_query(3, boolean=True).is_boolean
+
+    def test_cycle_has_ghw_2(self):
+        h = cycle_query(5).hypergraph()
+        assert not is_alpha_acyclic(h)
+        assert check_ghd(h, 2)
+
+    def test_snowflake_is_acyclic(self):
+        q = snowflake_query(3, arm_length=2)
+        assert is_alpha_acyclic(q.hypergraph())
+        assert len(q.atoms) == 6
+
+    @pytest.mark.parametrize(
+        "factory", [lambda: star_query(0), lambda: chain_query(0),
+                    lambda: cycle_query(2), lambda: snowflake_query(0)]
+    )
+    def test_bad_sizes(self, factory):
+        with pytest.raises(ValueError):
+            factory()
+
+
+class TestDatabases:
+    def test_random_graph_deterministic(self):
+        a = random_graph_relation(10, 0.3, seed=1)
+        b = random_graph_relation(10, 0.3, seed=1)
+        assert a.tuples == b.tuples
+
+    def test_hub_relation_shape(self):
+        rel = hub_relation(3, 4)
+        assert len(rel) >= 3 * 4 * 2
+
+    def test_zipf_skew(self):
+        rel = zipf_relation(300, 20, skew=1.5, seed=2)
+        counts = {}
+        for src, _dst in rel.tuples:
+            counts[src] = counts.get(src, 0) + 1
+        # The hottest key dominates a cold one.
+        assert counts.get(0, 0) > counts.get(19, 0)
+
+    def test_zipf_bad_values(self):
+        with pytest.raises(ValueError):
+            zipf_relation(10, 0)
+
+
+class TestEngineAgreement:
+    @pytest.mark.parametrize(
+        "query", [star_query(3), chain_query(3), cycle_query(4),
+                  snowflake_query(2, 2)]
+    )
+    def test_decomposed_matches_naive(self, query):
+        db = {"r": random_graph_relation(9, 0.35, seed=7)}
+        fast = evaluate(query, db)
+        slow = evaluate_naive(query, db)
+        assert fast.answers.tuples == slow.answers.tuples
+
+    def test_hub_database_advantage(self):
+        db = {"r": hub_relation(4, 8)}
+        q = chain_query(5, boolean=True)
+        fast = evaluate(q, db)
+        slow = evaluate_naive(q, db)
+        assert fast.answers.tuples == slow.answers.tuples
+        assert fast.intermediate_tuples < slow.intermediate_tuples

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-__all__ = ["render_table", "emit"]
+__all__ = ["render_table", "emit", "emit_engine_stats", "measure_engine"]
 
 
 def render_table(
@@ -36,3 +36,45 @@ def render_table(
 def emit(title: str, headers: Sequence[str], rows: Sequence[Sequence]) -> None:
     """Print a rendered table (kept separate so modules stay testable)."""
     print(render_table(title, headers, rows))
+
+
+def measure_engine(work, cache_size: int | None = None) -> dict:
+    """Run ``work()`` against a cold engine and return its LP/cache stats.
+
+    Clears the shared context registry (so no caches are pre-warmed),
+    optionally pins the cover-oracle cache size (0 disables caching),
+    runs the thunk, and returns the aggregate engine statistics —
+    lp_solves, set_cover_solves, cache_hits/misses and hit_rate — for
+    benchmark tables.  The previous cache size is restored afterwards.
+    """
+    from repro import engine
+
+    previous = engine.engine_config().cache_size
+    engine.clear_context_registry()
+    if cache_size is not None:
+        engine.configure(cache_size=cache_size)
+    engine.reset_stats()
+    try:
+        work()
+        return engine.stats()
+    finally:
+        engine.configure(cache_size=previous)
+        engine.clear_context_registry()
+        engine.reset_stats()
+
+
+def emit_engine_stats(title: str, stats_by_label: dict[str, dict]) -> None:
+    """Print one engine-stats row per label (e.g. cached vs uncached)."""
+    headers = ["run", "LP solves", "set covers", "hits", "misses", "hit rate"]
+    rows = [
+        (
+            label,
+            s["lp_solves"],
+            s["set_cover_solves"],
+            s["cache_hits"],
+            s["cache_misses"],
+            s["hit_rate"],
+        )
+        for label, s in stats_by_label.items()
+    ]
+    emit(title, headers, rows)

@@ -19,9 +19,10 @@ import math
 from dataclasses import dataclass, field
 from itertools import combinations
 
-from ..covers import EPS, FractionalCover, greedy_edge_cover_of
+from ..covers import EPS, FractionalCover
 from ..decomposition import Decomposition, validate
-from ..hypergraph import Hypergraph, components, intersection_width
+from ..engine import get_context, oracle_for
+from ..hypergraph import Hypergraph, intersection_width
 
 __all__ = [
     "fractional_part_bound",
@@ -58,6 +59,8 @@ class _FracDecompSearch:
         self, hypergraph: Hypergraph, k: float, eps: float, c: int
     ) -> None:
         self.hg = hypergraph
+        self.ctx = get_context(hypergraph)
+        self.oracle = oracle_for(self.ctx)
         self.k = float(k)
         self.eps = float(eps)
         self.c = int(c)
@@ -65,6 +68,8 @@ class _FracDecompSearch:
         self.max_integral = int(math.floor(self.budget + EPS))
         self._memo: dict = {}
         self._edge_names = sorted(hypergraph.edge_names)
+        # Per-search memo (see StrictFHDSearch): one capped-cover LP per
+        # distinct W_s regardless of the shared oracle's configuration.
         self._gamma_cache: dict[frozenset, FractionalCover | None] = {}
 
     def run(self) -> Decomposition | None:
@@ -76,46 +81,25 @@ class _FracDecompSearch:
     def _fractional_for(self, wanted: frozenset, budget: float):
         """Check 2.a: γ with wanted ⊆ B(γ) and weight <= budget, or None.
 
-        The LP is solved with per-edge weights capped strictly below 1 so
-        the resulting γ has an empty integral part — this keeps the weak
-        special condition of the witness tree intact (the paper treats the
-        check-2.a γ as purely fractional; a weight-1 edge would silently
-        enlarge the Definition 6.3 set S).  If the capped LP is infeasible
-        (some wanted vertex lies in a single edge), the uncapped cover is
-        used instead.
+        The purely fractional γ (per-edge weights capped strictly below 1,
+        so the weak special condition of the witness tree stays intact)
+        comes from the shared oracle's capped-cover service — see
+        :meth:`repro.engine.oracle.CoverOracle.fractional_cover_capped` —
+        which also shares the LP across the probes of a width search.
         """
         if wanted not in self._gamma_cache:
-            self._gamma_cache[wanted] = self._solve_w_cover(wanted)
+            self._gamma_cache[wanted] = self.oracle.fractional_cover_capped(
+                wanted
+            )
         gamma = self._gamma_cache[wanted]
         if gamma is None or gamma.weight > budget + EPS:
             return None
         return gamma
 
-    def _solve_w_cover(self, wanted: frozenset) -> FractionalCover | None:
-        from ..covers.linear_program import solve_covering_lp
-
-        targets = sorted(wanted, key=str)
-        names = sorted(self.hg.edge_names)
-        index = {e: i for i, e in enumerate(names)}
-        membership = [
-            [index[e] for e in self.hg.edges_of(v)] for v in targets
-        ]
-        capped = solve_covering_lp(
-            membership, n_vars=len(names),
-            upper_bounds=[1.0 - 1e-6] * len(names),
-        )
-        result = capped if capped.feasible else solve_covering_lp(
-            membership, n_vars=len(names)
-        )
-        if not result.feasible:
-            return None
-        return FractionalCover(
-            {names[i]: w for i, w in enumerate(result.weights) if w > EPS}
-        )
-
     def _frontier(self, component, w_r, parent_cover) -> frozenset:
-        region = self.hg.vertices_of(parent_cover) | w_r
-        return region & self.hg.vertices_of(self.hg.incident_edges(component))
+        ctx = self.ctx
+        region = ctx.vertices_of(parent_cover) | w_r
+        return region & ctx.vertices_of(ctx.incident_edges(component))
 
     def _guesses(self, component, w_r, parent_cover):
         frontier = self._frontier(component, w_r, parent_cover)
@@ -136,8 +120,8 @@ class _FracDecompSearch:
         # special condition trivially intact at integral-only nodes.
         for size in range(self.max_integral, -1, -1):
             for combo in combinations(candidates, size):
-                cover = frozenset(combo)
-                covered = self.hg.vertices_of(cover)
+                cover = self.ctx.intern(frozenset(combo))
+                covered = self.ctx.vertices_of(cover)
                 required = frontier - covered
                 if len(required) > self.c:
                     continue
@@ -164,14 +148,14 @@ class _FracDecompSearch:
             return self._memo[key] is not None
         self._memo[key] = None
         for cover, w_s, _gamma in self._guesses(component, w_r, parent_cover):
-            separator = self.hg.vertices_of(cover) | w_s
-            child_components = components(
-                self.hg.induced(component - separator), ()
+            separator = self.ctx.vertices_of(cover) | w_s
+            child_components = self.ctx.components_within(
+                self.ctx.intern(component - separator)
             )
             if all(
                 self._solve(child, w_s, cover) for child in child_components
             ):
-                self._memo[key] = (cover, w_s, tuple(child_components))
+                self._memo[key] = (cover, w_s, child_components)
                 return True
         return False
 
@@ -195,7 +179,7 @@ class _FracDecompSearch:
             for e in cover:
                 weights[e] = 1.0
             gamma = FractionalCover(weights)
-            region = self.hg.vertices_of(cover) | w_s
+            region = self.ctx.vertices_of(cover) | w_s
             bag = region if parent_id is None else region & (
                 parent_bag | component
             )
@@ -297,10 +281,11 @@ def integralize(
     cover integrality gap of the bag hypergraphs — O(log k) under bounded
     VC dimension, hence under the BMIP (Lemma 6.24, Corollary 6.25).
     """
+    oracle = oracle_for(hypergraph)
     nodes = []
     for nid in decomposition.node_ids:
         bag = decomposition.bag(nid)
-        lam = greedy_edge_cover_of(hypergraph, bag)
+        lam = oracle.greedy_cover(bag)
         assert lam is not None, "bag vertices must be coverable"
         nodes.append((nid, bag, lam))
     ghd = Decomposition(

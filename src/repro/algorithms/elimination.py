@@ -25,13 +25,9 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Callable
 
-from ..covers import (
-    EPS,
-    FractionalCover,
-    edge_cover_of,
-    fractional_cover_of,
-)
+from ..covers import EPS, FractionalCover
 from ..decomposition import Decomposition, validate
+from ..engine import oracle_for
 from ..hypergraph import Hypergraph, Vertex
 
 __all__ = [
@@ -95,6 +91,11 @@ def width_by_elimination(
     index = {v: i for i, v in enumerate(vertices)}
     adjacency = hypergraph.primal_graph()
 
+    # Per-run memo: the DP revisits the same bag across many masks, and
+    # bag_cost may be arbitrarily expensive (an LP or set-cover solve).
+    # Oracle-backed callers additionally share results across runs and
+    # algorithms, but correctness of this guarantee must not depend on
+    # the engine cache being enabled.
     cost_cache: dict[frozenset, float] = {}
 
     def cached_cost(bag: frozenset) -> float:
@@ -185,16 +186,17 @@ def generalized_hypertree_width_exact(
     hypergraph: Hypergraph, vertex_limit: int = DEFAULT_VERTEX_LIMIT
 ) -> tuple[int, Decomposition]:
     """Exact ``ghw(H)`` with a witness GHD (exponential-time oracle)."""
+    oracle = oracle_for(hypergraph)
 
     def cost(bag: frozenset) -> float:
-        cover = edge_cover_of(hypergraph, bag)
+        cover = oracle.integral_cover(bag)
         assert cover is not None  # bags consist of non-isolated vertices
         return cover.weight
 
     width, ordering = width_by_elimination(hypergraph, cost, vertex_limit)
 
     def cover_for_bag(bag: frozenset) -> FractionalCover:
-        cover = edge_cover_of(hypergraph, bag)
+        cover = oracle.integral_cover(bag)
         assert cover is not None
         return cover
 
@@ -209,16 +211,17 @@ def fractional_hypertree_width_exact(
     hypergraph: Hypergraph, vertex_limit: int = DEFAULT_VERTEX_LIMIT
 ) -> tuple[float, Decomposition]:
     """Exact ``fhw(H)`` with a witness FHD (exponential-time oracle)."""
+    oracle = oracle_for(hypergraph)
 
     def cost(bag: frozenset) -> float:
-        cover = fractional_cover_of(hypergraph, bag)
+        cover = oracle.fractional_cover(bag)
         assert cover is not None
         return cover.weight
 
     width, ordering = width_by_elimination(hypergraph, cost, vertex_limit)
 
     def cover_for_bag(bag: frozenset) -> FractionalCover:
-        cover = fractional_cover_of(hypergraph, bag)
+        cover = oracle.fractional_cover(bag)
         assert cover is not None
         return cover
 

@@ -20,12 +20,9 @@ from __future__ import annotations
 
 import math
 
-from ..covers import (
-    EPS,
-    FractionalCover,
-    fractional_cover_of,
-)
+from ..covers import EPS
 from ..decomposition import Decomposition, project_to_original, validate
+from ..engine import oracle_for
 from ..hypergraph import Hypergraph, degree as degree_of
 from .elimination import fractional_hypertree_width_exact
 from .hd import HDSearch
@@ -47,7 +44,9 @@ class StrictFHDSearch(HDSearch):
 
     * strictness — ``⋃S ⊆ V(R) ∪ C_r`` (so bags equal ``⋃S``);
     * ``ρ*`` check — the vertex set ``⋃S`` has a fractional cover of
-      weight <= k using only the edges of S.
+      weight <= k using only the edges of S (answered by the shared
+      :class:`~repro.engine.oracle.CoverOracle`, so repeated guesses
+      never re-solve the LP).
 
     States are memoized on ``(C_r, R)`` because strictness genuinely
     depends on the parent's cover, not just the frontier.
@@ -58,23 +57,24 @@ class StrictFHDSearch(HDSearch):
     ) -> None:
         super().__init__(augmented, max(1, int(math.floor(max_support))))
         self.k_fractional = float(k)
+        # Per-search memo: one ρ* check per distinct cover set is part of
+        # the polynomial-time guarantee and must hold even when the shared
+        # oracle cache is disabled or evicting.  With the cache enabled
+        # the oracle additionally shares verdict LPs across searches.
         self._rho_cache: dict[frozenset, bool] = {}
 
     def state_key(self, component, parent_cover, frontier):
         return (component, parent_cover)
 
     def admissible(self, cover_edges, component, frontier, parent_cover):
-        union = self.hypergraph.vertices_of(cover_edges)
-        allowed_region = self.hypergraph.vertices_of(parent_cover) | component
+        ctx = self.context
+        union = ctx.vertices_of(cover_edges)
+        allowed_region = ctx.vertices_of(parent_cover) | component
         if not union <= allowed_region:
             return False  # strictness would fail: B_u must be ⋃S
         if cover_edges not in self._rho_cache:
-            cover = fractional_cover_of(
-                self.hypergraph, union, allowed_edges=cover_edges
-            )
-            self._rho_cache[cover_edges] = (
-                cover is not None
-                and cover.weight <= self.k_fractional + EPS
+            self._rho_cache[cover_edges] = self.oracle.cover_feasible_within(
+                union, self.k_fractional, allowed_edges=cover_edges
             )
         return self._rho_cache[cover_edges]
 
@@ -107,11 +107,12 @@ def fractional_hypertree_decomposition_bounded_degree(
 
     # Replace each λ_u by the optimal fractional cover of ⋃S_u using S_u,
     # then push subedge weights to originators of H (Theorem 5.22, 2 ⇒ 1).
+    oracle = oracle_for(augmented)
     nodes = []
     for nid in strict_hd.node_ids:
         support = strict_hd.cover(nid).support
         bag = strict_hd.bag(nid)
-        gamma = fractional_cover_of(augmented, bag, allowed_edges=support)
+        gamma = oracle.fractional_cover(bag, allowed_edges=support)
         assert gamma is not None and gamma.weight <= k + EPS
         nodes.append((nid, bag, gamma))
     fractional = Decomposition(

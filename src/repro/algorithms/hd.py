@@ -2,8 +2,11 @@
 
 The paper's positive results (Theorems 4.11, 4.15, 5.2, 6.1) all reduce the
 problem at hand to hypertree decomposition search, which is polynomial for
-fixed k [27].  This module implements a deterministic, memoized version of
-the alternating ``k-decomp`` algorithm:
+fixed k [27].  The search itself is the generic Check(X, k) skeleton of
+:class:`repro.engine.search.CheckSearch` — a deterministic, memoized
+version of the alternating ``k-decomp`` algorithm running on the shared
+:class:`~repro.engine.context.SearchContext` (memoized components,
+frontiers and edge unions):
 
 * a search state is a pair ``(C_r, R)`` of an open component and the
   parent's cover edges;
@@ -16,7 +19,7 @@ the alternating ``k-decomp`` algorithm:
 For plain HDs the acceptance of a state depends on ``R`` only through the
 frontier, so states are memoized on ``(C_r, frontier)``; subclasses that
 need the full parent cover (the strict search of Theorem 5.22) override
-:meth:`HDSearch.state_key`.
+:meth:`CheckSearch.state_key`.
 
 On acceptance the witness tree is rebuilt top-down with bags
 ``B_u = V(S_u) ∩ (B_r ∪ C_u)`` — this makes the special condition hold by
@@ -25,12 +28,9 @@ construction — and re-validated by :mod:`repro.decomposition.validation`.
 
 from __future__ import annotations
 
-from itertools import combinations
-from typing import Hashable
-
-from ..covers import FractionalCover
 from ..decomposition import Decomposition, validate
-from ..hypergraph import Hypergraph, components
+from ..engine import CheckSearch
+from ..hypergraph import Hypergraph
 
 __all__ = [
     "hypertree_decomposition",
@@ -40,146 +40,14 @@ __all__ = [
 ]
 
 
-class HDSearch:
-    """Reusable Check(HD,k) search with optional extra per-guess checks.
+class HDSearch(CheckSearch):
+    """Check(HD, k): the plain instantiation of the engine skeleton.
 
-    Subclassing hooks (used by the GHD/FHD reductions of Sections 4-5):
-
-    * :meth:`admissible` — veto a guessed edge set ``S`` (e.g. Theorem 5.22
-      additionally requires ``ρ*(H_λ) <= k`` and strictness);
-    * :meth:`max_cover_size` — the cardinality bound on ``S``;
-    * :meth:`state_key` — the memoization key for a search state.
+    All the machinery lives in :class:`repro.engine.search.CheckSearch`;
+    this subclass exists as the named HD entry point and the base of the
+    strict FHD search (Theorem 5.22), which overrides the hooks
+    :meth:`~CheckSearch.admissible` and :meth:`~CheckSearch.state_key`.
     """
-
-    def __init__(self, hypergraph: Hypergraph, k: int) -> None:
-        if k < 1:
-            raise ValueError("width bound k must be >= 1")
-        self.hypergraph = hypergraph
-        self.k = k
-        self._memo: dict[Hashable, tuple | None] = {}
-        self._edge_names = sorted(hypergraph.edge_names)
-        self.states_explored = 0
-
-    # -- hooks ---------------------------------------------------------
-    def max_cover_size(self) -> int:
-        return self.k
-
-    def admissible(
-        self,
-        cover_edges: frozenset,
-        component: frozenset,
-        frontier: frozenset,
-        parent_cover: frozenset,
-    ) -> bool:
-        """Extra acceptance test for a guessed cover (default: none)."""
-        return True
-
-    def state_key(
-        self, component: frozenset, parent_cover: frozenset, frontier: frozenset
-    ) -> Hashable:
-        """Memo key; for plain HDs the frontier summarizes the parent."""
-        return (component, frontier)
-
-    # -- search --------------------------------------------------------
-    def run(self) -> Decomposition | None:
-        """Search for an HD of width <= k; None when none exists."""
-        hg = self.hypergraph
-        if hg.num_vertices == 0:
-            raise ValueError("hypergraph has no vertices")
-        if not self._solve(hg.vertices, frozenset()):
-            return None
-        return self._rebuild()
-
-    def _frontier(self, component: frozenset, parent_cover: frozenset) -> frozenset:
-        """``V(R) ∩ ⋃ edges(C_r)``: the parent-cover part seen by C_r."""
-        hg = self.hypergraph
-        covered = hg.vertices_of(parent_cover)
-        return covered & hg.vertices_of(hg.incident_edges(component))
-
-    def _candidate_edges(
-        self, component: frozenset, frontier: frozenset
-    ) -> list[str]:
-        """Edges that can usefully appear in S: those meeting C_r ∪ frontier.
-
-        Normal-form HDs never need cover edges disjoint from the bag, and
-        bags live inside ``B_r ∪ C_r`` — see module docs.
-        """
-        hg = self.hypergraph
-        relevant = component | frontier
-        return [e for e in self._edge_names if hg.edge(e) & relevant]
-
-    def _guesses(
-        self, component: frozenset, frontier: frozenset, parent_cover: frozenset
-    ):
-        """All admissible covers S for this state, best-first.
-
-        Single edges are ordered by how much of the component ∪ frontier
-        they cover, which lets the search commit to large separators early.
-        """
-        hg = self.hypergraph
-        target = component | frontier
-        candidates = sorted(
-            self._candidate_edges(component, frontier),
-            key=lambda e: (-len(hg.edge(e) & target), e),
-        )
-        for size in range(1, self.max_cover_size() + 1):
-            for combo in combinations(candidates, size):
-                cover = frozenset(combo)
-                covered = hg.vertices_of(cover)
-                if not frontier <= covered:
-                    continue
-                if not covered & component:
-                    continue
-                if not self.admissible(cover, component, frontier, parent_cover):
-                    continue
-                yield cover, covered
-
-    def _solve(self, component: frozenset, parent_cover: frozenset) -> bool:
-        frontier = self._frontier(component, parent_cover)
-        key = self.state_key(component, parent_cover, frontier)
-        if key in self._memo:
-            return self._memo[key] is not None
-        self._memo[key] = None
-        self.states_explored += 1
-        hg = self.hypergraph
-        for cover, covered in self._guesses(component, frontier, parent_cover):
-            child_components = components(hg.induced(component - covered), ())
-            if all(self._solve(child, cover) for child in child_components):
-                self._memo[key] = (cover, tuple(child_components))
-                return True
-        return False
-
-    def _rebuild(self) -> Decomposition:
-        hg = self.hypergraph
-        nodes: list[tuple[str, frozenset, FractionalCover]] = []
-        parent: dict[str, str] = {}
-        counter = 0
-
-        def build(
-            component: frozenset,
-            parent_cover: frozenset,
-            parent_id: str | None,
-            parent_bag: frozenset,
-        ) -> None:
-            nonlocal counter
-            frontier = self._frontier(component, parent_cover)
-            entry = self._memo[self.state_key(component, parent_cover, frontier)]
-            assert entry is not None
-            cover, child_components = entry
-            node_id = f"n{counter}"
-            counter += 1
-            covered = hg.vertices_of(cover)
-            bag = covered & (parent_bag | component)
-            nodes.append(
-                (node_id, bag, FractionalCover({e: 1.0 for e in cover}))
-            )
-            if parent_id is not None:
-                parent[node_id] = parent_id
-            for child in child_components:
-                build(child, cover, node_id, bag)
-
-        build(hg.vertices, frozenset(), None, frozenset())
-        return Decomposition(nodes, parent=parent, root="n0")
 
 
 def hypertree_decomposition(

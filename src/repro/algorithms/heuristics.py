@@ -22,12 +22,9 @@ from __future__ import annotations
 
 from collections.abc import Callable
 
-from ..covers import (
-    FractionalCover,
-    edge_cover_of,
-    fractional_cover_of,
-)
+from ..covers import FractionalCover
 from ..decomposition import Decomposition, validate
+from ..engine import oracle_for
 from ..hypergraph import Hypergraph, Vertex
 from .elimination import decomposition_from_ordering
 
@@ -109,12 +106,13 @@ def heuristic_decomposition(
     if cost not in ("fractional", "integral"):
         raise ValueError("cost must be 'fractional' or 'integral'")
     order = _ORDERINGS[ordering](hypergraph)
+    oracle = oracle_for(hypergraph)
 
     def cover_for_bag(bag: frozenset) -> FractionalCover:
         if cost == "fractional":
-            cover = fractional_cover_of(hypergraph, bag)
+            cover = oracle.fractional_cover(bag)
         else:
-            cover = edge_cover_of(hypergraph, bag)
+            cover = oracle.integral_cover(bag)
         assert cover is not None  # bags contain no isolated vertices
         return cover
 
@@ -141,6 +139,7 @@ def clique_lower_bound(
     if cost not in ("fractional", "integral"):
         raise ValueError("cost must be 'fractional' or 'integral'")
     adjacency = hypergraph.primal_graph()
+    oracle = oracle_for(hypergraph)
     seeds = sorted(
         hypergraph.vertices, key=lambda v: (-len(adjacency[v]), str(v))
     )[:attempts]
@@ -156,9 +155,9 @@ def clique_lower_bound(
             clique.add(v)
             candidates &= adjacency[v]
         if cost == "fractional":
-            cover = fractional_cover_of(hypergraph, clique)
+            cover = oracle.fractional_cover(clique)
         else:
-            cover = edge_cover_of(hypergraph, clique)
+            cover = oracle.integral_cover(clique)
         if cover is not None:
             best = max(best, cover.weight)
     return best

@@ -33,7 +33,12 @@ def is_balanced_separator(
     separator: frozenset,
     balance: float = 0.5,
 ) -> bool:
-    """True iff every [separator]-component has <= balance·|V| vertices."""
+    """True iff every [separator]-component has <= balance·|V| vertices.
+
+    Deliberately uncached: separator probes enumerate thousands of
+    candidate unions exactly once each, so memoizing their component
+    partitions in the shared SearchContext would be pure memory cost.
+    """
     limit = balance * hypergraph.num_vertices
     return all(
         len(comp) <= limit
@@ -71,9 +76,14 @@ def ghw_balance_lower_bound(
     Complements :func:`repro.algorithms.heuristics.clique_lower_bound`;
     on cliques this bound is ~n/4 while the clique bound is n/2, but on
     expander-like instances the balance bound can dominate.
+
+    One enumeration suffices: :func:`balanced_separator` tries sizes in
+    ascending order, so the support of the first hit is the smallest k —
+    iterating ``balanced_separator(1), balanced_separator(2), ...`` would
+    re-test every smaller size at each step.
     """
     cap = hypergraph.num_edges if kmax is None else kmax
-    for k in range(1, cap + 1):
-        if balanced_separator(hypergraph, k) is not None:
-            return k
-    return cap
+    separator = balanced_separator(hypergraph, cap)
+    if separator is None:
+        return cap
+    return max(1, len(separator.support))

@@ -9,6 +9,11 @@ Usage (also ``python -m repro``)::
     repro reduce formula.cnf                # Theorem 3.2 reduction report
     repro generate cycle 8                  # emit a family instance
 
+Width-computing commands accept engine options: ``--backend`` selects
+the LP solver (``scipy`` / ``purepython`` / ``auto``), ``--cache-size``
+bounds the cover-oracle LRU (0 disables caching), and ``--cache-stats``
+prints LP-solve counts and cache hit rates after the command.
+
 Hypergraphs are read in the HyperBench text format
 (``e1(a,b,c), e2(b,d).``); formulas in DIMACS CNF.
 """
@@ -20,6 +25,7 @@ import json
 import sys
 from pathlib import Path
 
+from . import engine
 from .algorithms import (
     fractional_hypertree_width_exact,
     generalized_hypertree_width,
@@ -189,12 +195,70 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _engine_options() -> argparse.ArgumentParser:
+    """Shared ``--backend`` / ``--cache-size`` / ``--cache-stats`` options."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("engine options")
+    group.add_argument(
+        "--backend",
+        choices=["auto", *engine.available_backends()],
+        default=None,
+        help="LP solver backend for cover computations (default: auto)",
+    )
+    group.add_argument(
+        "--cache-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cover-oracle LRU capacity (0 disables caching)",
+    )
+    group.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="print LP-solve counts and cache hit rates after the command",
+    )
+    return parent
+
+
+def _apply_engine_options(args: argparse.Namespace) -> None:
+    if getattr(args, "backend", None) is not None or getattr(
+        args, "cache_size", None
+    ) is not None:
+        engine.configure(
+            backend=getattr(args, "backend", None),
+            cache_size=getattr(args, "cache_size", None),
+        )
+
+
+def _print_engine_stats(args: argparse.Namespace, baseline: dict) -> None:
+    """Print this invocation's engine counters as a delta from baseline.
+
+    The global counters are never reset, so in-process callers (tests,
+    notebooks) keep whatever they were accumulating around main().
+    """
+    if not getattr(args, "cache_stats", False):
+        return
+    current = engine.stats()
+    delta = {
+        key: current[key] - baseline.get(key, 0)
+        for key in ("lp_solves", "set_cover_solves", "cache_hits", "cache_misses")
+    }
+    lookups = delta["cache_hits"] + delta["cache_misses"]
+    delta["hit_rate"] = (
+        round(delta["cache_hits"] / lookups, 4) if lookups else 0.0
+    )
+    print("engine cache stats:")
+    for key, value in delta.items():
+        print(f"  {key:>16}: {value}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Hypertree decompositions: hard and easy cases (PODS'18)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    engine_options = _engine_options()
 
     p_stats = sub.add_parser("stats", help="structural profile of a hypergraph")
     p_stats.add_argument("file")
@@ -202,24 +266,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--vc-limit", type=int, default=20)
     p_stats.set_defaults(func=_cmd_stats)
 
-    p_width = sub.add_parser("width", help="compute hw / ghw / fhw")
+    p_width = sub.add_parser(
+        "width", help="compute hw / ghw / fhw", parents=[engine_options]
+    )
     p_width.add_argument("file")
     p_width.add_argument("--kind", choices=("hw", "ghw", "fhw"), default="ghw")
     p_width.add_argument("--show", action="store_true", help="print the witness")
     p_width.set_defaults(func=_cmd_width)
 
-    p_dec = sub.add_parser("decompose", help="Check(GHD,k) with witness")
+    p_dec = sub.add_parser(
+        "decompose", help="Check(GHD,k) with witness", parents=[engine_options]
+    )
     p_dec.add_argument("file")
     p_dec.add_argument("-k", type=int, required=True)
     p_dec.add_argument("--json", action="store_true")
     p_dec.set_defaults(func=_cmd_decompose)
 
-    p_report = sub.add_parser("report", help="full width/profile report")
+    p_report = sub.add_parser(
+        "report", help="full width/profile report", parents=[engine_options]
+    )
     p_report.add_argument("file")
     p_report.add_argument("--json", action="store_true")
     p_report.set_defaults(func=_cmd_report)
 
-    p_bounds = sub.add_parser("bounds", help="heuristic width sandwich")
+    p_bounds = sub.add_parser(
+        "bounds", help="heuristic width sandwich", parents=[engine_options]
+    )
     p_bounds.add_argument("file")
     p_bounds.add_argument(
         "--cost", choices=("fractional", "integral"), default="fractional"
@@ -242,7 +314,19 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    # Engine flags are per-invocation: snapshot the process-global config
+    # and restore it afterwards, so in-process callers (tests, notebooks)
+    # are not left running on whatever backend the last command selected.
+    config = engine.engine_config()
+    previous = (config.backend, config.cache_size)
+    baseline = engine.stats()
+    _apply_engine_options(args)
+    try:
+        code = args.func(args)
+        _print_engine_stats(args, baseline)
+    finally:
+        config.backend, config.cache_size = previous
+    return code
 
 
 if __name__ == "__main__":

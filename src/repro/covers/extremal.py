@@ -20,11 +20,8 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Mapping
 
-import numpy as np
-from scipy.optimize import linprog
-
 from ..hypergraph import Hypergraph, Vertex
-from .linear_program import EPS
+from .linear_program import EPS, HAVE_SCIPY
 
 __all__ = [
     "extremal_cover_value",
@@ -48,7 +45,19 @@ def extremal_cover_value(
     no fractional cover of weight <= budget at all — which is itself the
     certificate used by Claims D-H ("S ∪ {z1,z2,a1,a'1} cannot be covered
     with weight <= 2").
+
+    Unlike the minimizing cover LPs (which fall back to the pure-Python
+    simplex), these extremal queries — arbitrary objectives over a
+    budget-bounded polytope — require scipy.
     """
+    if not HAVE_SCIPY:  # pragma: no cover - exercised only on slim installs
+        raise ImportError(
+            "extremal cover certificates require scipy; "
+            "install scipy or skip the hardness-certificate paths"
+        )
+    import numpy as np
+    from scipy.optimize import linprog
+
     targets = sorted(frozenset(vertex_set), key=str)
     names = sorted(hypergraph.edge_names)
     index = {e: i for i, e in enumerate(names)}

@@ -23,6 +23,7 @@ __all__ = [
     "fractional_edge_cover",
     "fractional_edge_cover_number",
     "fractional_cover_of",
+    "solve_fractional_cover",
     "covered_vertices",
     "cover_weight",
     "fractional_vertex_cover_number",
@@ -98,6 +99,45 @@ def cover_weight(cover: FractionalCover | Mapping[str, float]) -> float:
     return sum(cover.values())
 
 
+def solve_fractional_cover(
+    hypergraph: Hypergraph,
+    vertex_set: Iterable[Vertex],
+    allowed_edges: Iterable[str] | None = None,
+    solver=None,
+    cap: float | None = None,
+) -> FractionalCover | None:
+    """The shared cover-LP pipeline: build membership, solve, extract.
+
+    One canonical implementation of "optimal fractional cover of a bag"
+    — deterministic edge/vertex ordering, EPS weight filtering — shared
+    by :func:`fractional_cover_of` and the engine's ``CoverOracle`` so
+    the two can never diverge.  ``solver`` is any callable with the
+    :func:`~repro.covers.linear_program.solve_covering_lp` signature
+    (defaults to it); ``cap`` bounds every per-edge weight (used for
+    purely fractional covers).
+    """
+    targets = sorted(frozenset(vertex_set), key=str)
+    names = sorted(allowed_edges) if allowed_edges is not None else sorted(
+        hypergraph.edge_names
+    )
+    index = {e: i for i, e in enumerate(names)}
+    membership = [
+        [index[e] for e in hypergraph.edges_of(v) if e in index]
+        for v in targets
+    ]
+    solve = solve_covering_lp if solver is None else solver
+    result = solve(
+        membership,
+        n_vars=len(names),
+        upper_bounds=None if cap is None else [cap] * len(names),
+    )
+    if not result.feasible:
+        return None
+    return FractionalCover(
+        {names[i]: w for i, w in enumerate(result.weights) if w > EPS}
+    )
+
+
 def fractional_cover_of(
     hypergraph: Hypergraph,
     vertex_set: Iterable[Vertex],
@@ -110,21 +150,7 @@ def fractional_cover_of(
     bag of a decomposition, condition (3')).  Returns ``None`` when some
     vertex lies in no allowed edge.
     """
-    targets = sorted(frozenset(vertex_set), key=str)
-    names = sorted(allowed_edges) if allowed_edges is not None else sorted(
-        hypergraph.edge_names
-    )
-    index = {e: i for i, e in enumerate(names)}
-    membership = [
-        [index[e] for e in hypergraph.edges_of(v) if e in index]
-        for v in targets
-    ]
-    result = solve_covering_lp(membership, n_vars=len(names))
-    if not result.feasible:
-        return None
-    return FractionalCover(
-        {names[i]: w for i, w in enumerate(result.weights) if w > EPS}
-    )
+    return solve_fractional_cover(hypergraph, vertex_set, allowed_edges)
 
 
 def fractional_edge_cover(hypergraph: Hypergraph) -> FractionalCover:

@@ -15,10 +15,25 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-from scipy.optimize import linprog
+try:  # gated: the engine's pure-Python backend works without scipy
+    import numpy as np
+    from scipy.optimize import linprog
 
-__all__ = ["EPS", "CoveringLPResult", "solve_covering_lp", "leq", "geq", "close"]
+    HAVE_SCIPY = True
+except ImportError:  # pragma: no cover - exercised only on slim installs
+    np = None
+    linprog = None
+    HAVE_SCIPY = False
+
+__all__ = [
+    "EPS",
+    "HAVE_SCIPY",
+    "CoveringLPResult",
+    "solve_covering_lp",
+    "leq",
+    "geq",
+    "close",
+]
 
 #: Comparison tolerance for LP-derived weights throughout the library.
 EPS = 1e-9
@@ -94,6 +109,12 @@ def solve_covering_lp(
         return CoveringLPResult(None, (0.0,) * n_vars, False)
     if not membership:
         return CoveringLPResult(0.0, (0.0,) * n_vars, True)
+    if not HAVE_SCIPY:  # pragma: no cover - exercised only on slim installs
+        from .simplex import simplex_covering_lp
+
+        return simplex_covering_lp(
+            membership, n_vars, costs=costs, upper_bounds=upper_bounds
+        )
 
     c = np.ones(n_vars) if costs is None else np.asarray(costs, dtype=float)
     # Build the sparse-ish constraint matrix densely; instances here are

@@ -1,0 +1,123 @@
+"""The unified decomposition engine (context → oracle → search).
+
+Shared infrastructure for every width-search algorithm in the library:
+
+* :mod:`repro.engine.context` — per-hypergraph :class:`SearchContext`
+  memoizing components, frontiers, incidence closures and the primal
+  graph, with frozenset interning;
+* :mod:`repro.engine.oracle` — the :class:`CoverOracle`, an LRU-cached
+  fractional/integral cover service keyed on ``(bag, allowed_edges)``
+  over pluggable LP backends (scipy-HiGHS default, pure-Python simplex
+  fallback);
+* :mod:`repro.engine.search` — :class:`CheckSearch`, the generic
+  Check(X, k) branch-and-bound skeleton that ``HDSearch``, the GHD
+  subedge-augmentation path and the FHD search instantiate.
+
+Engine-wide configuration (LP backend, cache size) is process-global and
+set via :func:`configure`; the CLI exposes it as ``--backend`` and
+``--cache-size``.  Aggregate LP/cache statistics are read via
+:func:`stats` and zeroed via :func:`reset_stats` (CLI ``--cache-stats``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .backends import (
+    LPBackend,
+    PurePythonSimplexBackend,
+    ScipyHiGHSBackend,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    register_backend,
+)
+from .context import SearchContext, clear_context_registry, get_context
+from .oracle import (
+    DEFAULT_CACHE_SIZE,
+    GLOBAL_STATS,
+    CoverOracle,
+    OracleStats,
+    oracle_for,
+)
+from .search import GUESS_STRATEGIES, CheckSearch
+
+__all__ = [
+    "SearchContext",
+    "get_context",
+    "clear_context_registry",
+    "CoverOracle",
+    "OracleStats",
+    "oracle_for",
+    "DEFAULT_CACHE_SIZE",
+    "CheckSearch",
+    "GUESS_STRATEGIES",
+    "LPBackend",
+    "ScipyHiGHSBackend",
+    "PurePythonSimplexBackend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "default_backend_name",
+    "EngineConfig",
+    "engine_config",
+    "configure",
+    "stats",
+    "reset_stats",
+]
+
+
+@dataclass
+class EngineConfig:
+    """Process-global engine settings (see :func:`configure`).
+
+    ``backend`` of None means "library default" (scipy when available,
+    else the pure-Python simplex).  ``cache_size`` of 0 disables the
+    cover cache — useful for measuring what the cache buys.
+    """
+
+    backend: str | None = None
+    cache_size: int = DEFAULT_CACHE_SIZE
+
+
+_CONFIG = EngineConfig()
+
+
+def engine_config() -> EngineConfig:
+    """The live engine configuration object."""
+    return _CONFIG
+
+
+def configure(
+    backend: str | None = None, cache_size: int | None = None
+) -> EngineConfig:
+    """Set process-global engine defaults; returns the config.
+
+    Only the arguments passed are changed (``backend="auto"`` restores
+    the library default).  Oracles already handed out keep their
+    configuration; new :func:`oracle_for` calls pick up the updated
+    defaults.
+    """
+    if backend is not None:
+        if backend == "auto":
+            _CONFIG.backend = None
+        elif backend not in available_backends():
+            raise ValueError(
+                f"unknown LP backend {backend!r}; available: "
+                f"{available_backends()}"
+            )
+        else:
+            _CONFIG.backend = backend
+    if cache_size is not None:
+        _CONFIG.cache_size = max(0, int(cache_size))
+    return _CONFIG
+
+
+def stats() -> dict:
+    """Aggregate LP-solve and cache statistics across all oracles."""
+    return GLOBAL_STATS.as_dict()
+
+
+def reset_stats() -> None:
+    """Zero the aggregate statistics (per-oracle counters are untouched)."""
+    GLOBAL_STATS.reset()

@@ -1,0 +1,116 @@
+"""Pluggable LP backends for the cover oracle.
+
+Every covering problem the paper needs (ρ*, τ*, capped covers) has the
+shape ``min c·x  s.t.  sum_{j in row} x_j >= 1,  0 <= x <= ub``.  The
+engine routes all of them through a backend object so the solver is
+swappable:
+
+* :class:`ScipyHiGHSBackend` — the default when scipy is installed;
+  delegates to :func:`repro.covers.linear_program.solve_covering_lp`
+  (``scipy.optimize.linprog`` with the HiGHS method).
+* :class:`PurePythonSimplexBackend` — the dependency-free two-phase
+  simplex of :mod:`repro.covers.simplex`.  It keeps the library working
+  on slim installs and provides an independent solver to cross-check
+  the scipy results against.
+
+Backends register themselves in a name -> factory registry; the CLI's
+``--backend`` flag and :func:`repro.engine.configure` select by name.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..covers.linear_program import HAVE_SCIPY, CoveringLPResult
+from ..covers.simplex import simplex_covering_lp
+
+__all__ = [
+    "LPBackend",
+    "ScipyHiGHSBackend",
+    "PurePythonSimplexBackend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "default_backend_name",
+]
+
+
+class LPBackend:
+    """Interface: solve one covering LP.  Subclasses set ``name``."""
+
+    name = "abstract"
+
+    def solve_covering_lp(
+        self,
+        membership: list[list[int]],
+        n_vars: int,
+        costs: list[float] | None = None,
+        upper_bounds: list[float] | None = None,
+    ) -> CoveringLPResult:
+        raise NotImplementedError
+
+
+class ScipyHiGHSBackend(LPBackend):
+    """scipy.optimize.linprog (HiGHS) via the covers-layer wrapper."""
+
+    name = "scipy"
+
+    def solve_covering_lp(
+        self, membership, n_vars, costs=None, upper_bounds=None
+    ) -> CoveringLPResult:
+        from ..covers.linear_program import solve_covering_lp
+
+        return solve_covering_lp(
+            membership, n_vars, costs=costs, upper_bounds=upper_bounds
+        )
+
+
+class PurePythonSimplexBackend(LPBackend):
+    """The dependency-free simplex of :mod:`repro.covers.simplex`."""
+
+    name = "purepython"
+
+    def solve_covering_lp(
+        self, membership, n_vars, costs=None, upper_bounds=None
+    ) -> CoveringLPResult:
+        return simplex_covering_lp(
+            membership, n_vars, costs=costs, upper_bounds=upper_bounds
+        )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_BACKENDS: dict[str, Callable[[], LPBackend]] = {}
+
+
+def register_backend(name: str, factory: Callable[[], LPBackend]) -> None:
+    """Register (or replace) a backend factory under ``name``."""
+    _BACKENDS[name] = factory
+
+
+def get_backend(name: str | None = None) -> LPBackend:
+    """Instantiate a backend by name (None = library default)."""
+    resolved = name or default_backend_name()
+    try:
+        factory = _BACKENDS[resolved]
+    except KeyError:
+        raise ValueError(
+            f"unknown LP backend {resolved!r}; available: {available_backends()}"
+        ) from None
+    return factory()
+
+
+def available_backends() -> list[str]:
+    """Names of all registered backends, sorted."""
+    return sorted(_BACKENDS)
+
+
+def default_backend_name() -> str:
+    """``"scipy"`` when scipy is importable, else ``"purepython"``."""
+    return "scipy" if HAVE_SCIPY else "purepython"
+
+
+register_backend("purepython", PurePythonSimplexBackend)
+if HAVE_SCIPY:
+    register_backend("scipy", ScipyHiGHSBackend)

@@ -1,0 +1,226 @@
+"""Per-hypergraph ``SearchContext``: shared memoization for width searches.
+
+Every Check(HD/GHD/FHD, k) search and every width oracle in this library
+spends its inner loop on the same handful of structural queries — the
+``[C]``-components of a region, the union of a cover's edges, the set of
+edges incident to a component, the frontier a parent cover shows a child
+component.  Before the engine existed each algorithm recomputed these from
+scratch (and often materialized throwaway induced subhypergraphs to do
+so).  A :class:`SearchContext` is created once per hypergraph and memoizes
+all of them, so the results are shared *across* algorithms: the HD search
+warms the caches the GHD and FHD searches then hit.
+
+Contexts are handed out by :func:`get_context`, which keeps a small LRU
+registry keyed by the (immutable, hashable) hypergraph, so independent
+call sites computing on the same hypergraph transparently share one
+context.
+
+Sharing trades memory for solves: memo tables live as long as their
+context, i.e. until the registry's LRU (64 hypergraphs) evicts it.
+Long-lived processes that churn through many hard instances should call
+:func:`clear_context_registry` between batches (benchmarks do, via
+``measure_engine``), and the oracle's LRU is bounded by ``cache_size``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Iterable
+
+from ..hypergraph import Hypergraph, Vertex
+from ..hypergraph.components import components as _components
+
+__all__ = ["SearchContext", "get_context", "clear_context_registry"]
+
+#: How many hypergraphs the global context registry keeps alive.
+_REGISTRY_CAPACITY = 64
+
+_EMPTY = frozenset()
+
+
+class SearchContext:
+    """Memoized structural queries for one (immutable) hypergraph.
+
+    The context interns frozensets (so repeated identical components and
+    covers share one object and hash once) and caches:
+
+    * ``vertices_of(cover)`` — ``V(S)`` for a set of edge names;
+    * ``incident_edges(component)`` — ``edges(C)``;
+    * ``frontier(component, parent_cover)`` — the part of the parent's
+      cover visible from a component (the ``k-decomp`` interface set);
+    * ``components_within(region)`` — the connected components of the
+      subhypergraph induced on ``region``, computed directly from the
+      incidence structure without building an induced ``Hypergraph``;
+    * ``components(separator)`` — the ``[C]``-components of the whole
+      hypergraph;
+    * ``primal_adjacency`` — the (hypergraph-cached) Gaifman graph.
+
+    All results are immutable, so sharing them across searches is safe.
+    """
+
+    __slots__ = (
+        "hypergraph",
+        "_intern",
+        "_vertices_of",
+        "_incident",
+        "_frontier",
+        "_components_within",
+        "_components",
+        "stats",
+        "_oracles",
+    )
+
+    def __init__(self, hypergraph: Hypergraph) -> None:
+        self.hypergraph = hypergraph
+        self._intern: dict[frozenset, frozenset] = {}
+        self._vertices_of: dict[frozenset, frozenset] = {}
+        self._incident: dict[frozenset, frozenset] = {}
+        self._frontier: dict[tuple[frozenset, frozenset], frozenset] = {}
+        self._components_within: dict[frozenset, tuple[frozenset, ...]] = {}
+        self._components: dict[frozenset, tuple[frozenset, ...]] = {}
+        self.stats = {"hits": 0, "misses": 0}
+        # CoverOracles attached to this context, keyed by configuration;
+        # managed by repro.engine.oracle.oracle_for.
+        self._oracles: dict = {}
+
+    # ------------------------------------------------------------------
+    # Interning
+    # ------------------------------------------------------------------
+    def intern(self, vertex_set: Iterable[Vertex]) -> frozenset:
+        """A canonical frozenset equal to ``vertex_set``.
+
+        Components and covers recur constantly during a search; interning
+        them means each distinct set hashes once and membership tables
+        stay small.
+        """
+        fs = (
+            vertex_set
+            if type(vertex_set) is frozenset
+            else frozenset(vertex_set)
+        )
+        return self._intern.setdefault(fs, fs)
+
+    # ------------------------------------------------------------------
+    # Memoized structural queries
+    # ------------------------------------------------------------------
+    def vertices_of(self, cover: frozenset) -> frozenset:
+        """``V(S) = ∪ S`` for a frozenset of edge names, memoized."""
+        cached = self._vertices_of.get(cover)
+        if cached is not None:
+            self.stats["hits"] += 1
+            return cached
+        self.stats["misses"] += 1
+        result = self.intern(self.hypergraph.vertices_of(cover))
+        self._vertices_of[cover] = result
+        return result
+
+    def incident_edges(self, component: frozenset) -> frozenset:
+        """``edges(C)``: edges meeting the component, memoized."""
+        cached = self._incident.get(component)
+        if cached is not None:
+            self.stats["hits"] += 1
+            return cached
+        self.stats["misses"] += 1
+        result = self.hypergraph.incident_edges(component)
+        self._incident[component] = result
+        return result
+
+    def frontier(self, component: frozenset, parent_cover: frozenset) -> frozenset:
+        """``V(R) ∩ ⋃ edges(C_r)``: the parent-cover part seen by C_r."""
+        key = (component, parent_cover)
+        cached = self._frontier.get(key)
+        if cached is not None:
+            self.stats["hits"] += 1
+            return cached
+        self.stats["misses"] += 1
+        covered = self.vertices_of(parent_cover)
+        result = self.intern(
+            covered & self.vertices_of(self.incident_edges(component))
+        )
+        self._frontier[key] = result
+        return result
+
+    def components_within(self, region: frozenset) -> tuple[frozenset, ...]:
+        """Connected components of the subhypergraph induced on ``region``.
+
+        Equivalent to ``components(H.induced(region), ())``: taking the
+        complement of the region as the separator gives exactly the same
+        partition — two region vertices are connected iff some edge
+        contains both inside the region — without ever materializing an
+        induced ``Hypergraph`` in the search hot loop, and through the
+        single BFS implementation in :mod:`repro.hypergraph.components`.
+        """
+        cached = self._components_within.get(region)
+        if cached is not None:
+            self.stats["hits"] += 1
+            return cached
+        self.stats["misses"] += 1
+        result = tuple(
+            self.intern(c)
+            for c in _components(
+                self.hypergraph, self.hypergraph.vertices - region
+            )
+        )
+        self._components_within[region] = result
+        return result
+
+    def components(self, separator: Iterable[Vertex] = ()) -> tuple[frozenset, ...]:
+        """The ``[C]``-components of the whole hypergraph, memoized."""
+        sep = separator if type(separator) is frozenset else frozenset(separator)
+        cached = self._components.get(sep)
+        if cached is not None:
+            self.stats["hits"] += 1
+            return cached
+        self.stats["misses"] += 1
+        result = tuple(
+            self.intern(c) for c in _components(self.hypergraph, sep)
+        )
+        self._components[sep] = result
+        return result
+
+    @property
+    def primal_adjacency(self) -> dict[Vertex, frozenset]:
+        """The Gaifman-graph adjacency (cached on the hypergraph)."""
+        return self.hypergraph.primal_graph()
+
+    # ------------------------------------------------------------------
+    def cache_sizes(self) -> dict[str, int]:
+        """Entry counts per memo table (for diagnostics and benchmarks)."""
+        return {
+            "interned": len(self._intern),
+            "vertices_of": len(self._vertices_of),
+            "incident_edges": len(self._incident),
+            "frontier": len(self._frontier),
+            "components_within": len(self._components_within),
+            "components": len(self._components),
+        }
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_registry: OrderedDict[Hypergraph, SearchContext] = OrderedDict()
+
+
+def get_context(hypergraph: Hypergraph) -> SearchContext:
+    """The shared :class:`SearchContext` for ``hypergraph``.
+
+    Contexts are kept in a bounded LRU registry keyed by the hypergraph
+    itself (hashable and immutable, with a cached hash), so equal
+    hypergraphs — even ones constructed independently — share one context
+    and therefore one set of caches.
+    """
+    ctx = _registry.get(hypergraph)
+    if ctx is None:
+        ctx = SearchContext(hypergraph)
+        _registry[hypergraph] = ctx
+        while len(_registry) > _REGISTRY_CAPACITY:
+            _registry.popitem(last=False)
+    else:
+        _registry.move_to_end(hypergraph)
+    return ctx
+
+
+def clear_context_registry() -> None:
+    """Drop all shared contexts (used by tests and benchmarks)."""
+    _registry.clear()

@@ -17,6 +17,7 @@ an algorithm needs the paper's reduced form (Section 5, assumptions (1)-(4)).
 from __future__ import annotations
 
 from collections.abc import Hashable, Iterable, Mapping
+from types import MappingProxyType
 from typing import Any
 
 Vertex = Hashable
@@ -63,7 +64,15 @@ class Hypergraph:
     frozenset({'a', 'b'})
     """
 
-    __slots__ = ("_edges", "_vertices", "_incidence", "name")
+    __slots__ = (
+        "_edges",
+        "_edges_view",
+        "_vertices",
+        "_incidence",
+        "_primal",
+        "_hash",
+        "name",
+    )
 
     def __init__(
         self,
@@ -83,6 +92,9 @@ class Hypergraph:
         self._incidence: dict[Vertex, frozenset] = {
             v: frozenset(incidence.get(v, ())) for v in self._vertices
         }
+        self._edges_view: Mapping[str, frozenset] = MappingProxyType(self._edges)
+        self._primal: dict[Vertex, frozenset] | None = None
+        self._hash: int | None = None
         self.name = name
 
     # ------------------------------------------------------------------
@@ -94,9 +106,14 @@ class Hypergraph:
         return self._vertices
 
     @property
-    def edges(self) -> dict[str, frozenset]:
-        """The edge mapping ``{name: vertex set}`` (a defensive copy)."""
-        return dict(self._edges)
+    def edges(self) -> Mapping[str, frozenset]:
+        """The edge mapping ``{name: vertex set}`` as a read-only view.
+
+        The view is zero-copy (``MappingProxyType``), so repeated access
+        inside search loops is O(1); call ``dict(h.edges)`` for a mutable
+        snapshot.
+        """
+        return self._edges_view
 
     @property
     def edge_names(self) -> tuple[str, ...]:
@@ -129,12 +146,29 @@ class Hypergraph:
         return self._edges == other._edges and self._vertices == other._vertices
 
     def __hash__(self) -> int:
-        return hash((self._vertices, frozenset(self._edges.items())))
+        if self._hash is None:
+            self._hash = hash((self._vertices, frozenset(self._edges.items())))
+        return self._hash
 
     def __repr__(self) -> str:
         label = f" {self.name!r}" if self.name else ""
         return (
             f"Hypergraph{label}(|V|={self.num_vertices}, |E|={self.num_edges})"
+        )
+
+    def __getstate__(self) -> dict:
+        """Pickle only the defining data; derived state (the proxy view,
+        cached primal graph and hash) is rebuilt on load — a mappingproxy
+        itself cannot be pickled."""
+        return {
+            "edges": self._edges,
+            "vertices": self._vertices,
+            "name": self.name,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(
+            state["edges"], vertices=state["vertices"], name=state["name"]
         )
 
     # ------------------------------------------------------------------
@@ -220,12 +254,18 @@ class Hypergraph:
         Two vertices are adjacent iff they co-occur in some edge.  Every
         hyperedge becomes a clique, which is why Lemma 2.8 applies to
         tree decompositions of this graph.
+
+        The hypergraph is immutable, so the adjacency is computed once and
+        cached; callers must not mutate the returned mapping (copy the
+        neighbour sets before editing, as the elimination heuristics do).
         """
-        adj: dict[Vertex, set] = {v: set() for v in self._vertices}
-        for vs in self._edges.values():
-            for v in vs:
-                adj[v].update(vs)
-        return {v: frozenset(nbrs - {v}) for v, nbrs in adj.items()}
+        if self._primal is None:
+            adj: dict[Vertex, set] = {v: set() for v in self._vertices}
+            for vs in self._edges.values():
+                for v in vs:
+                    adj[v].update(vs)
+            self._primal = {v: frozenset(nbrs - {v}) for v, nbrs in adj.items()}
+        return self._primal
 
     # ------------------------------------------------------------------
     # Misc structural helpers
@@ -239,8 +279,9 @@ class Hypergraph:
     def is_clique(self, vertex_set: Iterable[Vertex]) -> bool:
         """True iff every pair in ``vertex_set`` co-occurs in some edge."""
         vs = list(frozenset(vertex_set))
+        adjacency = self.primal_graph()
         return all(
-            self.adjacent(vs[i], vs[j])
+            vs[j] in adjacency[vs[i]]
             for i in range(len(vs))
             for j in range(i + 1, len(vs))
         )

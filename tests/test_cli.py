@@ -111,6 +111,46 @@ class TestGenerate:
         assert "unknown family" in capsys.readouterr().err
 
 
+class TestEngineOptions:
+    def test_cache_stats_printed_without_resetting_globals(self, c6_file, capsys):
+        from repro import engine
+
+        before = engine.stats()
+        assert main(["width", c6_file, "--kind", "fhw", "--cache-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "engine cache stats:" in out
+        assert "lp_solves" in out
+        assert "hit_rate" in out
+        # The printed numbers are a per-invocation delta; the process
+        # globals keep accumulating for in-process callers.
+        after = engine.stats()
+        assert after["lp_solves"] >= before["lp_solves"]
+        assert after["cache_misses"] >= before["cache_misses"]
+
+    def test_backend_selection_does_not_leak_config(self, c6_file, capsys):
+        from repro import engine
+
+        before = engine.engine_config().backend
+        assert main(
+            ["width", c6_file, "--kind", "fhw", "--backend", "purepython"]
+        ) == 0
+        assert "= 2.0" in capsys.readouterr().out
+        assert engine.engine_config().backend == before
+
+    def test_cache_disabled_still_correct(self, c6_file, capsys):
+        from repro import engine
+
+        previous = engine.engine_config().cache_size
+        assert main(
+            ["width", c6_file, "--kind", "fhw", "--cache-size", "0",
+             "--cache-stats"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "= 2.0" in out
+        assert "cache_hits: 0" in out
+        assert engine.engine_config().cache_size == previous
+
+
 class TestReport:
     def test_text_report(self, c6_file, capsys):
         assert main(["report", c6_file]) == 0

@@ -1,0 +1,298 @@
+"""Engine tests: SearchContext/CoverOracle agree with uncached computation,
+LP backends agree with each other, and widths are unchanged by the refactor."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.covers import EPS, covered_vertices, fractional_cover_of
+from repro.engine import (
+    CheckSearch,
+    CoverOracle,
+    PurePythonSimplexBackend,
+    available_backends,
+    clear_context_registry,
+    configure,
+    engine_config,
+    get_backend,
+    get_context,
+    oracle_for,
+    reset_stats,
+    stats,
+)
+from repro.hypergraph import Hypergraph, components
+from repro.hypergraph.generators import clique, cycle, grid
+
+from .strategies import hypergraphs
+
+
+@st.composite
+def hypergraph_and_region(draw):
+    """A hypergraph plus a subset of its vertices (possibly empty)."""
+    h = draw(hypergraphs())
+    vertices = sorted(h.vertices, key=str)
+    region = draw(st.sets(st.sampled_from(vertices)))
+    return h, frozenset(region)
+
+
+class TestSearchContext:
+    @given(hypergraph_and_region())
+    @settings(max_examples=50, deadline=None)
+    def test_components_within_matches_induced(self, hr):
+        h, region = hr
+        ctx = get_context(h)
+        got = set(ctx.components_within(ctx.intern(region)))
+        expected = (
+            set(components(h.induced(region), ())) if region else set()
+        )
+        assert got == expected
+        # Memoized second call returns the identical tuple.
+        assert ctx.components_within(ctx.intern(region)) is ctx.components_within(
+            ctx.intern(region)
+        )
+
+    @given(hypergraphs())
+    @settings(max_examples=40, deadline=None)
+    def test_vertices_of_and_incident_edges_match_hypergraph(self, h):
+        ctx = get_context(h)
+        names = frozenset(list(h.edge_names)[: max(1, h.num_edges // 2)])
+        assert ctx.vertices_of(names) == h.vertices_of(names)
+        comp = frozenset(list(h.vertices)[:2])
+        assert ctx.incident_edges(comp) == h.incident_edges(comp)
+
+    @given(hypergraph_and_region())
+    @settings(max_examples=40, deadline=None)
+    def test_frontier_matches_direct_computation(self, hr):
+        h, region = hr
+        ctx = get_context(h)
+        parent_cover = frozenset(list(h.edge_names)[:2])
+        component = ctx.intern(region)
+        expected = h.vertices_of(parent_cover) & h.vertices_of(
+            h.incident_edges(component)
+        )
+        assert ctx.frontier(component, parent_cover) == expected
+
+    def test_components_matches_module_function(self, k4):
+        ctx = get_context(k4)
+        sep = frozenset(list(k4.vertices)[:1])
+        assert set(ctx.components(sep)) == set(components(k4, sep))
+
+    def test_contexts_are_shared_for_equal_hypergraphs(self):
+        a = Hypergraph({"e": ["x", "y"]})
+        b = Hypergraph({"e": ["x", "y"]})
+        assert get_context(a) is get_context(b)
+
+    def test_interning_returns_canonical_sets(self, triangle):
+        ctx = get_context(triangle)
+        assert ctx.intern(frozenset({"x", "y"})) is ctx.intern({"y", "x"})
+
+
+class TestCoverOracle:
+    @given(hypergraph_and_region())
+    @settings(max_examples=50, deadline=None)
+    def test_fractional_cover_agrees_with_uncached(self, hr):
+        h, bag = hr
+        oracle = CoverOracle(get_context(h))
+        direct = fractional_cover_of(h, bag)
+        via_oracle = oracle.fractional_cover(bag)
+        assert (direct is None) == (via_oracle is None)
+        if direct is not None:
+            assert abs(direct.weight - via_oracle.weight) <= 1e-6
+            assert bag <= covered_vertices(h, via_oracle)
+
+    @given(hypergraph_and_region())
+    @settings(max_examples=30, deadline=None)
+    def test_restricted_cover_agrees_with_uncached(self, hr):
+        h, bag = hr
+        allowed = frozenset(list(h.edge_names)[: max(1, h.num_edges // 2)])
+        oracle = CoverOracle(get_context(h))
+        direct = fractional_cover_of(h, bag, allowed_edges=allowed)
+        via_oracle = oracle.fractional_cover(bag, allowed_edges=allowed)
+        assert (direct is None) == (via_oracle is None)
+        if direct is not None:
+            assert abs(direct.weight - via_oracle.weight) <= 1e-6
+
+    def test_cache_hits_are_counted_and_stable(self, k4):
+        oracle = CoverOracle(get_context(k4), cache_size=16)
+        bag = frozenset(list(k4.vertices)[:3])
+        first = oracle.fractional_cover(bag)
+        assert oracle.stats.misses == 1 and oracle.stats.hits == 0
+        second = oracle.fractional_cover(bag)
+        assert second is first  # cached object, not a re-solve
+        assert oracle.stats.hits == 1
+        assert oracle.stats.lp_solves == 1
+
+    def test_cache_size_zero_disables_caching(self, k4):
+        oracle = CoverOracle(get_context(k4), cache_size=0)
+        bag = frozenset(list(k4.vertices)[:3])
+        oracle.fractional_cover(bag)
+        oracle.fractional_cover(bag)
+        assert oracle.stats.lp_solves == 2
+        assert oracle.stats.hits == 0
+
+    def test_integral_cover_matches_set_cover(self, k5):
+        oracle = oracle_for(k5)
+        cover = oracle.integral_cover(k5.vertices)
+        assert cover is not None and cover.is_integral()
+        assert covered_vertices(k5, cover) == k5.vertices
+        assert cover.weight == 3  # ρ(K5) = ⌈5/2⌉
+
+    def test_capped_cover_has_no_integral_part(self, triangle):
+        oracle = oracle_for(triangle)
+        gamma = oracle.fractional_cover_capped(triangle.vertices)
+        assert gamma is not None
+        assert all(w < 1.0 for w in gamma.weights.values())
+        assert abs(gamma.weight - 1.5) <= 1e-6
+
+    def test_infeasible_bag_returns_none(self):
+        h = Hypergraph({"e": ["a", "b"]}, vertices=["isolated"])
+        oracle = CoverOracle(get_context(h))
+        assert oracle.fractional_cover(frozenset({"isolated"})) is None
+
+
+class TestBackends:
+    @given(hypergraph_and_region())
+    @settings(max_examples=40, deadline=None)
+    def test_purepython_simplex_agrees_with_scipy(self, hr):
+        h, bag = hr
+        ctx = get_context(h)
+        pure = CoverOracle(ctx, backend="purepython", cache_size=0)
+        scipy_oracle = CoverOracle(ctx, backend="scipy", cache_size=0)
+        a = pure.fractional_cover(bag)
+        b = scipy_oracle.fractional_cover(bag)
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert abs(a.weight - b.weight) <= 1e-6
+            assert bag <= covered_vertices(h, a)
+
+    @given(hypergraph_and_region())
+    @settings(max_examples=25, deadline=None)
+    def test_purepython_capped_agrees_with_scipy(self, hr):
+        h, bag = hr
+        ctx = get_context(h)
+        pure = CoverOracle(ctx, backend="purepython", cache_size=0)
+        scipy_oracle = CoverOracle(ctx, backend="scipy", cache_size=0)
+        a = pure.fractional_cover_capped(bag)
+        b = scipy_oracle.fractional_cover_capped(bag)
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert abs(a.weight - b.weight) <= 1e-6
+
+    def test_registry_lists_both_backends(self):
+        names = available_backends()
+        assert "purepython" in names and "scipy" in names
+        assert isinstance(get_backend("purepython"), PurePythonSimplexBackend)
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown LP backend"):
+            get_backend("cplex")
+
+
+class TestConfiguration:
+    def test_configure_roundtrip(self):
+        original = engine_config().cache_size
+        try:
+            configure(backend="purepython", cache_size=7)
+            assert engine_config().backend == "purepython"
+            assert engine_config().cache_size == 7
+            configure(backend="auto")
+            assert engine_config().backend is None
+        finally:
+            configure(backend="auto", cache_size=original)
+
+    def test_global_stats_accumulate(self, k4):
+        clear_context_registry()
+        reset_stats()
+        oracle = oracle_for(k4)
+        bag = frozenset(list(k4.vertices)[:3])
+        oracle.fractional_cover(bag)
+        oracle.fractional_cover(bag)
+        snapshot = stats()
+        assert snapshot["lp_solves"] >= 1
+        assert snapshot["cache_hits"] >= 1
+        assert 0.0 <= snapshot["hit_rate"] <= 1.0
+
+
+class TestWidthsUnchangedAfterRefactor:
+    """The paper's example hypergraphs keep their known widths."""
+
+    def test_triangle(self, triangle):
+        from repro.algorithms import (
+            fractional_hypertree_width_exact,
+            generalized_hypertree_width_exact,
+            hypertree_width,
+        )
+
+        assert hypertree_width(triangle)[0] == 2
+        assert generalized_hypertree_width_exact(triangle)[0] == 2
+        assert abs(fractional_hypertree_width_exact(triangle)[0] - 1.5) <= EPS
+
+    def test_cycles_and_cliques(self, c6, k4):
+        from repro.algorithms import (
+            fractional_hypertree_width_exact,
+            generalized_hypertree_width,
+            hypertree_width,
+        )
+
+        assert hypertree_width(c6)[0] == 2
+        assert generalized_hypertree_width(c6)[0] == 2
+        assert abs(fractional_hypertree_width_exact(k4)[0] - 2.0) <= 1e-6
+
+    def test_paper_example_4_3(self, paper_h0):
+        from repro.algorithms import (
+            generalized_hypertree_width_exact,
+            hypertree_width,
+        )
+
+        assert hypertree_width(paper_h0)[0] == 3
+        assert generalized_hypertree_width_exact(paper_h0)[0] == 2
+
+    def test_widths_same_on_both_backends(self, triangle, c6):
+        from repro.algorithms import (
+            fractional_hypertree_width_exact,
+            hypertree_width,
+        )
+
+        results = {}
+        for backend in ("scipy", "purepython"):
+            clear_context_registry()
+            configure(backend=backend)
+            try:
+                results[backend] = (
+                    hypertree_width(triangle)[0],
+                    round(fractional_hypertree_width_exact(c6)[0], 6),
+                )
+            finally:
+                configure(backend="auto")
+                clear_context_registry()
+        assert results["scipy"] == results["purepython"] == (2, 2.0)
+
+
+class TestCheckSearch:
+    def test_guess_strategies_agree_on_feasibility(self, c6):
+        for strategy in ("coverage", "lexicographic"):
+            search = CheckSearch(c6, 2, guess_strategy=strategy)
+            assert search.run() is not None
+            search = CheckSearch(c6, 1, guess_strategy=strategy)
+            assert search.run() is None
+
+    def test_unknown_strategy_raises(self, c6):
+        with pytest.raises(ValueError, match="guess_strategy"):
+            CheckSearch(c6, 2, guess_strategy="random")
+
+    def test_states_explored_counter(self, grid33):
+        search = CheckSearch(grid33, 3)
+        assert search.run() is not None
+        assert search.states_explored > 0
+
+    def test_searches_share_context_caches(self, grid33):
+        clear_context_registry()
+        first = CheckSearch(grid33, 3)
+        first.run()
+        warm = get_context(grid33).stats["hits"]
+        second = CheckSearch(grid33, 3)
+        assert second.context is first.context
+        second.run()
+        assert get_context(grid33).stats["hits"] > warm

@@ -116,6 +116,47 @@ class TestDerived:
         assert not h.adjacent("a", "zzz") if "zzz" in h else True
         assert h.is_clique(["a", "b", "c"])
         assert h.is_clique(["a"])
+        assert not h.is_clique(["a", "b", "c", "d"]) if "d" in h else True
+
+
+class TestCaching:
+    def test_edges_view_is_zero_copy_and_read_only(self):
+        h = Hypergraph({"e1": ["a", "b"], "e2": ["b", "c"]})
+        view = h.edges
+        assert view is h.edges  # same object on every access, no copying
+        assert dict(view) == {
+            "e1": frozenset({"a", "b"}),
+            "e2": frozenset({"b", "c"}),
+        }
+        with pytest.raises(TypeError):
+            view["e3"] = frozenset({"x"})
+
+    def test_primal_graph_is_cached(self):
+        h = Hypergraph({"e": ["a", "b", "c"]})
+        assert h.primal_graph() is h.primal_graph()
+
+    def test_hash_is_cached_and_stable(self):
+        h = Hypergraph({"e": ["a", "b"]})
+        first = hash(h)
+        assert hash(h) == first
+        assert hash(Hypergraph({"e": ["b", "a"]})) == first
+
+    def test_is_clique_not_confused_by_nonedges(self):
+        h = Hypergraph({"e1": ["a", "b"], "e2": ["c", "d"]})
+        assert not h.is_clique(["a", "c"])
+        assert h.is_clique(["a", "b"])
+
+    def test_pickle_and_deepcopy_roundtrip(self):
+        import copy
+        import pickle
+
+        h = Hypergraph({"e1": ["a", "b"], "e2": ["b", "c"]}, name="demo")
+        h.primal_graph()  # populate the derived caches first
+        for clone in (pickle.loads(pickle.dumps(h)), copy.deepcopy(h)):
+            assert clone == h
+            assert clone.name == "demo"
+            assert clone.edges == h.edges
+            assert clone.primal_graph() == h.primal_graph()
 
 
 @given(hypergraphs())

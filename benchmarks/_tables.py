@@ -9,7 +9,13 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-__all__ = ["render_table", "emit", "emit_engine_stats", "measure_engine"]
+__all__ = [
+    "render_table",
+    "emit",
+    "emit_engine_stats",
+    "measure_engine",
+    "emit_pipeline_stats",
+]
 
 
 def render_table(
@@ -61,6 +67,43 @@ def measure_engine(work, cache_size: int | None = None) -> dict:
         engine.configure(cache_size=previous)
         engine.clear_context_registry()
         engine.reset_stats()
+
+
+def emit_pipeline_stats(title: str, stats_by_label: dict) -> None:
+    """One row per labelled :class:`repro.pipeline.PipelineStats`.
+
+    Reports the reduce/split/solve/stitch pipeline per stage: what the
+    reduction removed, how many blocks the split found, task counts and
+    wall-clock per stage.
+    """
+    headers = [
+        "run",
+        "V removed",
+        "E removed",
+        "blocks",
+        "block sizes",
+        "tasks",
+        "reduce",
+        "split",
+        "solve",
+        "stitch",
+    ]
+    rows = [
+        (
+            label,
+            s.vertices_removed,
+            s.edges_removed,
+            s.blocks,
+            " ".join(f"{v}v/{e}e" for v, e in s.block_sizes) or "-",
+            s.tasks_run,
+            f"{s.reduce_seconds * 1000:.2f}ms",
+            f"{s.split_seconds * 1000:.2f}ms",
+            f"{s.solve_seconds * 1000:.2f}ms",
+            f"{s.stitch_seconds * 1000:.2f}ms",
+        )
+        for label, s in stats_by_label.items()
+    ]
+    emit(title, headers, rows)
 
 
 def emit_engine_stats(title: str, stats_by_label: dict[str, dict]) -> None:

@@ -7,7 +7,7 @@ bounded by the ⌈log(K'/ε')⌉ analysis at the end of the Theorem 6.20 proof.
 
 import math
 
-from _tables import emit, emit_engine_stats, measure_engine
+from _tables import emit, emit_engine_stats, emit_pipeline_stats, measure_engine
 
 from repro.algorithms import (
     fhw_approximation,
@@ -15,6 +15,7 @@ from repro.algorithms import (
 )
 from repro.hypergraph import Hypergraph
 from repro.hypergraph.generators import clique, cycle, triangle_cascade
+from repro.pipeline import WidthSolver
 
 
 def instances():
@@ -101,6 +102,29 @@ def test_e12_engine_cache_reduces_lp_solves(benchmark):
     )
 
 
+def ptaas_pipeline_stats() -> dict:
+    """Per-stage pipeline stats of the PTAAS on each E12 instance.
+
+    triangles(2) splits into two triangle blocks whose binary searches
+    run independently; the single-block instances show the no-op reduce
+    and split stages costing microseconds.
+    """
+    out = {}
+    for label, h in instances():
+        solver = WidthSolver(h)
+        solver.fhw_approximation(K=3.0, eps=0.5)
+        out[label] = solver.last_stats
+    return out
+
+
+def test_e12_pipeline_stage_stats(benchmark):
+    stats = benchmark(ptaas_pipeline_stats)
+    assert stats["triangles(2)"].blocks == 2
+    emit_pipeline_stats(
+        "E12 / pipeline per-stage stats of the PTAAS (K=3, ε=0.5)", stats
+    )
+
+
 def test_e12_fails_above_K(benchmark):
     """fhw(K6) = 3 > K = 2: the algorithm must answer 'fhw > K'."""
     result = benchmark(fhw_approximation, clique(6), 2.0, 0.5)
@@ -119,3 +143,4 @@ if __name__ == "__main__":
         ptaas_rows(),
     )
     emit_engine_stats("E12 engine cache (cached vs uncached)", engine_cache_stats())
+    emit_pipeline_stats("E12 pipeline per-stage stats", ptaas_pipeline_stats())

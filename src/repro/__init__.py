@@ -6,9 +6,12 @@ A complete reproduction of the paper's systems:
 * hypergraphs, [C]-components, duality, structural restrictions
   (BIP / BMIP / BDP / VC dimension)                     — :mod:`repro.hypergraph`
 * (fractional) edge covers, transversals, LP certificates — :mod:`repro.covers`
-* HD / GHD / FHD objects, validators, transformations   — :mod:`repro.decomposition`
+* HD / GHD / FHD objects, validators, transformations,
+  block stitching                                        — :mod:`repro.decomposition`
 * Check(HD,k), Check(GHD,k), Check(FHD,k), exact oracles,
   the Section 6 approximation schemes                    — :mod:`repro.algorithms`
+* the reduce → split → solve → stitch instance pipeline
+  behind every width query (:class:`WidthSolver`)        — :mod:`repro.pipeline`
 * the Theorem 3.2 NP-hardness reduction + certificates   — :mod:`repro.hardness`
 * conjunctive queries and CSPs (the applications)        — :mod:`repro.cqcsp`
 
@@ -61,11 +64,15 @@ from .paper_artifacts import (
     figure_6a_ghd,
     figure_6b_ghd,
 )
+from .pipeline import PipelineStats, WidthSolver, solve_width
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    "WidthSolver",
+    "PipelineStats",
+    "solve_width",
     "Hypergraph",
     "degree",
     "intersection_width",

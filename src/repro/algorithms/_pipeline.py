@@ -1,0 +1,32 @@
+"""Shared dispatch from the public width entry points into the pipeline.
+
+Every public driver (``hypertree_width``, the GHD/FHD checks, the exact
+oracles, the heuristic sandwich, the PTAAS) gates on the same rule:
+``preprocess="none"`` — or an edgeless hypergraph, whose historical
+error behaviour must be preserved — runs the raw algorithm; everything
+else goes through a :class:`repro.pipeline.WidthSolver` method of the
+same name.  This helper states the rule once.
+"""
+
+from __future__ import annotations
+
+from ..hypergraph import Hypergraph
+
+
+def via_pipeline(
+    hypergraph: Hypergraph,
+    method: str,
+    direct,
+    preprocess: str,
+    jobs: int | None,
+    /,  # positional-only: kwargs like method= belong to the solver call
+    *args,
+    **kwargs,
+):
+    """Run ``WidthSolver(...).<method>(*args, **kwargs)`` or ``direct``."""
+    if preprocess == "none" or hypergraph.num_edges == 0:
+        return direct(hypergraph, *args, **kwargs)
+    from ..pipeline import WidthSolver
+
+    solver = WidthSolver(hypergraph, preprocess=preprocess, jobs=jobs)
+    return getattr(solver, method)(*args, **kwargs)

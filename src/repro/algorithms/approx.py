@@ -23,6 +23,7 @@ from ..covers import EPS, FractionalCover
 from ..decomposition import Decomposition, validate
 from ..engine import get_context, oracle_for
 from ..hypergraph import Hypergraph, intersection_width
+from ._pipeline import via_pipeline
 
 __all__ = [
     "fractional_part_bound",
@@ -231,22 +232,13 @@ class FHWApproximationResult:
         return self.decomposition is None
 
 
-def fhw_approximation(
+def _fhw_approximation_direct(
     hypergraph: Hypergraph,
     K: float,
     eps: float,
     find_fhd=None,
 ) -> FHWApproximationResult:
-    """Algorithm 4 (FHW-Approximation): the PTAAS of Theorem 6.20.
-
-    Returns an FHD of width < fhw(H) + ε if fhw(H) <= K, else a failed
-    result.  ``find_fhd(H, k, eps)`` may be supplied (defaults to
-    :func:`frac_decomp`); it must return an FHD of width <= k+eps or None.
-
-    The trace records each probe ``(L, U, success)``; Theorem 6.20 bounds
-    the number of iterations by ``⌈log((K+ε−1)/(ε/3))⌉``-ish, which
-    experiment E12 verifies.
-    """
+    """Algorithm 4 on the raw hypergraph (no preprocessing pipeline)."""
     if find_fhd is None:
         find_fhd = lambda h, k, e: frac_decomp(h, k, e)
 
@@ -270,6 +262,44 @@ def fhw_approximation(
     result.decomposition = decomposition
     result.width = decomposition.width()
     return result
+
+
+def fhw_approximation(
+    hypergraph: Hypergraph,
+    K: float,
+    eps: float,
+    find_fhd=None,
+    preprocess: str = "full",
+    jobs: int | None = None,
+) -> FHWApproximationResult:
+    """Algorithm 4 (FHW-Approximation): the PTAAS of Theorem 6.20.
+
+    Returns an FHD of width < fhw(H) + ε if fhw(H) <= K, else a failed
+    result.  ``find_fhd(H, k, eps)`` may be supplied (defaults to
+    :func:`frac_decomp`); it must return an FHD of width <= k+eps or
+    None.  Under the pipeline (default) the binary search runs per
+    biconnected block of the reduced instance — ``find_fhd`` then
+    receives block hypergraphs — and the stitched FHD keeps the ε
+    guarantee because fhw decomposes as the max over blocks.  ``jobs=N``
+    runs blocks in parallel; ``preprocess="none"`` restores the
+    single-instance search.
+
+    The trace records each probe ``(L, U, success)``; under the
+    pipeline it is the trace of the block with the most iterations
+    (among the failed blocks, when the result is a failure).  Theorem
+    6.20 bounds the iteration count by ``⌈log((K+ε−1)/(ε/3))⌉``-ish,
+    which experiment E12 verifies.
+    """
+    return via_pipeline(
+        hypergraph,
+        "fhw_approximation",
+        _fhw_approximation_direct,
+        preprocess,
+        jobs,
+        K,
+        eps,
+        find_fhd,
+    )
 
 
 def integralize(

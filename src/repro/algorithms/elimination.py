@@ -29,6 +29,7 @@ from ..covers import EPS, FractionalCover
 from ..decomposition import Decomposition, validate
 from ..engine import oracle_for
 from ..hypergraph import Hypergraph, Vertex
+from ._pipeline import via_pipeline
 
 __all__ = [
     "width_by_elimination",
@@ -182,10 +183,10 @@ def decomposition_from_ordering(
     return Decomposition(nodes, parent=parent, root=f"n{len(bags) - 1}")
 
 
-def generalized_hypertree_width_exact(
+def _generalized_hypertree_width_exact_direct(
     hypergraph: Hypergraph, vertex_limit: int = DEFAULT_VERTEX_LIMIT
 ) -> tuple[int, Decomposition]:
-    """Exact ``ghw(H)`` with a witness GHD (exponential-time oracle)."""
+    """Exact ghw on the raw hypergraph (no preprocessing pipeline)."""
     oracle = oracle_for(hypergraph)
 
     def cost(bag: frozenset) -> float:
@@ -207,10 +208,33 @@ def generalized_hypertree_width_exact(
     return int(round(width)), decomposition
 
 
-def fractional_hypertree_width_exact(
+def generalized_hypertree_width_exact(
+    hypergraph: Hypergraph,
+    vertex_limit: int = DEFAULT_VERTEX_LIMIT,
+    preprocess: str = "full",
+    jobs: int | None = None,
+) -> tuple[int, Decomposition]:
+    """Exact ``ghw(H)`` with a witness GHD (exponential-time oracle).
+
+    Under the pipeline (default) the reduction rules shrink the instance
+    and the 2^n elimination DP runs per biconnected block, so
+    ``vertex_limit`` bounds the largest *block*, not the whole
+    hypergraph.  ``preprocess="none"`` restores the raw DP.
+    """
+    return via_pipeline(
+        hypergraph,
+        "generalized_hypertree_width_exact",
+        _generalized_hypertree_width_exact_direct,
+        preprocess,
+        jobs,
+        vertex_limit,
+    )
+
+
+def _fractional_hypertree_width_exact_direct(
     hypergraph: Hypergraph, vertex_limit: int = DEFAULT_VERTEX_LIMIT
 ) -> tuple[float, Decomposition]:
-    """Exact ``fhw(H)`` with a witness FHD (exponential-time oracle)."""
+    """Exact fhw on the raw hypergraph (no preprocessing pipeline)."""
     oracle = oracle_for(hypergraph)
 
     def cost(bag: frozenset) -> float:
@@ -230,6 +254,29 @@ def fractional_hypertree_width_exact(
     )
     validate(hypergraph, decomposition, kind="fhd", width=width + EPS)
     return width, decomposition
+
+
+def fractional_hypertree_width_exact(
+    hypergraph: Hypergraph,
+    vertex_limit: int = DEFAULT_VERTEX_LIMIT,
+    preprocess: str = "full",
+    jobs: int | None = None,
+) -> tuple[float, Decomposition]:
+    """Exact ``fhw(H)`` with a witness FHD (exponential-time oracle).
+
+    Under the pipeline (default) the reduction rules shrink the instance
+    and the 2^n elimination DP runs per biconnected block, so
+    ``vertex_limit`` bounds the largest *block*, not the whole
+    hypergraph.  ``preprocess="none"`` restores the raw DP.
+    """
+    return via_pipeline(
+        hypergraph,
+        "fractional_hypertree_width_exact",
+        _fractional_hypertree_width_exact_direct,
+        preprocess,
+        jobs,
+        vertex_limit,
+    )
 
 
 def treewidth_exact(

@@ -24,6 +24,7 @@ from ..covers import EPS
 from ..decomposition import Decomposition, project_to_original, validate
 from ..engine import oracle_for
 from ..hypergraph import Hypergraph, degree as degree_of
+from ._pipeline import via_pipeline
 from .elimination import fractional_hypertree_width_exact
 from .hd import HDSearch
 from .subedges import fhd_subedges
@@ -79,20 +80,13 @@ class StrictFHDSearch(HDSearch):
         return self._rho_cache[cover_edges]
 
 
-def fractional_hypertree_decomposition_bounded_degree(
+def _fractional_hypertree_decomposition_bounded_degree_direct(
     hypergraph: Hypergraph,
     k: float,
     d: int | None = None,
     **caps,
 ) -> Decomposition | None:
-    """Solve Check(FHD,k) under the BDP (Theorem 5.2): an FHD of width
-    <= k, or None.
-
-    ``d`` defaults to ``degree(H)``.  A non-None answer is re-validated
-    as an FHD of H of width <= k.  The subedge generator ``h_{d,k}`` is
-    parameterized by caps (see :func:`repro.algorithms.subedges.fhd_subedges`);
-    within those caps the search is complete per Lemmas 5.6/5.17/5.21.
-    """
+    """Check(FHD,k) on the raw hypergraph (no preprocessing pipeline)."""
     if k < 1:
         raise ValueError("k must be >= 1")
     if d is None:
@@ -129,23 +123,59 @@ def fractional_hypertree_decomposition_bounded_degree(
     return fhd
 
 
-def check_fhd(hypergraph: Hypergraph, k: float, **caps) -> bool:
+def fractional_hypertree_decomposition_bounded_degree(
+    hypergraph: Hypergraph,
+    k: float,
+    d: int | None = None,
+    preprocess: str = "full",
+    jobs: int | None = None,
+    **caps,
+) -> Decomposition | None:
+    """Solve Check(FHD,k) under the BDP (Theorem 5.2): an FHD of width
+    <= k, or None.
+
+    ``d`` defaults to ``degree(H)`` (per block under the pipeline, which
+    never exceeds the input's degree).  A non-None answer is
+    re-validated as an FHD of the original H of width <= k.  The subedge
+    generator ``h_{d,k}`` is parameterized by caps (see
+    :func:`repro.algorithms.subedges.fhd_subedges`); within those caps
+    the search is complete per Lemmas 5.6/5.17/5.21.
+    ``preprocess="none"`` restores the raw strict-HD search.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    return via_pipeline(
+        hypergraph,
+        "fractional_hypertree_decomposition_bounded_degree",
+        _fractional_hypertree_decomposition_bounded_degree_direct,
+        preprocess,
+        jobs,
+        k,
+        d=d,
+        **caps,
+    )
+
+
+def check_fhd(hypergraph: Hypergraph, k: float, **options) -> bool:
     """Decision version of Check(FHD,k) under bounded degree."""
     return (
-        fractional_hypertree_decomposition_bounded_degree(hypergraph, k, **caps)
+        fractional_hypertree_decomposition_bounded_degree(
+            hypergraph, k, **options
+        )
         is not None
     )
 
 
 def fractional_hypertree_width(
-    hypergraph: Hypergraph, vertex_limit: int = 18
+    hypergraph: Hypergraph, vertex_limit: int = 18, **options
 ) -> tuple[float, Decomposition]:
     """``fhw(H)`` with a witness FHD.
 
     Delegates to the exact elimination oracle — the general problem is
     NP-hard even for fixed k = 2 (Theorem 3.2, Main Result 1), so exact
-    computation is exponential by necessity.  Use
+    computation is exponential by necessity (though the pipeline applies
+    the 2^n limit per biconnected block).  Use
     :func:`fractional_hypertree_decomposition_bounded_degree` for the
     polynomial bounded-degree special case.
     """
-    return fractional_hypertree_width_exact(hypergraph, vertex_limit)
+    return fractional_hypertree_width_exact(hypergraph, vertex_limit, **options)

@@ -19,7 +19,8 @@ from __future__ import annotations
 
 from ..decomposition import Decomposition, project_to_original, validate
 from ..hypergraph import Hypergraph
-from .hd import hypertree_decomposition
+from ._pipeline import via_pipeline
+from .hd import _hypertree_decomposition_direct
 from .subedges import bip_subedges, bmip_subedges, ghd_subedges, limit_subedges
 
 __all__ = [
@@ -56,17 +57,10 @@ def augmented_hypergraph(
     return hypergraph.with_edges(subedges)
 
 
-def generalized_hypertree_decomposition(
+def _generalized_hypertree_decomposition_direct(
     hypergraph: Hypergraph, k: int, method: str = "fixpoint", **caps
 ) -> Decomposition | None:
-    """Solve Check(GHD,k): a GHD of H of width <= k, or None.
-
-    A non-None result is re-validated against Definition 2.4, so "yes"
-    answers are certified unconditionally.  "No" answers are correct
-    whenever the chosen subedge generator is complete for H (always for
-    ``"limit"``; for ``"fixpoint"`` whenever it terminates within its cap,
-    which the BIP/BMIP guarantees).
-    """
+    """Check(GHD,k) on the raw hypergraph (no preprocessing pipeline)."""
     if k == 1:
         # ghw = 1 iff H is α-acyclic: the GYO fast path answers directly.
         from ..hypergraph.acyclicity import join_tree
@@ -76,7 +70,7 @@ def generalized_hypertree_decomposition(
             validate(hypergraph, tree, kind="ghd", width=1)
         return tree
     augmented = augmented_hypergraph(hypergraph, k, method=method, **caps)
-    hd = hypertree_decomposition(augmented, k)
+    hd = _hypertree_decomposition_direct(augmented, k)
     if hd is None:
         return None
     ghd = project_to_original(hypergraph, augmented, hd)
@@ -84,12 +78,49 @@ def generalized_hypertree_decomposition(
     return ghd
 
 
+def generalized_hypertree_decomposition(
+    hypergraph: Hypergraph,
+    k: int,
+    method: str = "fixpoint",
+    preprocess: str = "full",
+    jobs: int | None = None,
+    **caps,
+) -> Decomposition | None:
+    """Solve Check(GHD,k): a GHD of H of width <= k, or None.
+
+    Runs the reduce → split → solve → stitch pipeline by default
+    (``preprocess="none"`` restores the raw subedge search; ``jobs=N``
+    solves biconnected blocks in parallel).  A non-None result is
+    re-validated against Definition 2.4 on the original hypergraph, so
+    "yes" answers are certified unconditionally.  "No" answers are
+    correct whenever the chosen subedge generator is complete for H
+    (always for ``"limit"``; for ``"fixpoint"`` whenever it terminates
+    within its cap, which the BIP/BMIP guarantees).
+    """
+    if k == 1:
+        # Keep the GYO fast path on the whole hypergraph: the join tree
+        # itself (one node per edge) is the canonical witness.
+        return _generalized_hypertree_decomposition_direct(
+            hypergraph, k, method=method, **caps
+        )
+    return via_pipeline(
+        hypergraph,
+        "generalized_hypertree_decomposition",
+        _generalized_hypertree_decomposition_direct,
+        preprocess,
+        jobs,
+        k,
+        method=method,
+        **caps,
+    )
+
+
 def check_ghd(
-    hypergraph: Hypergraph, k: int, method: str = "fixpoint", **caps
+    hypergraph: Hypergraph, k: int, method: str = "fixpoint", **options
 ) -> bool:
     """Decision version of Check(GHD,k)."""
     return (
-        generalized_hypertree_decomposition(hypergraph, k, method, **caps)
+        generalized_hypertree_decomposition(hypergraph, k, method, **options)
         is not None
     )
 
@@ -98,16 +129,40 @@ def generalized_hypertree_width(
     hypergraph: Hypergraph,
     kmax: int | None = None,
     method: str = "fixpoint",
+    preprocess: str = "full",
+    jobs: int | None = None,
     **caps,
 ) -> tuple[int, Decomposition]:
     """``ghw(H)`` with a witness, iterating Check(GHD,k) for k = 1, 2, ...
 
     For k = 1 this is hypergraph acyclicity (ghw(H) = 1 iff H is acyclic),
-    handled by the same machinery since hw = ghw = 1 coincide.
+    handled by the same machinery since hw = ghw = 1 coincide.  The
+    pipeline reduces the instance and iterates k per biconnected block
+    (``jobs=N`` adds cross-block and cross-k parallelism;
+    ``preprocess="none"`` restores the raw loop).
     """
+    return via_pipeline(
+        hypergraph,
+        "generalized_hypertree_width",
+        _generalized_hypertree_width_direct,
+        preprocess,
+        jobs,
+        kmax,
+        method=method,
+        **caps,
+    )
+
+
+def _generalized_hypertree_width_direct(
+    hypergraph: Hypergraph,
+    kmax: int | None = None,
+    method: str = "fixpoint",
+    **caps,
+) -> tuple[int, Decomposition]:
+    """The raw k = 1, 2, ... loop on the whole hypergraph."""
     cap = hypergraph.num_edges if kmax is None else kmax
     for k in range(1, cap + 1):
-        decomposition = generalized_hypertree_decomposition(
+        decomposition = _generalized_hypertree_decomposition_direct(
             hypergraph, k, method=method, **caps
         )
         if decomposition is not None:

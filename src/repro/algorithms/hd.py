@@ -31,6 +31,7 @@ from __future__ import annotations
 from ..decomposition import Decomposition, validate
 from ..engine import CheckSearch
 from ..hypergraph import Hypergraph
+from ._pipeline import via_pipeline
 
 __all__ = [
     "hypertree_decomposition",
@@ -50,37 +51,79 @@ class HDSearch(CheckSearch):
     """
 
 
-def hypertree_decomposition(
+def _hypertree_decomposition_direct(
     hypergraph: Hypergraph, k: int
 ) -> Decomposition | None:
-    """Solve Check(HD,k): an HD of width <= k, or None.
-
-    The returned decomposition is re-validated against Definition 2.5
-    (including the special condition), so a non-None result is a
-    certified "yes" instance.
-    """
+    """Check(HD,k) on the raw hypergraph (no preprocessing pipeline)."""
     result = HDSearch(hypergraph, k).run()
     if result is not None:
         validate(hypergraph, result, kind="hd", width=k)
     return result
 
 
-def check_hd(hypergraph: Hypergraph, k: int) -> bool:
+def hypertree_decomposition(
+    hypergraph: Hypergraph,
+    k: int,
+    preprocess: str = "full",
+    jobs: int | None = None,
+) -> Decomposition | None:
+    """Solve Check(HD,k): an HD of width <= k, or None.
+
+    Runs through the reduce → split → solve → stitch pipeline
+    (hd-safe rules, connected-component splitting) unless
+    ``preprocess="none"``.  The returned decomposition is re-validated
+    against Definition 2.5 (including the special condition) on the
+    original hypergraph, so a non-None result is a certified "yes"
+    instance.
+    """
+    if k < 1:
+        raise ValueError("width bound k must be >= 1")
+    return via_pipeline(
+        hypergraph,
+        "hypertree_decomposition",
+        _hypertree_decomposition_direct,
+        preprocess,
+        jobs,
+        k,
+    )
+
+
+def check_hd(hypergraph: Hypergraph, k: int, **options) -> bool:
     """Decision version of Check(HD,k)."""
-    return hypertree_decomposition(hypergraph, k) is not None
+    return hypertree_decomposition(hypergraph, k, **options) is not None
+
+
+def _hypertree_width_direct(
+    hypergraph: Hypergraph, kmax: int | None = None
+) -> tuple[int, Decomposition]:
+    """The raw k = 1, 2, ... loop on the whole hypergraph."""
+    cap = hypergraph.num_edges if kmax is None else kmax
+    for k in range(1, cap + 1):
+        decomposition = _hypertree_decomposition_direct(hypergraph, k)
+        if decomposition is not None:
+            return k, decomposition
+    raise ValueError(f"no HD of width <= {cap} found (cap too small?)")
 
 
 def hypertree_width(
-    hypergraph: Hypergraph, kmax: int | None = None
+    hypergraph: Hypergraph,
+    kmax: int | None = None,
+    preprocess: str = "full",
+    jobs: int | None = None,
 ) -> tuple[int, Decomposition]:
     """``hw(H)`` with a witness, by iterating Check(HD,k) for k = 1, 2, ...
 
     ``kmax`` defaults to ``|E(H)|`` (always sufficient: a single node with
     all edges is an HD).  Raises if no width within the cap is found.
+    By default each connected component is reduced and solved separately
+    through the pipeline (``preprocess="none"`` restores the raw loop;
+    ``jobs=N`` parallelizes across components and candidate widths).
     """
-    cap = hypergraph.num_edges if kmax is None else kmax
-    for k in range(1, cap + 1):
-        decomposition = hypertree_decomposition(hypergraph, k)
-        if decomposition is not None:
-            return k, decomposition
-    raise ValueError(f"no HD of width <= {cap} found (cap too small?)")
+    return via_pipeline(
+        hypergraph,
+        "hypertree_width",
+        _hypertree_width_direct,
+        preprocess,
+        jobs,
+        kmax,
+    )

@@ -12,7 +12,11 @@ Usage (also ``python -m repro``)::
 Width-computing commands accept engine options: ``--backend`` selects
 the LP solver (``scipy`` / ``purepython`` / ``auto``), ``--cache-size``
 bounds the cover-oracle LRU (0 disables caching), and ``--cache-stats``
-prints LP-solve counts and cache hit rates after the command.
+prints LP-solve counts and cache hit rates after the command.  They
+also accept pipeline options: ``--preprocess`` selects the reduce/split
+stages (default ``full``; ``none`` solves the raw instance), ``--jobs``
+parallelizes across biconnected blocks and candidate widths, and
+``--pipeline-stats`` prints per-stage counters and wall-clock.
 
 Hypergraphs are read in the HyperBench text format
 (``e1(a,b,c), e2(b,d).``); formulas in DIMACS CNF.
@@ -93,21 +97,28 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
-def _compute_width(h: Hypergraph, kind: str):
+def _pipeline_options_of(args: argparse.Namespace) -> dict:
+    return {
+        "preprocess": getattr(args, "preprocess", None) or "full",
+        "jobs": getattr(args, "jobs", None),
+    }
+
+
+def _compute_width(h: Hypergraph, kind: str, options: dict):
     if kind == "hw":
-        return hypertree_width(h)
+        return hypertree_width(h, **options)
     if kind == "ghw":
         if h.num_vertices <= 14:
-            return generalized_hypertree_width_exact(h)
-        return generalized_hypertree_width(h)
+            return generalized_hypertree_width_exact(h, **options)
+        return generalized_hypertree_width(h, **options)
     if kind == "fhw":
-        return fractional_hypertree_width_exact(h)
+        return fractional_hypertree_width_exact(h, **options)
     raise ValueError(f"unknown width kind {kind!r}")
 
 
 def _cmd_width(args: argparse.Namespace) -> int:
     h = _load(args.file)
-    width, decomposition = _compute_width(h, args.kind)
+    width, decomposition = _compute_width(h, args.kind, _pipeline_options_of(args))
     print(f"{args.kind}({h.name or args.file}) = {width}")
     if args.show:
         for nid in decomposition.preorder():
@@ -124,7 +135,9 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
     from .algorithms import generalized_hypertree_decomposition
 
     h = _load(args.file)
-    decomposition = generalized_hypertree_decomposition(h, args.k)
+    decomposition = generalized_hypertree_decomposition(
+        h, args.k, **_pipeline_options_of(args)
+    )
     if decomposition is None:
         print(f"no GHD of width <= {args.k}", file=sys.stderr)
         return 1
@@ -159,7 +172,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def _cmd_bounds(args: argparse.Namespace) -> int:
     h = _load(args.file)
-    lower, upper, _witness = width_bounds(h, cost=args.cost)
+    lower, upper, _witness = width_bounds(
+        h, cost=args.cost, **_pipeline_options_of(args)
+    )
     label = "fhw" if args.cost == "fractional" else "ghw"
     print(f"{lower:.4f} <= {label}({h.name or args.file}) <= {upper:.4f}")
     return 0
@@ -217,6 +232,25 @@ def _engine_options() -> argparse.ArgumentParser:
         action="store_true",
         help="print LP-solve counts and cache hit rates after the command",
     )
+    pipeline_group = parent.add_argument_group("pipeline options")
+    pipeline_group.add_argument(
+        "--preprocess",
+        choices=["full", "reduce", "split", "none"],
+        default=None,
+        help="reduce/split stages before solving (default: full)",
+    )
+    pipeline_group.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parallel workers across blocks and candidate widths",
+    )
+    pipeline_group.add_argument(
+        "--pipeline-stats",
+        action="store_true",
+        help="print per-stage pipeline counters and wall-clock times",
+    )
     return parent
 
 
@@ -228,6 +262,41 @@ def _apply_engine_options(args: argparse.Namespace) -> None:
             backend=getattr(args, "backend", None),
             cache_size=getattr(args, "cache_size", None),
         )
+
+
+def _print_pipeline_stats(args: argparse.Namespace) -> None:
+    if not getattr(args, "pipeline_stats", False):
+        return
+    from .pipeline import last_pipeline_stats
+
+    stats = last_pipeline_stats()
+    if stats is None:
+        print("pipeline stats: no pipeline run recorded")
+        return
+    print("pipeline stats:")
+    summary = stats.as_dict()
+    summary["rule_counts"] = (
+        ",".join(f"{k}={v}" for k, v in sorted(stats.rule_counts.items()))
+        or "-"
+    )
+    summary["block_sizes"] = " ".join(
+        f"{v}v/{e}e" for v, e in stats.block_sizes
+    )
+    for key in (
+        "kind",
+        "preprocess",
+        "jobs",
+        "vertices_removed",
+        "edges_removed",
+        "rule_counts",
+        "blocks",
+        "block_sizes",
+        "tasks_run",
+        "speculative_checks",
+    ):
+        print(f"  {key:>18}: {summary[key]}")
+    for stage in ("reduce", "split", "solve", "stitch"):
+        print(f"  {stage + '_seconds':>18}: {summary[stage + '_seconds']:.4f}")
 
 
 def _print_engine_stats(args: argparse.Namespace, baseline: dict) -> None:
@@ -324,6 +393,7 @@ def main(argv: list[str] | None = None) -> int:
     try:
         code = args.func(args)
         _print_engine_stats(args, baseline)
+        _print_pipeline_stats(args)
     finally:
         config.backend, config.cache_size = previous
     return code

@@ -7,6 +7,12 @@ from .io import (
     decomposition_to_dot,
     decomposition_to_json,
 )
+from .stitch import (
+    TreeBuilder,
+    replay_reductions,
+    reroot,
+    stitch_blocks,
+)
 from .transform import (
     make_bag_maximal,
     normalize,
@@ -62,4 +68,8 @@ __all__ = [
     "special_condition_violations",
     "repair_special_violations",
     "project_to_original",
+    "TreeBuilder",
+    "reroot",
+    "stitch_blocks",
+    "replay_reductions",
 ]

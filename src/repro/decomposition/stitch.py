@@ -1,0 +1,235 @@
+"""Stitch layer: lift per-block decompositions back to the original.
+
+The reduce → split → solve pipeline (:mod:`repro.pipeline`) produces one
+decomposition per biconnected block of a reduced hypergraph.  This
+module reassembles them:
+
+* :func:`reroot` — re-root a decomposition tree (conditions (1)-(3) of
+  Definitions 2.4/2.6 are root-independent; the HD special condition is
+  not, which is why hw queries split into connected components only);
+* :func:`stitch_blocks` — join block decompositions along the block-cut
+  forest: a child block is re-rooted at a node containing the shared
+  articulation vertex and attached below a parent-block node containing
+  it, so every vertex's occurrence set stays a connected subtree;
+* :func:`replay_reductions` — replay reduction undo records (reverse
+  order) to restore fused twin vertices and re-attach degree-1 leaves.
+
+Both stitching steps preserve width: attached leaves carry single-edge
+covers of weight 1, never above any width bound (every width is >= 1),
+and twin restoration leaves covers untouched.  Callers re-validate the
+final decomposition against the *original* hypergraph, so stitching is
+never trusted blindly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+from ..covers import FractionalCover
+from ..hypergraph import Vertex
+from .base import Decomposition
+
+__all__ = ["TreeBuilder", "reroot", "stitch_blocks", "replay_reductions"]
+
+
+class TreeBuilder:
+    """A mutable decomposition under assembly.
+
+    Thin dict-of-nodes representation used by the stitch operations and
+    by the reduction undo records (which call :meth:`add_to_bags_with`,
+    :meth:`find_node_containing` and :meth:`attach_leaf` on it).
+    """
+
+    def __init__(self, decomposition: Decomposition | None = None) -> None:
+        self.bags: dict[str, frozenset] = {}
+        self.covers: dict[str, FractionalCover] = {}
+        self.parent: dict[str, str] = {}
+        self.root: str | None = None
+        self.order: list[str] = []
+        self._fresh = 0
+        if decomposition is not None:
+            self.add_decomposition(decomposition)
+
+    def add_decomposition(
+        self,
+        decomposition: Decomposition,
+        prefix: str = "",
+        attach_to: str | None = None,
+    ) -> list[str]:
+        """Copy a decomposition in (ids prefixed), optionally attached.
+
+        Returns the new ids in the source's node order.  The copied root
+        becomes the global root when the builder is empty and
+        ``attach_to`` is None; otherwise it hangs below ``attach_to``
+        (or below the current global root when ``attach_to`` is None).
+        """
+        new_ids = []
+        for nid in decomposition.node_ids:
+            new_id = f"{prefix}{nid}"
+            if new_id in self.bags:
+                raise ValueError(f"node id clash while stitching: {new_id!r}")
+            self.bags[new_id] = decomposition.bag(nid)
+            self.covers[new_id] = decomposition.cover(nid)
+            par = decomposition.parent(nid)
+            if par is not None:
+                self.parent[new_id] = f"{prefix}{par}"
+            new_ids.append(new_id)
+            self.order.append(new_id)
+        copied_root = f"{prefix}{decomposition.root}"
+        if self.root is None and attach_to is None:
+            self.root = copied_root
+        else:
+            self.parent[copied_root] = (
+                attach_to if attach_to is not None else self.root
+            )
+        return new_ids
+
+    # -- queries -------------------------------------------------------
+    def find_node_containing(
+        self, vertices: Iterable[Vertex], within: Iterable[str] | None = None
+    ) -> str:
+        """The first node (insertion order) whose bag contains ``vertices``."""
+        wanted = frozenset(vertices)
+        candidates = self.order if within is None else within
+        for nid in candidates:
+            if wanted <= self.bags[nid]:
+                return nid
+        raise ValueError(
+            f"no node contains {sorted(map(str, wanted))} — "
+            "stitch invariant violated"
+        )
+
+    # -- mutations -----------------------------------------------------
+    def attach_leaf(
+        self,
+        bag: Iterable[Vertex],
+        cover: FractionalCover | Mapping[str, float],
+        parent_id: str,
+    ) -> str:
+        """Add a fresh leaf below ``parent_id``; returns its id."""
+        self._fresh += 1
+        new_id = f"stitch{self._fresh}"
+        while new_id in self.bags:  # pragma: no cover - defensive
+            self._fresh += 1
+            new_id = f"stitch{self._fresh}"
+        if not isinstance(cover, FractionalCover):
+            cover = FractionalCover(dict(cover))
+        self.bags[new_id] = frozenset(bag)
+        self.covers[new_id] = cover
+        self.parent[new_id] = parent_id
+        self.order.append(new_id)
+        return new_id
+
+    def add_to_bags_with(
+        self, anchor: Vertex, additions: Iterable[Vertex]
+    ) -> None:
+        """Add ``additions`` to every bag containing ``anchor``."""
+        extra = frozenset(additions)
+        for nid, bag in self.bags.items():
+            if anchor in bag:
+                self.bags[nid] = bag | extra
+
+    def freeze(self) -> Decomposition:
+        if self.root is None:
+            raise ValueError("empty stitch: no decompositions added")
+        nodes = [(nid, self.bags[nid], self.covers[nid]) for nid in self.order]
+        return Decomposition(nodes, parent=self.parent, root=self.root)
+
+
+def reroot(decomposition: Decomposition, new_root: str) -> Decomposition:
+    """The same tree re-rooted at ``new_root``.
+
+    Bags and covers are untouched; only parent pointers along the old
+    root path flip.  Safe for tree decompositions, GHDs and FHDs (their
+    conditions are root-independent) — *not* for the HD special
+    condition, which is why hw never takes this path.
+    """
+    if new_root == decomposition.root:
+        return decomposition
+    path = decomposition.path_between(decomposition.root, new_root)
+    parent = {
+        nid: decomposition.parent(nid)
+        for nid in decomposition.node_ids
+        if decomposition.parent(nid) is not None
+    }
+    for above, below in zip(path, path[1:]):
+        del parent[below]
+        parent[above] = below
+    nodes = [
+        (nid, decomposition.bag(nid), decomposition.cover(nid))
+        for nid in decomposition.node_ids
+    ]
+    return Decomposition(nodes, parent=parent, root=new_root)
+
+
+def stitch_blocks(
+    entries: Sequence[tuple[Decomposition, int | None, Vertex | None]],
+) -> Decomposition:
+    """Join per-block decompositions along the block-cut forest.
+
+    ``entries[i]`` is ``(decomposition, parent_index, cut_vertex)`` for
+    block i: a non-root block is re-rooted at a node containing
+    ``cut_vertex`` and attached below a node of block ``parent_index``
+    containing it; root blocks beyond the first attach below the global
+    root (their vertex sets are disjoint from everything else, so any
+    attachment point preserves all conditions, including the HD special
+    condition).
+    """
+    if not entries:
+        raise ValueError("nothing to stitch")
+    if len(entries) == 1:
+        return entries[0][0]
+
+    children: dict[int, list[int]] = {}
+    roots = []
+    for i, (_d, parent, _a) in enumerate(entries):
+        if parent is None:
+            roots.append(i)
+        else:
+            children.setdefault(parent, []).append(i)
+    if not roots:
+        raise ValueError("block forest has no root")
+
+    builder = TreeBuilder()
+    block_ids: dict[int, list[str]] = {}
+    queue: list[int] = list(roots)
+    placed = 0
+    while queue:
+        i = queue.pop(0)
+        decomposition, parent, cut_vertex = entries[i]
+        if parent is None:
+            block_ids[i] = builder.add_decomposition(decomposition, f"b{i}.")
+        else:
+            local_root = next(
+                nid
+                for nid in decomposition.node_ids
+                if cut_vertex in decomposition.bag(nid)
+            )
+            rerooted = reroot(decomposition, local_root)
+            attach = builder.find_node_containing(
+                (cut_vertex,), within=block_ids[parent]
+            )
+            block_ids[i] = builder.add_decomposition(
+                rerooted, f"b{i}.", attach_to=attach
+            )
+        placed += 1
+        queue.extend(children.get(i, ()))
+    if placed != len(entries):
+        raise ValueError("block forest is not well-founded (cycle?)")
+    return builder.freeze()
+
+
+def replay_reductions(decomposition: Decomposition, undo: Sequence) -> Decomposition:
+    """Replay reduction undo records (reverse order) onto a decomposition.
+
+    Each record's ``replay(tree)`` turns a decomposition valid for the
+    hypergraph state after its rule fired into one valid for the state
+    before it; replaying all of them yields a decomposition of the
+    original hypergraph.  See :mod:`repro.pipeline.reduce`.
+    """
+    if not undo:
+        return decomposition
+    tree = TreeBuilder(decomposition)
+    for record in reversed(undo):
+        record.replay(tree)
+    return tree.freeze()

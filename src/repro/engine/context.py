@@ -215,9 +215,15 @@ def get_context(hypergraph: Hypergraph) -> SearchContext:
         ctx = SearchContext(hypergraph)
         _registry[hypergraph] = ctx
         while len(_registry) > _REGISTRY_CAPACITY:
-            _registry.popitem(last=False)
+            try:
+                _registry.popitem(last=False)
+            except KeyError:
+                break  # concurrently cleared (parallel block solver)
     else:
-        _registry.move_to_end(hypergraph)
+        try:
+            _registry.move_to_end(hypergraph)
+        except KeyError:
+            _registry[hypergraph] = ctx
     return ctx
 
 

@@ -117,7 +117,12 @@ class CoverOracle:
         hit = self._cache.get(key, _MISS)
         if hit is _MISS:
             return None
-        self._cache.move_to_end(key)
+        try:
+            self._cache.move_to_end(key)
+        except KeyError:
+            # Concurrently evicted by another thread of the parallel
+            # block solver; the value we already read stays valid.
+            pass
         self.stats.hits += 1
         GLOBAL_STATS.hits += 1
         return hit
@@ -128,7 +133,10 @@ class CoverOracle:
         if self.cache_size:
             self._cache[key] = value
             while len(self._cache) > self.cache_size:
-                self._cache.popitem(last=False)
+                try:
+                    self._cache.popitem(last=False)
+                except KeyError:
+                    break  # another thread emptied it first
         return value
 
     def _key(self, kind: str, bag: frozenset, allowed: frozenset | None):

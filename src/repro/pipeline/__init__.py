@@ -1,0 +1,62 @@
+"""Preprocessing & parallel block-solve pipeline (reduce → split → solve → stitch).
+
+Every width query in the library runs through this package by default:
+
+* :mod:`repro.pipeline.reduce` — composable, inverse-recording
+  simplification rules (subsumed/duplicate edges, isolated and degree-1
+  vertices, twin-vertex contraction);
+* :mod:`repro.pipeline.split` — articulation points and biconnected
+  blocks of the cached primal graph;
+* :mod:`repro.pipeline.solve` — per-block solver registry plus the
+  opt-in ``concurrent.futures`` scheduler (cross-block and cross-k
+  parallelism, ``jobs=N``);
+* :mod:`repro.pipeline.solver` — the :class:`WidthSolver` facade tying
+  the stages together, with per-stage :class:`PipelineStats`.
+
+The stitch stage lives in :mod:`repro.decomposition.stitch`, next to the
+other decomposition transformations.
+"""
+
+from .reduce import (
+    RULES,
+    DroppedEdges,
+    DroppedIsolated,
+    FusedTwins,
+    ReducedInstance,
+    RemovedDegreeOne,
+    reduce_instance,
+    rules_for,
+)
+from .solve import SOLVERS, BlockScheduler, iterative_width_search, run_block_task
+from .solver import (
+    PREPROCESS_MODES,
+    PipelineStats,
+    WidthSolver,
+    last_pipeline_stats,
+    solve_width,
+)
+from .split import SPLIT_MODES, Block, articulation_points, split_instance
+
+__all__ = [
+    "WidthSolver",
+    "PipelineStats",
+    "solve_width",
+    "last_pipeline_stats",
+    "PREPROCESS_MODES",
+    "reduce_instance",
+    "ReducedInstance",
+    "rules_for",
+    "RULES",
+    "DroppedEdges",
+    "DroppedIsolated",
+    "FusedTwins",
+    "RemovedDegreeOne",
+    "split_instance",
+    "articulation_points",
+    "Block",
+    "SPLIT_MODES",
+    "BlockScheduler",
+    "iterative_width_search",
+    "run_block_task",
+    "SOLVERS",
+]

@@ -1,0 +1,302 @@
+"""Reduction layer: inverse-recording simplification rules on hypergraphs.
+
+Real CQ hypergraphs are dominated by structure a width search should
+never see: duplicate and subsumed edges, isolated vertices, vertices of
+identical edge-type (the paper's Section 5 reduced form ``H^-``) and
+degree-1 vertices whose only edge can be re-attached as a leaf.  Each
+rule here shrinks the instance and emits an *undo record*; replaying the
+records in reverse (:func:`repro.decomposition.stitch.replay_reductions`)
+lifts a decomposition of the reduced hypergraph back to a decomposition
+of the original one, of the same width (or width 1 for re-attached
+leaves, which never dominates since every width is >= 1).
+
+Width-safety is tracked per rule: dropping subsumed edges or eliminating
+degree-1 vertices preserves ghw and fhw but **not** hw — the paper's
+Section 4 is precisely about hw being sensitive to subedge structure —
+so :func:`reduce_instance` takes the target ``kind`` and applies only
+the rules proven safe for it:
+
+* ``drop_isolated_vertices``   — hd / ghd / fhd (no bag may contain them)
+* ``drop_duplicate_edges``     — hd / ghd / fhd (same content, one name)
+* ``fuse_twin_vertices``       — hd / ghd / fhd (identical edge-type, §5)
+* ``drop_subsumed_edges``      — ghd / fhd (e ⊊ f: f's bag covers e)
+* ``eliminate_degree_one``     — ghd / fhd (leaf node {e} re-attached)
+
+Every stitched decomposition is re-validated against the *original*
+hypergraph by the callers, so soundness never rests on this module being
+right.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hypergraph import Hypergraph, Vertex
+
+__all__ = [
+    "ReducedInstance",
+    "reduce_instance",
+    "RULES",
+    "rules_for",
+    "DroppedEdges",
+    "DroppedIsolated",
+    "FusedTwins",
+    "RemovedDegreeOne",
+]
+
+#: Decomposition kinds a width query may target.
+_KINDS = ("hd", "ghd", "fhd")
+
+
+# ----------------------------------------------------------------------
+# Undo records.  Each record knows how to replay itself onto a mutable
+# decomposition tree (see repro.decomposition.stitch.TreeBuilder): the
+# replay turns a decomposition valid for the state *after* the rule into
+# one valid for the state *before* it.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DroppedIsolated:
+    """Isolated vertices removed; no bag may contain them, so no undo."""
+
+    vertices: tuple
+
+    def replay(self, tree) -> None:  # pragma: no cover - trivial
+        return None
+
+
+@dataclass(frozen=True)
+class DroppedEdges:
+    """Duplicate or subsumed edges dropped.
+
+    The keeper's content contains each dropped edge's content, so the bag
+    containing the keeper already covers them: replay is a no-op.
+    """
+
+    names: tuple[str, ...]
+    keeper: str
+    reason: str  # "duplicate" | "subsumed"
+
+    def replay(self, tree) -> None:
+        return None
+
+
+@dataclass(frozen=True)
+class FusedTwins:
+    """Vertices of identical edge-type fused into a representative.
+
+    Replay adds the removed twins to every bag containing the
+    representative; covers are untouched (every cover edge containing the
+    representative contains the twins too), so all of conditions (1)-(4)
+    are preserved — this rule is safe even for plain HDs.
+    """
+
+    removed: tuple
+    representative: Vertex
+
+    def replay(self, tree) -> None:
+        tree.add_to_bags_with(self.representative, self.removed)
+
+
+@dataclass(frozen=True)
+class RemovedDegreeOne:
+    """A degree-1 vertex removed from its only edge.
+
+    ``remaining`` is the edge's content right after the removal.  Replay
+    attaches a fresh leaf with bag ``remaining ∪ {vertex}`` and cover
+    ``{edge: 1}`` below any node whose bag contains ``remaining`` (one
+    exists by edge coverage of the reduced instance).
+    """
+
+    vertex: Vertex
+    edge: str
+    remaining: frozenset
+
+    def replay(self, tree) -> None:
+        anchor = tree.find_node_containing(self.remaining)
+        tree.attach_leaf(
+            bag=self.remaining | {self.vertex},
+            cover={self.edge: 1.0},
+            parent_id=anchor,
+        )
+
+
+# ----------------------------------------------------------------------
+# Rules.  Each operates on a mutable {name: frozenset} mapping and
+# returns the undo records it emitted (empty when it did not fire).
+# ----------------------------------------------------------------------
+def _drop_isolated_vertices(edges: dict, isolated: set) -> list:
+    if not isolated:
+        return []
+    record = DroppedIsolated(tuple(sorted(isolated, key=str)))
+    isolated.clear()
+    return [record]
+
+
+def _drop_duplicate_edges(edges: dict, isolated: set) -> list:
+    by_content: dict[frozenset, list[str]] = {}
+    for name, vs in edges.items():
+        by_content.setdefault(vs, []).append(name)
+    records = []
+    for names in by_content.values():
+        if len(names) < 2:
+            continue
+        keeper = min(names)
+        dropped = tuple(sorted(n for n in names if n != keeper))
+        for n in dropped:
+            del edges[n]
+        records.append(DroppedEdges(dropped, keeper, "duplicate"))
+    return records
+
+
+def _drop_subsumed_edges(edges: dict, isolated: set) -> list:
+    """Drop every edge strictly contained in another (run dedup first)."""
+    names = sorted(edges, key=lambda n: (len(edges[n]), n))
+    records = []
+    for name in names:
+        content = edges[name]
+        keeper = next(
+            (
+                other
+                for other in edges
+                if other != name and content < edges[other]
+            ),
+            None,
+        )
+        if keeper is not None:
+            del edges[name]
+            records.append(DroppedEdges((name,), keeper, "subsumed"))
+    return records
+
+
+def _fuse_twin_vertices(edges: dict, isolated: set) -> list:
+    by_type: dict[frozenset, list] = {}
+    incidence: dict = {}
+    for name, vs in edges.items():
+        for v in vs:
+            incidence.setdefault(v, set()).add(name)
+    for v, inc in incidence.items():
+        by_type.setdefault(frozenset(inc), []).append(v)
+    records = []
+    for group in by_type.values():
+        if len(group) < 2:
+            continue
+        rep = min(group, key=str)
+        removed = tuple(sorted((v for v in group if v != rep), key=str))
+        gone = set(removed)
+        for name in incidence[rep]:
+            edges[name] = edges[name] - gone
+        records.append(FusedTwins(removed, rep))
+    return records
+
+
+def _eliminate_degree_one(edges: dict, isolated: set) -> list:
+    incidence: dict = {}
+    for name, vs in edges.items():
+        for v in vs:
+            incidence.setdefault(v, set()).add(name)
+    records = []
+    for v in sorted(incidence, key=str):
+        inc = incidence[v]
+        if len(inc) != 1:
+            continue
+        (name,) = inc
+        if len(edges[name]) < 2:
+            continue  # never empty an edge; singleton blocks solve trivially
+        edges[name] = edges[name] - {v}
+        records.append(RemovedDegreeOne(v, name, edges[name]))
+    return records
+
+
+#: Rule registry: name -> (apply, kinds the rule provably preserves).
+RULES: dict[str, tuple] = {
+    "isolated": (_drop_isolated_vertices, frozenset(_KINDS)),
+    "duplicate-edges": (_drop_duplicate_edges, frozenset(_KINDS)),
+    "twin-vertices": (_fuse_twin_vertices, frozenset(_KINDS)),
+    "subsumed-edges": (_drop_subsumed_edges, frozenset({"ghd", "fhd"})),
+    "degree-one": (_eliminate_degree_one, frozenset({"ghd", "fhd"})),
+}
+
+
+def rules_for(kind: str) -> list[str]:
+    """Names of the rules that preserve the given decomposition kind."""
+    if kind not in _KINDS:
+        raise ValueError(f"kind must be one of {_KINDS}")
+    return [name for name, (_fn, safe) in RULES.items() if kind in safe]
+
+
+@dataclass
+class ReducedInstance:
+    """The outcome of :func:`reduce_instance`.
+
+    ``undo`` lists the records in application order; replay them in
+    reverse to lift a decomposition of ``hypergraph`` back to one of
+    ``original``.
+    """
+
+    original: Hypergraph
+    hypergraph: Hypergraph
+    undo: tuple = ()
+    rule_counts: dict = field(default_factory=dict)
+    passes: int = 0
+
+    @property
+    def vertices_removed(self) -> int:
+        return self.original.num_vertices - self.hypergraph.num_vertices
+
+    @property
+    def edges_removed(self) -> int:
+        return self.original.num_edges - self.hypergraph.num_edges
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.undo)
+
+
+def reduce_instance(
+    hypergraph: Hypergraph,
+    kind: str = "ghd",
+    rules: list[str] | None = None,
+) -> ReducedInstance:
+    """Apply the kind-safe reduction rules to a fixpoint.
+
+    ``rules`` may name a subset of :data:`RULES` to apply (still filtered
+    by kind-safety).  The reduced hypergraph keeps original edge names —
+    undo records refer to them — and equals the input when nothing fires.
+    """
+    selected = rules_for(kind)
+    if rules is not None:
+        unknown = [r for r in rules if r not in RULES]
+        if unknown:
+            raise ValueError(f"unknown rules {unknown}; known: {sorted(RULES)}")
+        selected = [r for r in selected if r in rules]
+
+    edges: dict[str, frozenset] = dict(hypergraph.edges)
+    isolated: set = set(hypergraph.isolated_vertices())
+    undo: list = []
+    counts: dict[str, int] = {}
+    passes = 0
+    # Every firing strictly shrinks |V| + size(E) (or clears the isolated
+    # set once), so the fixpoint is reached within size(H) passes.
+    budget = hypergraph.size + len(isolated) + 2
+    changed = True
+    while changed:
+        changed = False
+        passes += 1
+        if passes > budget:  # pragma: no cover - safety net
+            raise RuntimeError("reduction did not reach a fixpoint (bug)")
+        for name in selected:
+            fn, _safe = RULES[name]
+            records = fn(edges, isolated)
+            if records:
+                changed = True
+                counts[name] = counts.get(name, 0) + len(records)
+                undo.extend(records)
+
+    if not undo:
+        return ReducedInstance(hypergraph, hypergraph, (), counts, passes)
+    reduced = Hypergraph(
+        edges,
+        vertices=isolated,
+        name=f"{hypergraph.name}^-" if hypergraph.name else None,
+    )
+    return ReducedInstance(hypergraph, reduced, tuple(undo), counts, passes)

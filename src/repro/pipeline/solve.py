@@ -1,0 +1,301 @@
+"""Solve layer: run any width algorithm per block, optionally in parallel.
+
+Blocks are independent, and Check(X, k) is monotone in k, so two axes of
+parallelism are available and both are exploited by the flat scheduler
+in :func:`iterative_width_search`:
+
+* **cross-block** — different blocks' checks run concurrently;
+* **cross-k** — while a block's verdict at k is pending, speculative
+  checks at k+1, k+2, ... fill idle workers; monotonicity makes the
+  smallest accepted k the true width once all smaller ks have failed.
+
+Parallelism is opt-in (``jobs=N``): the default is the plain serial
+loop, identical to the pre-pipeline behaviour.  ``executor="thread"``
+(default) shares the in-process engine caches; ``executor="process"``
+sidesteps the GIL for CPU-bound searches at the cost of per-task pickling
+and cold per-process caches (hypergraphs and decompositions pickle via
+their ``__getstate__``).
+
+Task payloads are plain ``(kind, hypergraph, args)`` tuples dispatched
+through the module-level :func:`run_block_task`, so they work on both
+executor types.  Algorithm cores are imported lazily inside it to keep
+the pipeline package import-cycle free.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field
+
+from ..decomposition import Decomposition
+from ..hypergraph import Hypergraph
+
+__all__ = [
+    "BlockScheduler",
+    "run_block_task",
+    "iterative_width_search",
+    "SOLVERS",
+]
+
+
+def _check_hd(hypergraph: Hypergraph, k: int, **params):
+    from ..algorithms.hd import hypertree_decomposition
+
+    return hypertree_decomposition(hypergraph, k, preprocess="none", **params)
+
+
+def _check_ghd(hypergraph: Hypergraph, k: int, **params):
+    from ..algorithms.ghd import generalized_hypertree_decomposition
+
+    return generalized_hypertree_decomposition(
+        hypergraph, k, preprocess="none", **params
+    )
+
+
+def _check_fhd_bounded_degree(hypergraph: Hypergraph, k: float, **params):
+    from ..algorithms.fhd import (
+        fractional_hypertree_decomposition_bounded_degree,
+    )
+
+    return fractional_hypertree_decomposition_bounded_degree(
+        hypergraph, k, preprocess="none", **params
+    )
+
+
+def _ghw_exact(hypergraph: Hypergraph, **params):
+    from ..algorithms.elimination import generalized_hypertree_width_exact
+
+    return generalized_hypertree_width_exact(
+        hypergraph, preprocess="none", **params
+    )
+
+
+def _fhw_exact(hypergraph: Hypergraph, **params):
+    from ..algorithms.elimination import fractional_hypertree_width_exact
+
+    return fractional_hypertree_width_exact(
+        hypergraph, preprocess="none", **params
+    )
+
+
+def _heuristic_bounds(hypergraph: Hypergraph, **params):
+    from ..algorithms.heuristics import width_bounds
+
+    return width_bounds(hypergraph, preprocess="none", **params)
+
+
+def _heuristic_decomposition(hypergraph: Hypergraph, **params):
+    from ..algorithms.heuristics import heuristic_decomposition
+
+    return heuristic_decomposition(hypergraph, preprocess="none", **params)
+
+
+def _fhw_approximation(hypergraph: Hypergraph, **params):
+    from ..algorithms.approx import fhw_approximation
+
+    return fhw_approximation(hypergraph, preprocess="none", **params)
+
+
+#: Per-block solver registry: name -> callable(hypergraph, **params).
+#: Check-style solvers additionally take ``k`` and return None on reject.
+SOLVERS = {
+    "check-hd": _check_hd,
+    "check-ghd": _check_ghd,
+    "check-fhd-bd": _check_fhd_bounded_degree,
+    "ghw-exact": _ghw_exact,
+    "fhw-exact": _fhw_exact,
+    "heuristic-bounds": _heuristic_bounds,
+    "heuristic-decomposition": _heuristic_decomposition,
+    "fhw-approximation": _fhw_approximation,
+}
+
+
+def run_block_task(solver: str, hypergraph: Hypergraph, params: dict):
+    """Execute one per-block solve (module-level, so it pickles)."""
+    return SOLVERS[solver](hypergraph, **params)
+
+
+@dataclass
+class BlockScheduler:
+    """Serial or pooled execution of per-block tasks, with counters."""
+
+    jobs: int = 1
+    executor: str = "thread"
+    tasks_run: int = 0
+    speculative_checks: int = 0
+
+    def __post_init__(self) -> None:
+        self.jobs = max(1, int(self.jobs or 1))
+        if self.executor not in ("thread", "process"):
+            raise ValueError("executor must be 'thread' or 'process'")
+
+    @property
+    def parallel(self) -> bool:
+        return self.jobs > 1
+
+    def _pool(self):
+        cls = (
+            ThreadPoolExecutor
+            if self.executor == "thread"
+            else ProcessPoolExecutor
+        )
+        return cls(max_workers=self.jobs)
+
+    def map(
+        self,
+        task_specs: list[tuple[str, Hypergraph, dict]],
+        stop_on_none: bool = False,
+    ) -> list:
+        """Run ``run_block_task`` over the specs; ordered results.
+
+        With ``stop_on_none`` (check-style queries: one rejecting block
+        decides the whole answer) remaining tasks are skipped/cancelled
+        once any task returns None; their slots stay None.
+        """
+        if not self.parallel or len(task_specs) <= 1:
+            results: list = []
+            for spec in task_specs:
+                self.tasks_run += 1
+                result = run_block_task(*spec)
+                results.append(result)
+                if stop_on_none and result is None:
+                    results.extend([None] * (len(task_specs) - len(results)))
+                    break
+            return results
+        self.tasks_run += len(task_specs)
+        with self._pool() as pool:
+            futures = [pool.submit(run_block_task, *spec) for spec in task_specs]
+            if not stop_on_none:
+                return [f.result() for f in futures]
+            pending = set(futures)
+            rejected = False
+            while pending and not rejected:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                rejected = any(f.result() is None for f in done)
+            for f in pending:
+                f.cancel()
+            return [
+                f.result() if f.done() and not f.cancelled() else None
+                for f in futures
+            ]
+
+
+@dataclass
+class _BlockState:
+    """Width-search progress of one block."""
+
+    next_k: int = 1
+    results: dict = field(default_factory=dict)  # k -> Decomposition | None
+    width: int | None = None
+    witness: Decomposition | None = None
+
+    def settle(self) -> None:
+        """Confirm the width once every smaller k has failed."""
+        k = self.next_k_unconfirmed()
+        while k in self.results:
+            if self.results[k] is not None:
+                self.width = k
+                self.witness = self.results[k]
+                return
+            k += 1
+
+    def next_k_unconfirmed(self) -> int:
+        k = 1
+        while self.results.get(k, "missing") is None:
+            k += 1
+        return k
+
+
+def iterative_width_search(
+    solver: str,
+    hypergraphs: list[Hypergraph],
+    caps: list[int],
+    scheduler: BlockScheduler,
+    params: dict | None = None,
+    cap_message: str = "no decomposition of width <= {cap} found (cap too small?)",
+) -> list[tuple[int, Decomposition]]:
+    """Smallest accepted k per block, via a check-style solver.
+
+    Serial when the scheduler is (the classic k = 1, 2, ... loop per
+    block); otherwise a single flat pool interleaves cross-block and
+    speculative cross-k checks.  Raises ``ValueError`` with
+    ``cap_message`` when a block exhausts its cap — the cap is always
+    sufficient for the default ``|E(block)|``.
+    """
+    params = dict(params or {})
+
+    if not scheduler.parallel:
+        out = []
+        for hypergraph, cap in zip(hypergraphs, caps):
+            found = None
+            for k in range(1, cap + 1):
+                scheduler.tasks_run += 1
+                witness = run_block_task(
+                    solver, hypergraph, {"k": k, **params}
+                )
+                if witness is not None:
+                    found = (k, witness)
+                    break
+            if found is None:
+                raise ValueError(cap_message.format(cap=cap))
+            out.append(found)
+        return out
+
+    states = [_BlockState() for _ in hypergraphs]
+    with scheduler._pool() as pool:
+        in_flight: dict = {}
+
+        def submittable():
+            """(block, k) pairs worth starting, nearest-k first."""
+            pairs = []
+            for i, state in enumerate(states):
+                if state.width is not None:
+                    continue
+                base = state.next_k_unconfirmed()
+                k = state.next_k
+                while k <= caps[i] and len(pairs) < scheduler.jobs:
+                    if k not in state.results and not any(
+                        key == (i, k) for key in in_flight.values()
+                    ):
+                        pairs.append((k - base, i, k))
+                    k += 1
+            pairs.sort()
+            return [(i, k) for (_d, i, k) in pairs]
+
+        while any(state.width is None for state in states):
+            for i, k in submittable():
+                if len(in_flight) >= scheduler.jobs:
+                    break
+                future = pool.submit(
+                    run_block_task,
+                    solver,
+                    hypergraphs[i],
+                    {"k": k, **params},
+                )
+                in_flight[future] = (i, k)
+                states[i].next_k = max(states[i].next_k, k + 1)
+                scheduler.tasks_run += 1
+                if k > states[i].next_k_unconfirmed():
+                    scheduler.speculative_checks += 1
+            if not in_flight:
+                # Everything submittable is exhausted but some block is
+                # unsettled: its cap ran out with rejections everywhere.
+                failed = [
+                    caps[i]
+                    for i, state in enumerate(states)
+                    if state.width is None
+                ]
+                raise ValueError(cap_message.format(cap=min(failed)))
+            done, _pending = wait(in_flight, return_when=FIRST_COMPLETED)
+            for future in done:
+                i, k = in_flight.pop(future)
+                states[i].results[k] = future.result()
+                states[i].settle()
+        for future in in_flight:
+            future.cancel()
+    return [(state.width, state.witness) for state in states]

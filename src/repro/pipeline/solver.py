@@ -1,0 +1,511 @@
+"""The ``WidthSolver`` facade: reduce → split → solve → stitch.
+
+Every public width entry point of the library routes through this class
+(``preprocess="none"`` is the escape hatch back to the raw algorithms).
+A query runs in four stages, each timed and counted in
+:class:`PipelineStats`:
+
+1. **reduce** — kind-safe simplification rules with undo records
+   (:mod:`repro.pipeline.reduce`);
+2. **split** — biconnected blocks of the primal graph for ghw/fhw,
+   connected components for hw (:mod:`repro.pipeline.split`);
+3. **solve** — any registered per-block algorithm, serially or on a
+   thread/process pool with cross-block and cross-k speculation
+   (:mod:`repro.pipeline.solve`);
+4. **stitch** — per-block witnesses joined along the block-cut forest
+   and reduction undos replayed (:mod:`repro.decomposition.stitch`),
+   then re-validated against the *original* hypergraph.
+
+The stitched width is ``max(1, max over blocks)``: every width measure
+is >= 1 on a non-empty hypergraph and re-attached degree-1 leaves cost
+exactly 1, so the pipeline answer equals the direct answer — the
+property tests in ``tests/test_pipeline.py`` pin this agreement.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..decomposition import (
+    Decomposition,
+    replay_reductions,
+    stitch_blocks,
+    validate,
+)
+from ..hypergraph import Hypergraph
+from .reduce import ReducedInstance, reduce_instance
+from .solve import BlockScheduler, iterative_width_search
+from .split import Block, split_instance
+
+__all__ = [
+    "WidthSolver",
+    "PipelineStats",
+    "solve_width",
+    "last_pipeline_stats",
+    "PREPROCESS_MODES",
+]
+
+PREPROCESS_MODES = ("full", "reduce", "split", "none")
+
+#: The stats of the most recent pipeline run in this process, for
+#: callers (CLI ``--pipeline-stats``, benchmark tables) that go through
+#: the plain entry-point functions rather than holding a WidthSolver.
+_LAST_STATS = None
+
+
+def last_pipeline_stats():
+    """The :class:`PipelineStats` of the most recent run, or None."""
+    return _LAST_STATS
+
+_EPS = 1e-9
+
+
+@dataclass
+class PipelineStats:
+    """Per-stage statistics of one pipeline run."""
+
+    kind: str = ""
+    preprocess: str = "full"
+    jobs: int = 1
+    reduce_seconds: float = 0.0
+    split_seconds: float = 0.0
+    solve_seconds: float = 0.0
+    stitch_seconds: float = 0.0
+    vertices_before: int = 0
+    edges_before: int = 0
+    vertices_removed: int = 0
+    edges_removed: int = 0
+    rule_counts: dict = field(default_factory=dict)
+    blocks: int = 1
+    block_sizes: list = field(default_factory=list)  # (|V|, |E|) per block
+    tasks_run: int = 0
+    speculative_checks: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.reduce_seconds
+            + self.split_seconds
+            + self.solve_seconds
+            + self.stitch_seconds
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "preprocess": self.preprocess,
+            "jobs": self.jobs,
+            "vertices_removed": self.vertices_removed,
+            "edges_removed": self.edges_removed,
+            "rule_counts": dict(self.rule_counts),
+            "blocks": self.blocks,
+            "block_sizes": list(self.block_sizes),
+            "tasks_run": self.tasks_run,
+            "speculative_checks": self.speculative_checks,
+            "reduce_seconds": self.reduce_seconds,
+            "split_seconds": self.split_seconds,
+            "solve_seconds": self.solve_seconds,
+            "stitch_seconds": self.stitch_seconds,
+            "total_seconds": self.total_seconds,
+        }
+
+
+class WidthSolver:
+    """One hypergraph, every width query, one preprocessing discipline.
+
+    Parameters
+    ----------
+    hypergraph:
+        The instance to decompose.
+    preprocess:
+        ``"full"`` (reduce + split, the default), ``"reduce"``,
+        ``"split"``, or ``"none"`` (raw algorithms, bit-for-bit the
+        pre-pipeline behaviour).
+    jobs:
+        Worker count for cross-block / cross-k parallelism (None or 1 =
+        serial).
+    executor:
+        ``"thread"`` (default; shares engine caches) or ``"process"``
+        (GIL-free, cold caches per worker).
+    """
+
+    def __init__(
+        self,
+        hypergraph: Hypergraph,
+        preprocess: str = "full",
+        jobs: int | None = None,
+        executor: str = "thread",
+    ) -> None:
+        if preprocess not in PREPROCESS_MODES:
+            raise ValueError(f"preprocess must be one of {PREPROCESS_MODES}")
+        self.hypergraph = hypergraph
+        self.preprocess = preprocess
+        self.jobs = max(1, int(jobs or 1))
+        self.executor = executor
+        self.last_stats: PipelineStats | None = None
+
+    # ------------------------------------------------------------------
+    # Stage plumbing
+    # ------------------------------------------------------------------
+    def _split_mode(self, kind: str) -> str:
+        if self.preprocess in ("none", "reduce"):
+            return "none"
+        # hw cannot re-root block HDs (special condition); components only.
+        return "components" if kind == "hd" else "biconnected"
+
+    def _prepare(
+        self, kind: str
+    ) -> tuple[ReducedInstance, list[Block], BlockScheduler, PipelineStats]:
+        stats = PipelineStats(
+            kind=kind,
+            preprocess=self.preprocess,
+            jobs=self.jobs,
+            vertices_before=self.hypergraph.num_vertices,
+            edges_before=self.hypergraph.num_edges,
+        )
+        t0 = time.perf_counter()
+        if self.preprocess in ("full", "reduce"):
+            reduced = reduce_instance(self.hypergraph, kind=kind)
+        else:
+            reduced = ReducedInstance(self.hypergraph, self.hypergraph)
+        t1 = time.perf_counter()
+        blocks = split_instance(reduced.hypergraph, self._split_mode(kind))
+        t2 = time.perf_counter()
+        stats.reduce_seconds = t1 - t0
+        stats.split_seconds = t2 - t1
+        stats.vertices_removed = reduced.vertices_removed
+        stats.edges_removed = reduced.edges_removed
+        stats.rule_counts = dict(reduced.rule_counts)
+        stats.blocks = len(blocks)
+        stats.block_sizes = [
+            (b.hypergraph.num_vertices, b.hypergraph.num_edges) for b in blocks
+        ]
+        scheduler = BlockScheduler(jobs=self.jobs, executor=self.executor)
+        return reduced, blocks, scheduler, stats
+
+    def _stitch(
+        self,
+        reduced: ReducedInstance,
+        blocks: list[Block],
+        witnesses: list[Decomposition],
+        stats: PipelineStats,
+        kind: str,
+        width: float | None,
+    ) -> Decomposition:
+        t0 = time.perf_counter()
+        stitched = stitch_blocks(
+            [
+                (witness, block.parent, block.cut_vertex)
+                for block, witness in zip(blocks, witnesses)
+            ]
+        )
+        final = replay_reductions(stitched, reduced.undo)
+        validate(self.hypergraph, final, kind=kind, width=width)
+        stats.stitch_seconds = time.perf_counter() - t0
+        return final
+
+    def _finish(self, stats: PipelineStats, scheduler: BlockScheduler) -> None:
+        global _LAST_STATS
+        stats.tasks_run = scheduler.tasks_run
+        stats.speculative_checks = scheduler.speculative_checks
+        self.last_stats = stats
+        _LAST_STATS = stats
+
+    def _solve_each(
+        self,
+        solver: str,
+        blocks: list[Block],
+        scheduler: BlockScheduler,
+        stats: PipelineStats,
+        params: dict,
+        stop_on_none: bool = False,
+    ) -> list:
+        t0 = time.perf_counter()
+        results = scheduler.map(
+            [(solver, block.hypergraph, dict(params)) for block in blocks],
+            stop_on_none=stop_on_none,
+        )
+        stats.solve_seconds = time.perf_counter() - t0
+        return results
+
+    # ------------------------------------------------------------------
+    # Check(X, k) queries
+    # ------------------------------------------------------------------
+    def _check(
+        self, kind: str, solver: str, k, params: dict
+    ) -> Decomposition | None:
+        reduced, blocks, scheduler, stats = self._prepare(kind)
+        witnesses = self._solve_each(
+            solver,
+            blocks,
+            scheduler,
+            stats,
+            {"k": k, **params},
+            stop_on_none=True,  # one rejecting block decides the answer
+        )
+        if any(w is None for w in witnesses):
+            self._finish(stats, scheduler)
+            return None
+        final = self._stitch(
+            reduced, blocks, witnesses, stats, kind, width=k + _EPS
+        )
+        self._finish(stats, scheduler)
+        return final
+
+    def hypertree_decomposition(self, k: int) -> Decomposition | None:
+        """Check(HD, k) with preprocessing; None when hw(H) > k."""
+        if k < 1:
+            raise ValueError("width bound k must be >= 1")
+        return self._check("hd", "check-hd", k, {})
+
+    def generalized_hypertree_decomposition(
+        self, k: int, method: str = "fixpoint", **caps
+    ) -> Decomposition | None:
+        """Check(GHD, k) with preprocessing; None when ghw(H) > k."""
+        return self._check(
+            "ghd", "check-ghd", k, {"method": method, **caps}
+        )
+
+    def fractional_hypertree_decomposition_bounded_degree(
+        self, k: float, d: int | None = None, **caps
+    ) -> Decomposition | None:
+        """Check(FHD, k) under bounded degree (Theorem 5.2), preprocessed.
+
+        ``d`` defaults per block to the block's own degree, which never
+        exceeds the input's — smaller supports, smaller searches.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        params: dict = dict(caps)
+        if d is not None:
+            params["d"] = d
+        return self._check("fhd", "check-fhd-bd", k, params)
+
+    # ------------------------------------------------------------------
+    # Width searches (iterate k per block)
+    # ------------------------------------------------------------------
+    def _iterative_width(
+        self,
+        kind: str,
+        solver: str,
+        kmax: int | None,
+        params: dict,
+        cap_message: str,
+    ) -> tuple[int, Decomposition]:
+        reduced, blocks, scheduler, stats = self._prepare(kind)
+        caps = [
+            block.hypergraph.num_edges if kmax is None else kmax
+            for block in blocks
+        ]
+        t0 = time.perf_counter()
+        results = iterative_width_search(
+            solver,
+            [block.hypergraph for block in blocks],
+            caps,
+            scheduler,
+            params=params,
+            cap_message=cap_message,
+        )
+        stats.solve_seconds = time.perf_counter() - t0
+        width = max(1, *(k for k, _w in results)) if results else 1
+        final = self._stitch(
+            reduced,
+            blocks,
+            [witness for _k, witness in results],
+            stats,
+            kind,
+            width=width + _EPS,
+        )
+        self._finish(stats, scheduler)
+        return width, final
+
+    def hypertree_width(self, kmax: int | None = None) -> tuple[int, Decomposition]:
+        """``hw(H)`` with a validated witness HD."""
+        return self._iterative_width(
+            "hd",
+            "check-hd",
+            kmax,
+            {},
+            "no HD of width <= {cap} found (cap too small?)",
+        )
+
+    def generalized_hypertree_width(
+        self, kmax: int | None = None, method: str = "fixpoint", **caps
+    ) -> tuple[int, Decomposition]:
+        """``ghw(H)`` with a validated witness GHD."""
+        return self._iterative_width(
+            "ghd",
+            "check-ghd",
+            kmax,
+            {"method": method, **caps},
+            "no GHD of width <= {cap} found (cap too small?)",
+        )
+
+    # ------------------------------------------------------------------
+    # Exact elimination oracles (per-block 2^n DP)
+    # ------------------------------------------------------------------
+    def generalized_hypertree_width_exact(
+        self, vertex_limit: int | None = None
+    ) -> tuple[int, Decomposition]:
+        """Exact ``ghw(H)``; the 2^n limit applies *per block*."""
+        params = {} if vertex_limit is None else {"vertex_limit": vertex_limit}
+        reduced, blocks, scheduler, stats = self._prepare("ghd")
+        results = self._solve_each("ghw-exact", blocks, scheduler, stats, params)
+        width = max(1, *(int(k) for k, _w in results)) if results else 1
+        final = self._stitch(
+            reduced,
+            blocks,
+            [w for _k, w in results],
+            stats,
+            "ghd",
+            width=width + _EPS,
+        )
+        self._finish(stats, scheduler)
+        return width, final
+
+    def fractional_hypertree_width_exact(
+        self, vertex_limit: int | None = None
+    ) -> tuple[float, Decomposition]:
+        """Exact ``fhw(H)``; the 2^n limit applies *per block*."""
+        params = {} if vertex_limit is None else {"vertex_limit": vertex_limit}
+        reduced, blocks, scheduler, stats = self._prepare("fhd")
+        results = self._solve_each("fhw-exact", blocks, scheduler, stats, params)
+        width = max(1.0, *(float(k) for k, _w in results)) if results else 1.0
+        final = self._stitch(
+            reduced,
+            blocks,
+            [w for _k, w in results],
+            stats,
+            "fhd",
+            width=width + _EPS,
+        )
+        self._finish(stats, scheduler)
+        return width, final
+
+    # ------------------------------------------------------------------
+    # Heuristic and approximation drivers
+    # ------------------------------------------------------------------
+    def heuristic_decomposition(
+        self, cost: str = "fractional", ordering: str = "min-fill"
+    ) -> tuple[float, Decomposition]:
+        """Per-block heuristic elimination decomposition, stitched."""
+        kind = "fhd" if cost == "fractional" else "ghd"
+        reduced, blocks, scheduler, stats = self._prepare(kind)
+        results = self._solve_each(
+            "heuristic-decomposition",
+            blocks,
+            scheduler,
+            stats,
+            {"cost": cost, "ordering": ordering},
+        )
+        width = max(1.0, *(float(w) for w, _d in results)) if results else 1.0
+        final = self._stitch(
+            reduced,
+            blocks,
+            [d for _w, d in results],
+            stats,
+            kind,
+            width=width + _EPS,
+        )
+        self._finish(stats, scheduler)
+        return final.width(), final
+
+    def width_bounds(
+        self, cost: str = "fractional"
+    ) -> tuple[float, float, Decomposition]:
+        """``(lower, upper, witness)``: the heuristic sandwich, blockwise.
+
+        The lower bound is the max of the block lower bounds (each block
+        is width-preserving, so this stays sound); the stitched witness
+        achieves the upper bound.
+        """
+        kind = "fhd" if cost == "fractional" else "ghd"
+        reduced, blocks, scheduler, stats = self._prepare(kind)
+        results = self._solve_each(
+            "heuristic-bounds", blocks, scheduler, stats, {"cost": cost}
+        )
+        lower = max(1.0, *(low for low, _u, _d in results)) if results else 1.0
+        upper = max(1.0, *(up for _l, up, _d in results)) if results else 1.0
+        final = self._stitch(
+            reduced,
+            blocks,
+            [d for _l, _u, d in results],
+            stats,
+            kind,
+            width=upper + _EPS,
+        )
+        self._finish(stats, scheduler)
+        return lower, final.width(), final
+
+    def fhw_approximation(self, K: float, eps: float, find_fhd=None):
+        """Algorithm 4 (the PTAAS of Theorem 6.20), run per block.
+
+        Each block's binary search runs independently (in parallel with
+        ``jobs``); the stitched FHD has width ``max(1, max block
+        widths) < fhw(H) + ε`` whenever ``fhw(H) <= K``.  A custom
+        ``find_fhd`` receives *block* hypergraphs.
+        """
+        from ..algorithms.approx import FHWApproximationResult
+
+        reduced, blocks, scheduler, stats = self._prepare("fhd")
+        params: dict = {"K": K, "eps": eps}
+        if find_fhd is not None:
+            params["find_fhd"] = find_fhd
+        results = self._solve_each(
+            "fhw-approximation", blocks, scheduler, stats, params
+        )
+        if any(r.failed for r in results):
+            self._finish(stats, scheduler)
+            worst_failed = max(
+                (r for r in results if r.failed), key=lambda r: r.iterations
+            )
+            return FHWApproximationResult(
+                None,
+                None,
+                iterations=worst_failed.iterations,
+                trace=worst_failed.trace,
+            )
+        worst = max(results, key=lambda r: r.iterations)
+        width = max(1.0, *(r.width for r in results))
+        final = self._stitch(
+            reduced,
+            blocks,
+            [r.decomposition for r in results],
+            stats,
+            "fhd",
+            width=width + _EPS,
+        )
+        self._finish(stats, scheduler)
+        return FHWApproximationResult(
+            final, final.width(), iterations=worst.iterations, trace=worst.trace
+        )
+
+
+def solve_width(
+    hypergraph: Hypergraph,
+    kind: str = "ghw",
+    preprocess: str = "full",
+    jobs: int | None = None,
+    executor: str = "thread",
+    **params,
+):
+    """One-call pipeline width query.
+
+    ``kind`` is one of ``"hw"``, ``"ghw"``, ``"ghw-exact"``, ``"fhw"``
+    (the exact oracle), or ``"bounds"`` (heuristic sandwich); extra
+    keyword arguments go to the underlying solver method.
+    """
+    solver = WidthSolver(
+        hypergraph, preprocess=preprocess, jobs=jobs, executor=executor
+    )
+    dispatch = {
+        "hw": solver.hypertree_width,
+        "ghw": solver.generalized_hypertree_width,
+        "ghw-exact": solver.generalized_hypertree_width_exact,
+        "fhw": solver.fractional_hypertree_width_exact,
+        "bounds": solver.width_bounds,
+    }
+    if kind not in dispatch:
+        raise ValueError(f"kind must be one of {sorted(dispatch)}")
+    return dispatch[kind](**params)

@@ -1,0 +1,230 @@
+"""Splitting layer: articulation points and biconnected block partition.
+
+Every hyperedge is a clique of the primal graph, so it lies inside
+exactly one biconnected block; the hypergraph therefore partitions into
+block subhypergraphs that meet only in articulation vertices.  ghw and
+fhw decompose exactly over this partition:
+
+* ``width(H) = max over blocks of width(block)`` — each block is the
+  paper's vertex-induced subhypergraph (Lemma 2.7 gives <=) with the
+  foreign one-vertex fragments dropped as subsumed edges (width-neutral
+  for ghw/fhw), and stitching the per-block witnesses along the
+  block-cut tree achieves the max (see
+  :func:`repro.decomposition.stitch.stitch_blocks`).
+
+hw is *not* safe under biconnected splitting (re-rooting a block's HD at
+its articulation vertex can break the special condition), so HD queries
+use ``mode="components"`` — plain connected components, whose trees join
+without re-rooting.
+
+The block forest records, for every non-root block, the parent block and
+the shared articulation vertex; the stitch layer consumes it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hypergraph import Hypergraph, Vertex
+
+__all__ = ["Block", "split_instance", "articulation_points", "SPLIT_MODES"]
+
+SPLIT_MODES = ("biconnected", "components", "none")
+
+
+@dataclass(frozen=True)
+class Block:
+    """One independently solvable piece of the instance.
+
+    ``parent`` is the index of the parent block in the block forest
+    (None for roots) and ``cut_vertex`` the articulation vertex shared
+    with it — exactly one, since two biconnected blocks meet in at most
+    one vertex.
+    """
+
+    index: int
+    hypergraph: Hypergraph
+    parent: int | None = None
+    cut_vertex: Vertex | None = None
+
+
+def _biconnected_vertex_sets(
+    adjacency: dict[Vertex, frozenset],
+) -> tuple[list[frozenset], frozenset]:
+    """Blocks (as vertex sets) and articulation points of a graph.
+
+    Iterative Hopcroft–Tarjan with an explicit edge stack; vertices with
+    no neighbours become singleton blocks so every vertex is covered.
+    """
+    order = sorted(adjacency, key=str)
+    disc: dict[Vertex, int] = {}
+    low: dict[Vertex, int] = {}
+    blocks: list[frozenset] = []
+    cut: set = set()
+    counter = 0
+
+    for root in order:
+        if root in disc:
+            continue
+        if not adjacency[root]:
+            disc[root] = counter
+            counter += 1
+            blocks.append(frozenset({root}))
+            continue
+        edge_stack: list[tuple[Vertex, Vertex]] = []
+        root_children = 0
+        # stack entries: (vertex, parent, iterator over neighbours)
+        stack = [(root, None, iter(sorted(adjacency[root], key=str)))]
+        disc[root] = low[root] = counter
+        counter += 1
+        while stack:
+            v, parent, nbrs = stack[-1]
+            advanced = False
+            for w in nbrs:
+                if w not in disc:
+                    edge_stack.append((v, w))
+                    disc[w] = low[w] = counter
+                    counter += 1
+                    stack.append((w, v, iter(sorted(adjacency[w], key=str))))
+                    if v == root:
+                        root_children += 1
+                    advanced = True
+                    break
+                if w != parent and disc[w] < disc[v]:
+                    edge_stack.append((v, w))
+                    low[v] = min(low[v], disc[w])
+            if advanced:
+                continue
+            stack.pop()
+            if stack:
+                u = stack[-1][0]
+                low[u] = min(low[u], low[v])
+                if low[v] >= disc[u]:
+                    # u separates v's subtree: pop one block.
+                    members: set = set()
+                    while edge_stack:
+                        a, b = edge_stack[-1]
+                        if disc[a] < disc[v] and a != u:
+                            break
+                        edge_stack.pop()
+                        members.update((a, b))
+                        if (a, b) == (u, v):
+                            break
+                    if members:
+                        blocks.append(frozenset(members))
+                    if u != root or root_children > 1:
+                        cut.add(u)
+    return blocks, frozenset(cut)
+
+
+def articulation_points(hypergraph: Hypergraph) -> frozenset:
+    """Articulation vertices of the primal graph."""
+    _blocks, cut = _biconnected_vertex_sets(hypergraph.primal_graph())
+    return cut
+
+
+def _block_forest(
+    vertex_sets: list[frozenset], cut: frozenset
+) -> list[tuple[int | None, Vertex | None]]:
+    """(parent, cut_vertex) per block, BFS over the block-cut structure."""
+    by_cut: dict[Vertex, list[int]] = {}
+    for i, vs in enumerate(vertex_sets):
+        for a in vs & cut:
+            by_cut.setdefault(a, []).append(i)
+    links: list[tuple[int | None, Vertex | None]] = [
+        (None, None) for _ in vertex_sets
+    ]
+    seen: set[int] = set()
+    for start in range(len(vertex_sets)):
+        if start in seen:
+            continue
+        seen.add(start)
+        queue = [start]
+        while queue:
+            i = queue.pop(0)
+            for a in sorted(vertex_sets[i] & cut, key=str):
+                for j in by_cut[a]:
+                    if j not in seen:
+                        seen.add(j)
+                        links[j] = (i, a)
+                        queue.append(j)
+    return links
+
+
+def split_instance(
+    hypergraph: Hypergraph, mode: str = "biconnected"
+) -> list[Block]:
+    """Partition the instance into independently solvable blocks.
+
+    ``"biconnected"`` splits along articulation points of the primal
+    graph (safe for ghw/fhw); ``"components"`` splits into connected
+    components only (safe for every measure, including hw);
+    ``"none"`` returns the whole instance as a single block.
+
+    Edges keep their names and full contents — every edge lies in
+    exactly one block (singleton edges go to any block containing their
+    vertex).  Declared isolated vertices are not assigned to any block;
+    drop them first (the ``isolated`` reduction rule).
+    """
+    if mode not in SPLIT_MODES:
+        raise ValueError(f"mode must be one of {SPLIT_MODES}")
+    if mode == "none" or hypergraph.num_edges <= 1:
+        return [Block(0, hypergraph)]
+
+    if mode == "components":
+        from ..hypergraph import connected_components
+
+        vertex_sets = connected_components(hypergraph)
+        links = [(None, None)] * len(vertex_sets)
+        cut: frozenset = frozenset()
+    else:
+        vertex_sets, cut = _biconnected_vertex_sets(hypergraph.primal_graph())
+        links = _block_forest(vertex_sets, cut)
+
+    if len(vertex_sets) <= 1:
+        return [Block(0, hypergraph)]
+
+    membership: dict[Vertex, list[int]] = {}
+    for i, vs in enumerate(vertex_sets):
+        for v in vs:
+            membership.setdefault(v, []).append(i)
+
+    assigned: dict[int, dict[str, frozenset]] = {i: {} for i in range(len(vertex_sets))}
+    for name, content in hypergraph.edges.items():
+        it = iter(content)
+        first = next(it)
+        candidates = set(membership[first])
+        for v in it:
+            candidates &= set(membership[v])
+            if len(candidates) == 1:
+                break
+        # A clique lies in exactly one block; singleton edges may sit on
+        # an articulation vertex shared by several — any of them works.
+        assigned[min(candidates)][name] = content
+
+    # Blocks with no edges only arise from declared isolated vertices
+    # (singleton primal blocks); they are never linked to other blocks,
+    # so skipping them and remapping parent indices is safe.
+    kept = [i for i in range(len(vertex_sets)) if assigned[i]]
+    remap = {old: new for new, old in enumerate(kept)}
+    blocks = []
+    for old in kept:
+        parent, cut_vertex = links[old]
+        blocks.append(
+            Block(
+                index=remap[old],
+                hypergraph=Hypergraph(
+                    assigned[old],
+                    name=(
+                        f"{hypergraph.name}/b{remap[old]}"
+                        if hypergraph.name
+                        else None
+                    ),
+                ),
+                parent=remap[parent] if parent is not None else None,
+                cut_vertex=cut_vertex,
+            )
+        )
+    if len(blocks) == 1:
+        return [Block(0, hypergraph)]
+    return blocks

@@ -11,7 +11,8 @@ A complete reproduction of the paper's systems:
 * Check(HD,k), Check(GHD,k), Check(FHD,k), exact oracles,
   the Section 6 approximation schemes                    — :mod:`repro.algorithms`
 * the reduce → split → solve → stitch instance pipeline
-  behind every width query (:class:`WidthSolver`)        — :mod:`repro.pipeline`
+  behind every width query (:class:`WidthSolver`), plus
+  batched multi-instance serving (:func:`solve_many`)    — :mod:`repro.pipeline`
 * the Theorem 3.2 NP-hardness reduction + certificates   — :mod:`repro.hardness`
 * conjunctive queries and CSPs (the applications)        — :mod:`repro.cqcsp`
 
@@ -64,15 +65,29 @@ from .paper_artifacts import (
     figure_6a_ghd,
     figure_6b_ghd,
 )
-from .pipeline import PipelineStats, WidthSolver, solve_width
+from .pipeline import (
+    BatchRequest,
+    BatchResult,
+    BatchScheduler,
+    BatchStats,
+    PipelineStats,
+    WidthSolver,
+    solve_many,
+    solve_width,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
     "WidthSolver",
     "PipelineStats",
     "solve_width",
+    "solve_many",
+    "BatchRequest",
+    "BatchResult",
+    "BatchScheduler",
+    "BatchStats",
     "Hypergraph",
     "degree",
     "intersection_width",

@@ -6,6 +6,7 @@ Usage (also ``python -m repro``)::
     repro width queries.hg --kind ghw       # compute a width + witness
     repro decompose queries.hg -k 2 --json  # decomposition as JSON
     repro bounds big.hg                     # heuristic sandwich for fhw
+    repro batch manifest.json --jobs 4      # batched multi-instance solve
     repro reduce formula.cnf                # Theorem 3.2 reduction report
     repro generate cycle 8                  # emit a family instance
 
@@ -51,6 +52,7 @@ from .hypergraph import (
     vc_dimension,
 )
 from .hypergraph.acyclicity import is_alpha_acyclic
+from .pipeline import BATCH_KINDS, PREPROCESS_MODES
 from .hypergraph.generators import (
     clique,
     cycle,
@@ -180,6 +182,150 @@ def _cmd_bounds(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_manifest(path: str) -> list:
+    """Parse a batch manifest into a list of ``BatchRequest`` objects.
+
+    The manifest is JSON: either a list of entries or an object with a
+    ``"requests"`` list.  Each entry is ``{"file": "q.hg", "kind":
+    "ghw", "params": {...}, "label": "..."}`` (``file`` required; a
+    bare string is shorthand for ``{"file": ...}``).  Relative paths
+    resolve against the manifest's own directory.
+
+    Raises ``ValueError`` on a structurally invalid manifest or an
+    unreadable/unparseable instance file — configuration errors abort
+    the command; per-request *solver* errors (unknown kind, bad params)
+    are reported per request instead.
+    """
+    from .pipeline import BatchRequest
+
+    manifest_path = Path(path)
+    try:
+        raw = json.loads(manifest_path.read_text())
+    except OSError as exc:
+        raise ValueError(f"cannot read manifest: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"manifest is not valid JSON: {exc}") from exc
+    entries = raw.get("requests") if isinstance(raw, dict) else raw
+    if not isinstance(entries, list):
+        raise ValueError(
+            "manifest must be a JSON list of entries or an object "
+            'with a "requests" list'
+        )
+    requests = []
+    for i, entry in enumerate(entries):
+        if isinstance(entry, str):
+            entry = {"file": entry}
+        if (
+            not isinstance(entry, dict)
+            or not isinstance(entry.get("file"), str)
+        ):
+            raise ValueError(
+                f'manifest entry {i} needs a "file" string; got {entry!r}'
+            )
+        file_path = Path(entry["file"])
+        if not file_path.is_absolute():
+            file_path = manifest_path.parent / file_path
+        try:
+            hypergraph = parse_hyperbench(
+                file_path.read_text(), name=file_path.stem
+            )
+        except OSError as exc:
+            raise ValueError(
+                f"manifest entry {i}: cannot read {file_path}: {exc}"
+            ) from exc
+        except ValueError as exc:
+            raise ValueError(
+                f"manifest entry {i}: cannot parse {file_path}: {exc}"
+            ) from exc
+        try:
+            requests.append(
+                BatchRequest(
+                    hypergraph,
+                    kind=entry.get("kind", "ghw"),
+                    params=dict(entry.get("params") or {}),
+                    label=entry.get("label") or file_path.stem,
+                )
+            )
+        except (TypeError, ValueError) as exc:
+            # e.g. params that are not a mapping — a configuration
+            # problem of the manifest, not of the solver.
+            raise ValueError(
+                f"manifest entry {i} is invalid: {exc}"
+            ) from exc
+    return requests
+
+
+def _format_batch_result(result) -> str:
+    """One human-readable line per batch request outcome."""
+    request = result.request
+    name = request.name
+    if not result.ok:
+        return f"{request.kind}({name}) ERROR: {result.error}"
+    value = result.value
+    if request.kind == "bounds":
+        lower, upper, _witness = value
+        label = "fhw" if request.params.get("cost", "fractional") == "fractional" else "ghw"
+        return f"{lower:.4f} <= {label}({name}) <= {upper:.4f}"
+    if request.kind.startswith("check-"):
+        k = request.params.get("k")
+        verdict = "yes" if value is not None else "no"
+        return f"{request.kind}({name}, k={k}) = {verdict}"
+    width, _witness = value
+    return f"{request.kind}({name}) = {width}"
+
+
+def _batch_result_dict(result) -> dict:
+    """JSON-ready summary of one batch request outcome."""
+    request = result.request
+    info: dict = {"label": request.name, "kind": request.kind, "ok": result.ok}
+    if not result.ok:
+        info["error"] = str(result.error)
+        return info
+    value = result.value
+    if request.kind == "bounds":
+        info["lower"], info["upper"] = value[0], value[1]
+    elif request.kind.startswith("check-"):
+        info["k"] = request.params.get("k")
+        info["accepted"] = value is not None
+    else:
+        info["width"] = value[0]
+    return info
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from .pipeline import last_batch_stats, solve_many
+
+    try:
+        requests = _load_manifest(args.manifest)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    results = solve_many(
+        requests,
+        jobs=args.jobs,
+        preprocess=args.preprocess or "full",
+        executor=args.executor,
+    )
+    stats = last_batch_stats()
+    failed = [r for r in results if not r.ok]
+    if args.json:
+        payload = {
+            "results": [_batch_result_dict(r) for r in results],
+            "stats": stats.as_dict(),
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for result in results:
+            print(_format_batch_result(result))
+        print(
+            f"batch: {stats.requests} requests, "
+            f"{stats.requests - len(failed)} ok, {len(failed)} failed, "
+            f"{stats.total_seconds:.3f}s "
+            f"({stats.requests_per_second:.1f} req/s)"
+        )
+    return 1 if failed else 0
+
+
 def _cmd_reduce(args: argparse.Namespace) -> int:
     formula = CNF.from_dimacs(Path(args.file).read_text())
     reduction = build_reduction(formula)
@@ -235,7 +381,9 @@ def _engine_options() -> argparse.ArgumentParser:
     pipeline_group = parent.add_argument_group("pipeline options")
     pipeline_group.add_argument(
         "--preprocess",
-        choices=["full", "reduce", "split", "none"],
+        # Single source of truth for the valid modes; the README and the
+        # docs quote this flag and tests/test_docs.py pins the agreement.
+        choices=list(PREPROCESS_MODES),
         default=None,
         help="reduce/split stages before solving (default: full)",
     )
@@ -264,8 +412,44 @@ def _apply_engine_options(args: argparse.Namespace) -> None:
         )
 
 
+def _print_batch_stats() -> None:
+    from .pipeline import last_batch_stats
+
+    stats = last_batch_stats()
+    if stats is None:
+        print("batch stats: no batch run recorded")
+        return
+    print("batch stats:")
+    summary = stats.as_dict()
+    summary["kinds"] = (
+        ",".join(f"{k}={v}" for k, v in sorted(stats.kinds.items())) or "-"
+    )
+    for key in (
+        "requests",
+        "kinds",
+        "failures",
+        "jobs",
+        "executor",
+        "preprocess",
+        "blocks",
+        "tasks_run",
+        "speculative_checks",
+        "tasks_cancelled",
+        "lp_solves",
+        "cache_hits",
+        "cache_misses",
+        "hit_rate",
+    ):
+        print(f"  {key:>18}: {summary[key]}")
+    for stage in ("prepare", "solve", "stitch", "total"):
+        print(f"  {stage + '_seconds':>18}: {summary[stage + '_seconds']:.4f}")
+
+
 def _print_pipeline_stats(args: argparse.Namespace) -> None:
     if not getattr(args, "pipeline_stats", False):
+        return
+    if getattr(args, "func", None) is _cmd_batch:
+        _print_batch_stats()
         return
     from .pipeline import last_pipeline_stats
 
@@ -366,6 +550,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--cost", choices=("fractional", "integral"), default="fractional"
     )
     p_bounds.set_defaults(func=_cmd_bounds)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="solve a JSON manifest of width queries as one batch",
+        description=(
+            "Batched multi-instance serving: reduce/split every instance "
+            "up front, then interleave per-block tasks from different "
+            "instances on one shared worker pool with warm engine caches. "
+            f"Manifest entries take a 'kind' from {sorted(BATCH_KINDS)}."
+        ),
+        parents=[engine_options],
+    )
+    p_batch.add_argument("manifest", help="JSON manifest of width queries")
+    p_batch.add_argument("--json", action="store_true")
+    p_batch.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help="worker pool type (thread shares warm engine caches)",
+    )
+    p_batch.set_defaults(func=_cmd_batch)
 
     p_red = sub.add_parser("reduce", help="Theorem 3.2 reduction report")
     p_red.add_argument("file", help="DIMACS CNF file")

@@ -309,16 +309,22 @@ def is_tree_decomposition(hypergraph: Hypergraph, decomp: Decomposition) -> bool
 def is_ghd(
     hypergraph: Hypergraph, decomp: Decomposition, width: float | None = None
 ) -> bool:
+    """Whether ``decomp`` is a valid generalized hypertree decomposition
+    of ``hypergraph`` (of width <= ``width``, when given)."""
     return not violations(hypergraph, decomp, kind="ghd", width=width)
 
 
 def is_hd(
     hypergraph: Hypergraph, decomp: Decomposition, width: float | None = None
 ) -> bool:
+    """Whether ``decomp`` is a valid hypertree decomposition
+    of ``hypergraph`` (of width <= ``width``, when given)."""
     return not violations(hypergraph, decomp, kind="hd", width=width)
 
 
 def is_fhd(
     hypergraph: Hypergraph, decomp: Decomposition, width: float | None = None
 ) -> bool:
+    """Whether ``decomp`` is a valid fractional hypertree decomposition
+    of ``hypergraph`` (of width <= ``width``, when given)."""
     return not violations(hypergraph, decomp, kind="fhd", width=width)

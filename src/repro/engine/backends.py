@@ -47,6 +47,30 @@ class LPBackend:
         costs: list[float] | None = None,
         upper_bounds: list[float] | None = None,
     ) -> CoveringLPResult:
+        """Solve ``min c·x  s.t.  sum_{j in row} x_j >= 1, 0 <= x <= ub``.
+
+        Parameters
+        ----------
+        membership : list of list of int
+            One row per covering constraint: the variable indices whose
+            sum must reach 1.
+        n_vars : int
+            Number of variables.
+        costs : list of float, optional
+            Objective coefficients (default: all 1).
+        upper_bounds : list of float, optional
+            Per-variable upper bounds (default: unbounded above).
+
+        Returns
+        -------
+        CoveringLPResult
+            Optimal value and a primal solution vector.
+
+        Raises
+        ------
+        NotImplementedError
+            On the abstract base class.
+        """
         raise NotImplementedError
 
 
@@ -58,6 +82,7 @@ class ScipyHiGHSBackend(LPBackend):
     def solve_covering_lp(
         self, membership, n_vars, costs=None, upper_bounds=None
     ) -> CoveringLPResult:
+        """Solve the covering LP with scipy's HiGHS method."""
         from ..covers.linear_program import solve_covering_lp
 
         return solve_covering_lp(
@@ -73,6 +98,7 @@ class PurePythonSimplexBackend(LPBackend):
     def solve_covering_lp(
         self, membership, n_vars, costs=None, upper_bounds=None
     ) -> CoveringLPResult:
+        """Solve the covering LP with the built-in two-phase simplex."""
         return simplex_covering_lp(
             membership, n_vars, costs=costs, upper_bounds=upper_bounds
         )

@@ -209,6 +209,16 @@ def get_context(hypergraph: Hypergraph) -> SearchContext:
     itself (hashable and immutable, with a cached hash), so equal
     hypergraphs — even ones constructed independently — share one context
     and therefore one set of caches.
+
+    Parameters
+    ----------
+    hypergraph : Hypergraph
+        The instance whose context to fetch or create.
+
+    Returns
+    -------
+    SearchContext
+        The (possibly freshly registered) shared context.
     """
     ctx = _registry.get(hypergraph)
     if ctx is None:

@@ -56,6 +56,7 @@ class OracleStats:
         self.reset()
 
     def reset(self) -> None:
+        """Zero every counter."""
         self.lp_solves = 0
         self.set_cover_solves = 0
         self.hits = 0
@@ -63,10 +64,12 @@ class OracleStats:
 
     @property
     def hit_rate(self) -> float:
+        """Cache hits over lookups (0.0 when there were no lookups)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
     def as_dict(self) -> dict:
+        """The counters as a JSON-ready dictionary."""
         return {
             "lp_solves": self.lp_solves,
             "set_cover_solves": self.set_cover_solves,
@@ -293,8 +296,22 @@ def oracle_for(
 
     Oracles live on the hypergraph's :class:`SearchContext`, keyed by
     ``(backend, cache_size)``, so every algorithm touching the same
-    hypergraph under the same configuration shares one cache.  Arguments
-    default to the values set via :func:`repro.engine.configure`.
+    hypergraph under the same configuration shares one cache.
+
+    Parameters
+    ----------
+    hypergraph : Hypergraph or SearchContext
+        The instance (or its context) whose oracle to fetch.
+    backend : str, optional
+        LP backend name; defaults to the configured engine backend.
+    cache_size : int, optional
+        LRU capacity (0 disables caching); defaults to the configured
+        engine cache size.
+
+    Returns
+    -------
+    CoverOracle
+        The shared per-context oracle for that configuration.
     """
     from . import engine_config  # late: avoid import cycle
     from .backends import default_backend_name

@@ -11,12 +11,26 @@ Every width query in the library runs through this package by default:
   opt-in ``concurrent.futures`` scheduler (cross-block and cross-k
   parallelism, ``jobs=N``);
 * :mod:`repro.pipeline.solver` — the :class:`WidthSolver` facade tying
-  the stages together, with per-stage :class:`PipelineStats`.
+  the stages together, with per-stage :class:`PipelineStats`;
+* :mod:`repro.pipeline.batch` — batched multi-instance serving:
+  :func:`solve_many` / :class:`BatchScheduler` interleave per-block
+  tasks of a whole request workload on one shared pool with one warm
+  engine-cache domain, with per-request :class:`BatchResult` handles
+  and aggregate :class:`BatchStats`.
 
 The stitch stage lives in :mod:`repro.decomposition.stitch`, next to the
 other decomposition transformations.
 """
 
+from .batch import (
+    BATCH_KINDS,
+    BatchRequest,
+    BatchResult,
+    BatchScheduler,
+    BatchStats,
+    last_batch_stats,
+    solve_many,
+)
 from .reduce import (
     RULES,
     DroppedEdges,
@@ -27,13 +41,22 @@ from .reduce import (
     reduce_instance,
     rules_for,
 )
-from .solve import SOLVERS, BlockScheduler, iterative_width_search, run_block_task
+from .solve import (
+    SOLVERS,
+    BlockScheduler,
+    BlockState,
+    iterative_width_search,
+    run_block_task,
+)
 from .solver import (
     PREPROCESS_MODES,
     PipelineStats,
     WidthSolver,
     last_pipeline_stats,
+    prepare_instance,
     solve_width,
+    split_mode_for,
+    stitch_instance,
 )
 from .split import SPLIT_MODES, Block, articulation_points, split_instance
 
@@ -42,7 +65,17 @@ __all__ = [
     "PipelineStats",
     "solve_width",
     "last_pipeline_stats",
+    "prepare_instance",
+    "stitch_instance",
+    "split_mode_for",
     "PREPROCESS_MODES",
+    "solve_many",
+    "BatchRequest",
+    "BatchResult",
+    "BatchScheduler",
+    "BatchStats",
+    "last_batch_stats",
+    "BATCH_KINDS",
     "reduce_instance",
     "ReducedInstance",
     "rules_for",
@@ -56,6 +89,7 @@ __all__ = [
     "Block",
     "SPLIT_MODES",
     "BlockScheduler",
+    "BlockState",
     "iterative_width_search",
     "run_block_task",
     "SOLVERS",

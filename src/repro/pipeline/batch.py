@@ -1,0 +1,869 @@
+"""Batched multi-instance serving: one scheduler, many width queries.
+
+A served deployment does not answer one hypergraph at a time — it
+answers *workloads* (the paper's evaluation itself runs width checks
+over whole HyperBench corpora).  Calling :class:`~.solver.WidthSolver`
+per instance builds a fresh scheduler and starts from cold engine
+caches on every call.  This module amortizes both:
+
+* :func:`solve_many` / :class:`BatchScheduler` run the reduce and split
+  stages for **every** instance up front, then interleave the resulting
+  ``(instance, block, k)`` tasks from *different* instances on one
+  shared worker pool;
+* with the default thread executor, all tasks share one warm
+  :class:`~repro.engine.context.SearchContext` /
+  :class:`~repro.engine.oracle.CoverOracle` cache domain, so repeated
+  query shapes across the batch hit instead of recompute (the dominant
+  effect measured by ``benchmarks/bench_e19_batch_serving.py``);
+* every request gets its own :class:`BatchResult` handle, resolved as
+  the batch progresses — a failing request records its error there and
+  never poisons its siblings;
+* stitching is deterministic per instance (driver thread, block order),
+  so batched answers are exactly the single-instance
+  :class:`~.solver.WidthSolver` answers.
+
+Task payloads are the same plain picklable ``(solver, hypergraph,
+params)`` triples as :func:`~.solve.run_block_task`, so the batch runs
+unchanged on thread pools, process pools, and — the ROADMAP's next
+step — remote workers.
+
+Quickstart::
+
+    from repro import Hypergraph, solve_many
+
+    results = solve_many(
+        [(h1, "ghw"), (h2, "fhw"), (h3, "hw")], jobs=4
+    )
+    width, decomposition = results[0].value
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Mapping
+from concurrent.futures import FIRST_COMPLETED, wait
+from dataclasses import dataclass, field
+
+from ..hypergraph import Hypergraph
+from .solve import (
+    CAP_MESSAGES,
+    EXECUTORS,
+    BlockState,
+    make_pool,
+    run_block_task,
+)
+from .solver import (
+    _EPS,
+    PREPROCESS_MODES,
+    prepare_instance,
+    stitch_instance,
+)
+
+__all__ = [
+    "BatchRequest",
+    "BatchResult",
+    "BatchStats",
+    "BatchScheduler",
+    "solve_many",
+    "last_batch_stats",
+    "BATCH_KINDS",
+]
+
+#: kind -> (decomposition kind, per-block solver, scheduling mode).
+#: ``"iterative"`` kinds search k = 1, 2, ... per block (speculatively
+#: above the frontier when workers are idle); ``"oneshot"`` kinds run
+#: exactly one task per block; ``"check"`` kinds run one fixed-k check
+#: per block and cancel the instance's remaining tasks on the first
+#: rejecting block.
+_KIND_TABLE = {
+    "hw": ("hd", "check-hd", "iterative"),
+    "ghw": ("ghd", "check-ghd", "iterative"),
+    "ghw-exact": ("ghd", "ghw-exact", "oneshot"),
+    "fhw": ("fhd", "fhw-exact", "oneshot"),
+    "bounds": ("fhd", "heuristic-bounds", "oneshot"),
+    "check-hd": ("hd", "check-hd", "check"),
+    "check-ghd": ("ghd", "check-ghd", "check"),
+    "check-fhd-bd": ("fhd", "check-fhd-bd", "check"),
+}
+
+#: The request kinds :func:`solve_many` accepts.  The width kinds
+#: (``"hw"``, ``"ghw"``, ``"ghw-exact"``, ``"fhw"``, ``"bounds"``)
+#: mirror :func:`~.solver.solve_width`; the ``"check-*"`` kinds answer
+#: Check(X, k) for the ``k`` given in ``params``.
+BATCH_KINDS = tuple(_KIND_TABLE)
+
+#: Sentinel for a block slot whose task has not finished (None is a
+#: legitimate check verdict, so it cannot mark pending slots).
+_PENDING = object()
+
+_LAST_BATCH_STATS = None
+
+
+def last_batch_stats():
+    """The :class:`BatchStats` of the most recent batch run, or None.
+
+    Returns
+    -------
+    BatchStats or None
+        Statistics of the last :meth:`BatchScheduler.run` completed in
+        this process (the CLI ``repro batch --pipeline-stats`` reads
+        this), or None when no batch has run yet.
+    """
+    return _LAST_BATCH_STATS
+
+
+@dataclass
+class BatchRequest:
+    """One width query of a batch.
+
+    Parameters
+    ----------
+    hypergraph : Hypergraph
+        The instance to solve.
+    kind : str, optional
+        One of :data:`BATCH_KINDS` (default ``"ghw"``).
+    params : dict, optional
+        Extra keyword arguments for the underlying solver (e.g.
+        ``{"kmax": 3}`` for width searches, ``{"k": 2}`` — required —
+        for check kinds, ``{"vertex_limit": 12}`` for the exact
+        oracles, ``{"cost": "integral"}`` for bounds).
+    label : str, optional
+        Display name for results and the CLI (defaults to the
+        hypergraph's own name).
+    """
+
+    hypergraph: Hypergraph
+    kind: str = "ghw"
+    params: dict = field(default_factory=dict)
+    label: str | None = None
+
+    @classmethod
+    def of(cls, spec) -> "BatchRequest":
+        """Normalize a request spec into a :class:`BatchRequest`.
+
+        Parameters
+        ----------
+        spec : BatchRequest or Hypergraph or tuple or Mapping
+            Accepted shapes: a ready request; a bare hypergraph
+            (solved as ``"ghw"``); ``(hypergraph, kind)`` or
+            ``(hypergraph, kind, params)`` tuples; or a mapping with
+            the constructor's keys.
+
+        Returns
+        -------
+        BatchRequest
+
+        Raises
+        ------
+        TypeError
+            If the spec matches none of the accepted shapes.
+        """
+        if isinstance(spec, cls):
+            return spec
+        if isinstance(spec, Hypergraph):
+            return cls(spec)
+        if isinstance(spec, Mapping):
+            return cls(**spec)
+        if isinstance(spec, (tuple, list)) and spec and len(spec) <= 3:
+            return cls(*spec)
+        raise TypeError(
+            "a batch request is a BatchRequest, a Hypergraph, a "
+            "(hypergraph, kind[, params]) tuple, or a mapping of "
+            f"BatchRequest fields; got {spec!r}"
+        )
+
+    @property
+    def name(self) -> str:
+        """The request's display name (label, hypergraph name, or kind)."""
+        if self.label:
+            return self.label
+        if isinstance(self.hypergraph, Hypergraph) and self.hypergraph.name:
+            return self.hypergraph.name
+        return self.kind
+
+
+@dataclass
+class BatchResult:
+    """Per-request result handle, resolved by the batch run.
+
+    Handed out by :meth:`BatchScheduler.submit` immediately; the batch
+    fills in ``value`` or ``error`` as the run progresses, so a failing
+    request never disturbs its siblings' handles.
+
+    Attributes
+    ----------
+    index : int
+        Position of the request in the batch (results keep input order).
+    request : BatchRequest
+        The normalized request.
+    value : object
+        The same value the corresponding :class:`~.solver.WidthSolver`
+        method returns: ``(width, decomposition)`` for ``hw`` / ``ghw``
+        / ``ghw-exact`` / ``fhw``, ``(lower, upper, decomposition)``
+        for ``bounds``, and ``Decomposition | None`` for check kinds.
+    error : Exception or None
+        The failure of this request, if any.
+    """
+
+    index: int
+    request: BatchRequest
+    value: object = None
+    error: Exception | None = None
+    _resolved: bool = False
+
+    @property
+    def done(self) -> bool:
+        """Whether the batch has resolved this request yet."""
+        return self._resolved
+
+    @property
+    def ok(self) -> bool:
+        """Whether the request finished without an error."""
+        return self._resolved and self.error is None
+
+    def unwrap(self):
+        """The value, re-raising the request's error if it failed.
+
+        Returns
+        -------
+        object
+            ``value`` when the request succeeded.
+
+        Raises
+        ------
+        RuntimeError
+            If the batch has not been run yet.
+        Exception
+            The request's own error, when it failed.
+        """
+        if not self._resolved:
+            raise RuntimeError(
+                "request not resolved yet; call BatchScheduler.run() first"
+            )
+        if self.error is not None:
+            raise self.error
+        return self.value
+
+    def _resolve(self, value=None, error=None) -> None:
+        self.value = value
+        self.error = error
+        self._resolved = True
+
+
+@dataclass
+class BatchStats:
+    """Aggregate statistics of one batch run.
+
+    Attributes
+    ----------
+    requests : int
+        Number of requests in the batch.
+    kinds : dict
+        Request count per kind.
+    failures : int
+        Requests that resolved with an error.
+    blocks : int
+        Total blocks produced by the up-front split stage.
+    tasks_run : int
+        Per-block tasks actually executed.
+    speculative_checks : int
+        Tasks submitted above a block's confirmed-k frontier.
+    tasks_cancelled : int
+        Tasks avoided by early rejection or settling: pool futures
+        cancelled before starting plus check-mode blocks never
+        submitted once a sibling block rejected.
+    prepare_seconds, solve_seconds, stitch_seconds, total_seconds : float
+        Wall-clock per stage; ``solve_seconds`` is the drive loop
+        (stitching happens inside it on the driver thread and is also
+        tracked separately), ``total_seconds`` covers the whole run.
+    lp_solves, set_cover_solves, cache_hits, cache_misses : int
+        Engine activity during the batch (delta of
+        :func:`repro.engine.stats`; near zero for workers of a process
+        pool, which keep their own cache domains).
+    """
+
+    requests: int = 0
+    jobs: int = 1
+    executor: str = "thread"
+    preprocess: str = "full"
+    kinds: dict = field(default_factory=dict)
+    failures: int = 0
+    blocks: int = 0
+    tasks_run: int = 0
+    speculative_checks: int = 0
+    tasks_cancelled: int = 0
+    prepare_seconds: float = 0.0
+    solve_seconds: float = 0.0
+    stitch_seconds: float = 0.0
+    total_seconds: float = 0.0
+    lp_solves: int = 0
+    set_cover_solves: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Cover-cache hit rate over the batch (0.0 when no lookups)."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def requests_per_second(self) -> float:
+        """Throughput over the whole run (0.0 for an instant batch)."""
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.requests / self.total_seconds
+
+    def as_dict(self) -> dict:
+        """The statistics as a JSON-ready dictionary."""
+        return {
+            "requests": self.requests,
+            "jobs": self.jobs,
+            "executor": self.executor,
+            "preprocess": self.preprocess,
+            "kinds": dict(self.kinds),
+            "failures": self.failures,
+            "blocks": self.blocks,
+            "tasks_run": self.tasks_run,
+            "speculative_checks": self.speculative_checks,
+            "tasks_cancelled": self.tasks_cancelled,
+            "prepare_seconds": self.prepare_seconds,
+            "solve_seconds": self.solve_seconds,
+            "stitch_seconds": self.stitch_seconds,
+            "total_seconds": self.total_seconds,
+            "requests_per_second": round(self.requests_per_second, 4),
+            "lp_solves": self.lp_solves,
+            "set_cover_solves": self.set_cover_solves,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class _Instance:
+    """Internal per-request state machine of a batch run."""
+
+    __slots__ = (
+        "index",
+        "request",
+        "result",
+        "dkind",
+        "solver",
+        "mode",
+        "params",
+        "k",
+        "kmax",
+        "reduced",
+        "blocks",
+        "caps",
+        "states",
+        "block_results",
+        "submitted",
+        "in_flight",
+        "rejected",
+        "finalized",
+    )
+
+    def __init__(self, index: int, request: BatchRequest) -> None:
+        self.index = index
+        self.request = request
+        self.result = BatchResult(index, request)
+        self.blocks = None
+        self.in_flight = set()
+        self.rejected = False
+        self.finalized = False
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def failed(self) -> bool:
+        return self.result._resolved and self.result.error is not None
+
+    @property
+    def active(self) -> bool:
+        return not self.finalized and not self.failed
+
+    def fail(self, error: Exception) -> None:
+        """Resolve this request with an error; siblings are untouched."""
+        if not self.result._resolved:
+            self.result._resolve(error=error)
+        self.finalized = True
+
+    def prepare(self, preprocess: str) -> None:
+        """Validate the request and run its reduce + split stages."""
+        request = self.request
+        if request.kind not in _KIND_TABLE:
+            raise ValueError(
+                f"kind must be one of {BATCH_KINDS}; got {request.kind!r}"
+            )
+        if not isinstance(request.hypergraph, Hypergraph):
+            raise TypeError(
+                f"request {self.index} has no hypergraph: "
+                f"{request.hypergraph!r}"
+            )
+        self.dkind, self.solver, self.mode = _KIND_TABLE[request.kind]
+        params = dict(request.params or {})
+        if request.kind == "bounds":
+            cost = params.get("cost", "fractional")
+            self.dkind = "fhd" if cost == "fractional" else "ghd"
+        self.kmax = params.pop("kmax", None)
+        self.k = None
+        if self.mode == "check":
+            if "k" not in params:
+                raise ValueError(
+                    f"{request.kind!r} requests need params={{'k': ...}}"
+                )
+            self.k = params.pop("k")
+            if self.k < 1:
+                raise ValueError("width bound k must be >= 1")
+        self.params = params
+        self.reduced, self.blocks = prepare_instance(
+            request.hypergraph, self.dkind, preprocess
+        )
+        n = len(self.blocks)
+        if self.mode == "iterative":
+            self.caps = [
+                b.hypergraph.num_edges if self.kmax is None else self.kmax
+                for b in self.blocks
+            ]
+            self.states = [BlockState() for _ in range(n)]
+        else:
+            self.block_results = [_PENDING] * n
+            self.submitted = [False] * n
+
+    # -- task generation ----------------------------------------------
+    def task_params(self, k: int | None) -> dict:
+        if self.mode == "check":
+            return {"k": self.k, **self.params}
+        if self.mode == "iterative":
+            return {"k": k, **self.params}
+        return dict(self.params)
+
+    def next_tasks(self, budget: int) -> list[tuple[int, int, int | None]]:
+        """Up to ``budget`` useful (priority, block, k) task keys.
+
+        Priority 0 tasks are required; higher priorities are
+        speculative cross-k checks (distance above the block's
+        confirmed frontier).
+        """
+        if not self.active or self.blocks is None or budget <= 0:
+            return []
+        out: list[tuple[int, int, int | None]] = []
+        if self.mode in ("oneshot", "check"):
+            if self.rejected:
+                return []
+            for b in range(len(self.blocks)):
+                if not self.submitted[b] and (b, None) not in self.in_flight:
+                    out.append((0, b, None))
+                    if len(out) >= budget:
+                        break
+            return out
+        for b, state in enumerate(self.states):
+            if state.width is not None:
+                continue
+            base = state.next_k_unconfirmed()
+            ceiling = state.ceiling(self.caps[b])
+            k = base
+            while k <= ceiling and len(out) < budget:
+                if k not in state.results and (b, k) not in self.in_flight:
+                    out.append((k - base, b, k))
+                k += 1
+        out.sort()
+        return out[:budget]
+
+    # -- completion ----------------------------------------------------
+    def record(self, b: int, k: int | None, value) -> None:
+        """Fold one finished task back into the instance state."""
+        if self.mode == "iterative":
+            state = self.states[b]
+            state.results[k] = value
+            state.settle()
+        else:
+            self.block_results[b] = value
+            if self.mode == "check" and value is None:
+                self.rejected = True
+
+    def unsubmitted_blocks(self) -> int:
+        """Blocks never handed to the pool (check-mode early rejection)."""
+        if self.mode == "iterative":
+            return 0
+        return sum(
+            1
+            for b, done in enumerate(self.submitted)
+            if not done and (b, None) not in self.in_flight
+        )
+
+    @property
+    def solved(self) -> bool:
+        """Whether every block task this instance needs has finished."""
+        if self.blocks is None:
+            return False
+        if self.mode == "iterative":
+            return all(state.width is not None for state in self.states)
+        if self.mode == "check" and self.rejected:
+            return True
+        return all(r is not _PENDING for r in self.block_results)
+
+    @property
+    def exhausted(self) -> bool:
+        """An iterative block ran out of cap with rejections everywhere."""
+        if self.blocks is None or self.mode != "iterative":
+            return False
+        return any(
+            state.width is None
+            and state.next_k_unconfirmed() > self.caps[b]
+            for b, state in enumerate(self.states)
+        )
+
+    def cap_error(self) -> ValueError:
+        message = CAP_MESSAGES.get(
+            self.request.kind,
+            "no decomposition of width <= {cap} found (cap too small?)",
+        )
+        failed = min(
+            self.caps[b]
+            for b, state in enumerate(self.states)
+            if state.width is None
+        )
+        return ValueError(message.format(cap=failed))
+
+    # -- stitching -----------------------------------------------------
+    def finalize(self) -> None:
+        """Stitch the block witnesses deterministically and resolve."""
+        try:
+            self.result._resolve(self._assemble())
+        except Exception as exc:  # validation failures stay per-request
+            self.result._resolve(error=exc)
+        self.finalized = True
+
+    def _stitch(self, witnesses, width):
+        return stitch_instance(
+            self.request.hypergraph,
+            self.reduced,
+            self.blocks,
+            witnesses,
+            self.dkind,
+            width,
+        )
+
+    def _assemble(self):
+        kind = self.request.kind
+        if self.mode == "check":
+            if self.rejected:
+                return None
+            return self._stitch(self.block_results, self.k + _EPS)
+        if self.mode == "iterative":
+            width = max(1, *(s.width for s in self.states))
+            final = self._stitch(
+                [s.witness for s in self.states], width + _EPS
+            )
+            return width, final
+        results = self.block_results
+        if kind == "bounds":
+            lower = max(1.0, *(low for low, _u, _d in results))
+            upper = max(1.0, *(up for _l, up, _d in results))
+            final = self._stitch(
+                [d for _l, _u, d in results], upper + _EPS
+            )
+            return lower, final.width(), final
+        if kind == "ghw-exact":
+            width = max(1, *(int(k) for k, _w in results))
+        else:  # fhw
+            width = max(1.0, *(float(k) for k, _w in results))
+        final = self._stitch([w for _k, w in results], width + _EPS)
+        return width, final
+
+
+class BatchScheduler:
+    """Shared-pool scheduler for a batch of width queries.
+
+    Collects requests via :meth:`submit`, then :meth:`run` drives them
+    to completion: all reduce/split work happens up front, after which
+    one worker pool interleaves per-block tasks from every instance —
+    cross-instance, cross-block, and (for width searches) speculative
+    cross-k.  Results land in the :class:`BatchResult` handles returned
+    by :meth:`submit`; a failing request resolves with its error and
+    never cancels sibling requests.
+
+    Parameters
+    ----------
+    jobs : int, optional
+        Worker count of the shared pool (default 1: one worker, still
+        one shared warm cache domain across the whole batch).
+    preprocess : str, optional
+        Pipeline preprocess mode applied to every instance (default
+        ``"full"``).
+    executor : str, optional
+        ``"thread"`` (default; all workers share the warm
+        SearchContext/CoverOracle caches) or ``"process"`` (GIL-free,
+        one cache domain per worker process, warmed over the batch's
+        lifetime).
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        preprocess: str = "full",
+        executor: str = "thread",
+    ) -> None:
+        if preprocess not in PREPROCESS_MODES:
+            raise ValueError(
+                f"preprocess must be one of {PREPROCESS_MODES}"
+            )
+        if executor not in EXECUTORS:
+            raise ValueError("executor must be 'thread' or 'process'")
+        self.jobs = max(1, int(jobs or 1))
+        self.preprocess = preprocess
+        self.executor = executor
+        self.instances: list[_Instance] = []
+        self.last_stats: BatchStats | None = None
+
+    def submit(self, request) -> BatchResult:
+        """Add one request to the batch.
+
+        Parameters
+        ----------
+        request : BatchRequest or Hypergraph or tuple or Mapping
+            Anything :meth:`BatchRequest.of` accepts.
+
+        Returns
+        -------
+        BatchResult
+            The request's result handle, resolved during :meth:`run`.
+            A malformed spec resolves the handle with its error
+            immediately instead of raising, so one bad request cannot
+            poison the rest of the batch.
+        """
+        index = len(self.instances)
+        try:
+            normalized = BatchRequest.of(request)
+        except Exception as exc:
+            instance = _Instance(index, BatchRequest(None, "ghw"))
+            instance.fail(exc)
+        else:
+            instance = _Instance(index, normalized)
+        self.instances.append(instance)
+        return instance.result
+
+    # ------------------------------------------------------------------
+    def _pool(self):
+        return make_pool(self.executor, self.jobs)
+
+    def _cancel_instance(self, instance, in_flight, stats) -> None:
+        """Cancel an instance's pending pool work; count what it saved."""
+        stats.tasks_cancelled += instance.unsubmitted_blocks()
+        for future, (i, _b, _k) in in_flight.items():
+            if i == instance.index and future.cancel():
+                stats.tasks_cancelled += 1
+
+    def _cancel_block(self, instance, block, in_flight, stats) -> None:
+        """Cancel a settled block's speculative higher-k checks."""
+        for future, (i, b, _k) in in_flight.items():
+            if i == instance.index and b == block and future.cancel():
+                stats.tasks_cancelled += 1
+
+    def _finalize_ready(self, stats) -> None:
+        for instance in self.instances:
+            if instance.active and instance.solved and not instance.in_flight:
+                t0 = time.perf_counter()
+                instance.finalize()
+                stats.stitch_seconds += time.perf_counter() - t0
+
+    def _drive(self, stats: BatchStats) -> None:
+        with self._pool() as pool:
+            in_flight: dict = {}
+            while any(inst.active for inst in self.instances):
+                free = self.jobs - len(in_flight)
+                if free > 0:
+                    candidates = []
+                    for inst in self.instances:
+                        if not inst.active or inst.solved:
+                            continue
+                        for prio, b, k in inst.next_tasks(free):
+                            candidates.append((prio, inst.index, b, k))
+                    candidates.sort()
+                    for prio, i, b, k in candidates[:free]:
+                        inst = self.instances[i]
+                        future = pool.submit(
+                            run_block_task,
+                            inst.solver,
+                            inst.blocks[b].hypergraph,
+                            inst.task_params(k),
+                        )
+                        in_flight[future] = (i, b, k)
+                        inst.in_flight.add((b, k))
+                        if inst.mode in ("oneshot", "check"):
+                            inst.submitted[b] = True
+                        if prio > 0:
+                            stats.speculative_checks += 1
+                if not in_flight:
+                    # Nothing running and nothing submittable: settle
+                    # exhausted caps and stitch whatever completed.
+                    for inst in self.instances:
+                        if inst.active and not inst.solved:
+                            if inst.exhausted:
+                                inst.fail(inst.cap_error())
+                            else:  # pragma: no cover - defensive
+                                inst.fail(
+                                    RuntimeError(
+                                        "batch scheduler stalled (bug)"
+                                    )
+                                )
+                    self._finalize_ready(stats)
+                    continue
+                done, _pending = wait(in_flight, return_when=FIRST_COMPLETED)
+                for future in done:
+                    i, b, k = in_flight.pop(future)
+                    inst = self.instances[i]
+                    inst.in_flight.discard((b, k))
+                    if future.cancelled():
+                        continue
+                    stats.tasks_run += 1
+                    try:
+                        value = future.result()
+                    except Exception as exc:
+                        if inst.active:
+                            inst.fail(exc)
+                            self._cancel_instance(inst, in_flight, stats)
+                        continue
+                    if not inst.active:
+                        continue
+                    # Cancel only on the *transition* to rejected/settled,
+                    # so each avoided task is counted exactly once.
+                    was_rejected = inst.rejected
+                    was_settled = (
+                        inst.mode == "iterative"
+                        and inst.states[b].width is not None
+                    )
+                    inst.record(b, k, value)
+                    if inst.mode == "check" and inst.rejected:
+                        if not was_rejected:
+                            self._cancel_instance(inst, in_flight, stats)
+                    elif (
+                        inst.mode == "iterative"
+                        and inst.states[b].width is not None
+                        and not was_settled
+                    ):
+                        self._cancel_block(inst, b, in_flight, stats)
+                self._finalize_ready(stats)
+
+    def run(self) -> BatchStats:
+        """Drive every submitted request to completion.
+
+        Returns
+        -------
+        BatchStats
+            Aggregate per-stage timings, task counters and engine-cache
+            activity; also stored in ``last_stats`` and readable via
+            :func:`last_batch_stats`.  Per-request outcomes are in the
+            :class:`BatchResult` handles from :meth:`submit`.
+        """
+        from .. import engine  # lazy: keeps the pipeline package cycle-free
+
+        global _LAST_BATCH_STATS
+        stats = BatchStats(
+            requests=len(self.instances),
+            jobs=self.jobs,
+            executor=self.executor,
+            preprocess=self.preprocess,
+        )
+        baseline = engine.stats()
+        t_start = time.perf_counter()
+        for instance in self.instances:
+            if not instance.active:
+                continue
+            kind = instance.request.kind
+            stats.kinds[kind] = stats.kinds.get(kind, 0) + 1
+            try:
+                instance.prepare(self.preprocess)
+            except Exception as exc:
+                instance.fail(exc)
+        stats.blocks = sum(
+            len(inst.blocks)
+            for inst in self.instances
+            if inst.blocks is not None
+        )
+        stats.prepare_seconds = time.perf_counter() - t_start
+        t_solve = time.perf_counter()
+        self._drive(stats)
+        stats.solve_seconds = time.perf_counter() - t_solve
+        stats.total_seconds = time.perf_counter() - t_start
+        stats.failures = sum(1 for inst in self.instances if inst.failed)
+        current = engine.stats()
+        for key, attr in (
+            ("lp_solves", "lp_solves"),
+            ("set_cover_solves", "set_cover_solves"),
+            ("cache_hits", "cache_hits"),
+            ("cache_misses", "cache_misses"),
+        ):
+            setattr(stats, attr, current[key] - baseline.get(key, 0))
+        self.last_stats = stats
+        _LAST_BATCH_STATS = stats
+        return stats
+
+
+def solve_many(
+    requests,
+    *,
+    jobs: int | None = None,
+    preprocess: str = "full",
+    executor: str = "thread",
+    backend: str | None = None,
+) -> list[BatchResult]:
+    """Solve a batch of width queries on one shared scheduler.
+
+    The batched answers are exactly the per-instance
+    :class:`~.solver.WidthSolver` answers; what changes is the serving
+    cost: reduce/split runs up front for every instance, per-block
+    tasks from different instances interleave on one worker pool, and
+    (with the default thread executor) the whole batch shares one warm
+    engine-cache domain.
+
+    Parameters
+    ----------
+    requests : iterable
+        Request specs — anything :meth:`BatchRequest.of` accepts:
+        ``BatchRequest`` objects, bare hypergraphs, ``(hypergraph,
+        kind[, params])`` tuples, or mappings.
+    jobs : int, optional
+        Worker count of the shared pool (default 1).
+    preprocess : str, optional
+        Pipeline preprocess mode for every instance (default
+        ``"full"``).
+    executor : str, optional
+        ``"thread"`` (default) or ``"process"``.
+    backend : str, optional
+        LP backend for the batch (``"auto"``, ``"scipy"``,
+        ``"purepython"``); the process-global engine configuration is
+        restored afterwards.
+
+    Returns
+    -------
+    list of BatchResult
+        One resolved handle per request, in input order.  Failures are
+        per-request (``result.error``); an empty request list returns
+        an empty list.
+
+    Raises
+    ------
+    ValueError
+        If ``preprocess``, ``executor`` or ``backend`` is invalid —
+        batch-level configuration errors raise; per-request problems
+        do not.
+    """
+    from .. import engine  # lazy: keeps the pipeline package cycle-free
+
+    scheduler = BatchScheduler(
+        jobs=jobs, preprocess=preprocess, executor=executor
+    )
+    results = [scheduler.submit(request) for request in requests]
+    if backend is not None:
+        config = engine.engine_config()
+        previous = config.backend
+        engine.configure(backend=backend)
+        try:
+            scheduler.run()
+        finally:
+            config.backend = previous
+    else:
+        scheduler.run()
+    return results

@@ -61,6 +61,7 @@ class DroppedIsolated:
     vertices: tuple
 
     def replay(self, tree) -> None:  # pragma: no cover - trivial
+        """No-op: isolated vertices appear in no bag."""
         return None
 
 
@@ -77,6 +78,7 @@ class DroppedEdges:
     reason: str  # "duplicate" | "subsumed"
 
     def replay(self, tree) -> None:
+        """No-op: the keeper's bag already covers the dropped edges."""
         return None
 
 
@@ -94,6 +96,7 @@ class FusedTwins:
     representative: Vertex
 
     def replay(self, tree) -> None:
+        """Re-add the fused twins to every bag with the representative."""
         tree.add_to_bags_with(self.representative, self.removed)
 
 
@@ -112,6 +115,7 @@ class RemovedDegreeOne:
     remaining: frozenset
 
     def replay(self, tree) -> None:
+        """Re-attach the removed vertex as a fresh width-1 leaf node."""
         anchor = tree.find_node_containing(self.remaining)
         tree.attach_leaf(
             bag=self.remaining | {self.vertex},
@@ -241,14 +245,17 @@ class ReducedInstance:
 
     @property
     def vertices_removed(self) -> int:
+        """How many vertices the reduction eliminated."""
         return self.original.num_vertices - self.hypergraph.num_vertices
 
     @property
     def edges_removed(self) -> int:
+        """How many edges the reduction eliminated."""
         return self.original.num_edges - self.hypergraph.num_edges
 
     @property
     def changed(self) -> bool:
+        """Whether any rule fired (False means ``hypergraph is original``)."""
         return bool(self.undo)
 
 
@@ -259,9 +266,30 @@ def reduce_instance(
 ) -> ReducedInstance:
     """Apply the kind-safe reduction rules to a fixpoint.
 
-    ``rules`` may name a subset of :data:`RULES` to apply (still filtered
-    by kind-safety).  The reduced hypergraph keeps original edge names —
-    undo records refer to them — and equals the input when nothing fires.
+    Parameters
+    ----------
+    hypergraph : Hypergraph
+        The instance to simplify.
+    kind : str, optional
+        Target decomposition kind (``"hd"``, ``"ghd"``, ``"fhd"``;
+        default ``"ghd"``) — only the rules proven width-safe for it
+        are applied.
+    rules : list of str, optional
+        Restrict to a subset of :data:`RULES` by name (still filtered
+        by kind-safety).
+
+    Returns
+    -------
+    ReducedInstance
+        The reduced hypergraph plus the undo records that lift a
+        decomposition of it back to one of the input.  Edge names are
+        preserved — undo records refer to them — and ``result.hypergraph
+        is hypergraph`` when nothing fired.
+
+    Raises
+    ------
+    ValueError
+        If ``kind`` is unknown or ``rules`` names an unknown rule.
     """
     selected = rules_for(kind)
     if rules is not None:

@@ -37,10 +37,52 @@ from ..hypergraph import Hypergraph
 
 __all__ = [
     "BlockScheduler",
+    "BlockState",
     "run_block_task",
     "iterative_width_search",
+    "make_pool",
     "SOLVERS",
+    "EXECUTORS",
+    "CAP_MESSAGES",
 ]
+
+#: Valid worker-pool types for every scheduler in the pipeline.
+EXECUTORS = ("thread", "process")
+
+#: Cap-exhaustion error templates per width-search entry point, shared
+#: by ``WidthSolver`` and the batch scheduler so the two report byte-
+#: identical errors for the same query.
+CAP_MESSAGES = {
+    "hw": "no HD of width <= {cap} found (cap too small?)",
+    "ghw": "no GHD of width <= {cap} found (cap too small?)",
+}
+
+
+def make_pool(executor: str, jobs: int):
+    """A ``concurrent.futures`` pool for per-block tasks.
+
+    Parameters
+    ----------
+    executor : str
+        One of :data:`EXECUTORS`: ``"thread"`` (shares in-process
+        engine caches) or ``"process"`` (GIL-free, cold per-worker
+        caches).
+    jobs : int
+        Worker count (coerced to at least 1).
+
+    Returns
+    -------
+    concurrent.futures.Executor
+
+    Raises
+    ------
+    ValueError
+        If ``executor`` is not one of :data:`EXECUTORS`.
+    """
+    if executor not in EXECUTORS:
+        raise ValueError("executor must be 'thread' or 'process'")
+    cls = ThreadPoolExecutor if executor == "thread" else ProcessPoolExecutor
+    return cls(max_workers=max(1, int(jobs or 1)))
 
 
 def _check_hd(hypergraph: Hypergraph, k: int, **params):
@@ -116,7 +158,35 @@ SOLVERS = {
 
 
 def run_block_task(solver: str, hypergraph: Hypergraph, params: dict):
-    """Execute one per-block solve (module-level, so it pickles)."""
+    """Execute one per-block solve (module-level, so it pickles).
+
+    This is the single task-payload contract of the whole solve layer:
+    a ``(solver, hypergraph, params)`` triple of plain picklable values,
+    so the same payload runs on a thread pool, a process pool, or (the
+    ROADMAP's distributed item) a remote worker.
+
+    Parameters
+    ----------
+    solver : str
+        A key of :data:`SOLVERS`.
+    hypergraph : Hypergraph
+        The block to solve.
+    params : dict
+        Keyword arguments for the solver; check-style solvers take
+        ``k`` here and return None on reject.
+
+    Returns
+    -------
+    object
+        Whatever the registered solver returns (a Decomposition or
+        None for checks, ``(width, decomposition)`` tuples for oracles,
+        bound triples for heuristics).
+
+    Raises
+    ------
+    KeyError
+        If ``solver`` is not registered in :data:`SOLVERS`.
+    """
     return SOLVERS[solver](hypergraph, **params)
 
 
@@ -131,20 +201,16 @@ class BlockScheduler:
 
     def __post_init__(self) -> None:
         self.jobs = max(1, int(self.jobs or 1))
-        if self.executor not in ("thread", "process"):
+        if self.executor not in EXECUTORS:
             raise ValueError("executor must be 'thread' or 'process'")
 
     @property
     def parallel(self) -> bool:
+        """Whether this scheduler runs tasks on a worker pool."""
         return self.jobs > 1
 
     def _pool(self):
-        cls = (
-            ThreadPoolExecutor
-            if self.executor == "thread"
-            else ProcessPoolExecutor
-        )
-        return cls(max_workers=self.jobs)
+        return make_pool(self.executor, self.jobs)
 
     def map(
         self,
@@ -186,8 +252,26 @@ class BlockScheduler:
 
 
 @dataclass
-class _BlockState:
-    """Width-search progress of one block."""
+class BlockState:
+    """Width-search progress of one block (or one batched query unit).
+
+    Tracks the Check(X, k) verdicts seen so far for a single block and
+    settles on the true width once monotonicity allows: the smallest
+    accepted k is the width as soon as every smaller k has been
+    rejected.  Shared by :func:`iterative_width_search` (one instance)
+    and the batch scheduler in :mod:`repro.pipeline.batch` (many).
+
+    Attributes
+    ----------
+    next_k : int
+        The next candidate k to submit speculatively.
+    results : dict
+        Map ``k -> Decomposition | None`` of finished checks.
+    width : int or None
+        The settled width, once known.
+    witness : Decomposition or None
+        The witness decomposition at ``width``, once settled.
+    """
 
     next_k: int = 1
     results: dict = field(default_factory=dict)  # k -> Decomposition | None
@@ -205,10 +289,35 @@ class _BlockState:
             k += 1
 
     def next_k_unconfirmed(self) -> int:
+        """The smallest k whose verdict is still unknown or accepted."""
         k = 1
         while self.results.get(k, "missing") is None:
             k += 1
         return k
+
+    def best_accepted(self) -> int | None:
+        """The smallest accepted k so far, or None.
+
+        By monotonicity no check above this k is ever useful, so
+        schedulers cap their speculation at ``best_accepted() - 1``
+        (see :meth:`ceiling`).
+        """
+        accepted = [k for k, v in self.results.items() if v is not None]
+        return min(accepted) if accepted else None
+
+    def ceiling(self, cap: int) -> int:
+        """The largest k still worth checking under ``cap``.
+
+        ``cap`` when nothing is accepted yet; one below the smallest
+        accepted k otherwise — both schedulers bound their speculative
+        submissions with this.
+        """
+        accepted = self.best_accepted()
+        return cap if accepted is None else min(cap, accepted - 1)
+
+
+#: Backwards-compatible private alias (pre-batch name).
+_BlockState = BlockState
 
 
 def iterative_width_search(
@@ -223,9 +332,34 @@ def iterative_width_search(
 
     Serial when the scheduler is (the classic k = 1, 2, ... loop per
     block); otherwise a single flat pool interleaves cross-block and
-    speculative cross-k checks.  Raises ``ValueError`` with
-    ``cap_message`` when a block exhausts its cap — the cap is always
-    sufficient for the default ``|E(block)|``.
+    speculative cross-k checks.
+
+    Parameters
+    ----------
+    solver : str
+        A check-style key of :data:`SOLVERS` (returns None on reject).
+    hypergraphs : list of Hypergraph
+        One entry per block.
+    caps : list of int
+        Largest k to try per block (``|E(block)|`` always suffices).
+    scheduler : BlockScheduler
+        Supplies the worker pool and accumulates task counters.
+    params : dict, optional
+        Extra keyword arguments passed to every check.
+    cap_message : str, optional
+        ``ValueError`` text when a block exhausts its cap; ``{cap}``
+        is substituted.
+
+    Returns
+    -------
+    list of (int, Decomposition)
+        Per block, the smallest accepted k and its witness, in input
+        order.
+
+    Raises
+    ------
+    ValueError
+        When some block rejects every k up to its cap.
     """
     params = dict(params or {})
 
@@ -246,7 +380,7 @@ def iterative_width_search(
             out.append(found)
         return out
 
-    states = [_BlockState() for _ in hypergraphs]
+    states = [BlockState() for _ in hypergraphs]
     with scheduler._pool() as pool:
         in_flight: dict = {}
 
@@ -257,8 +391,9 @@ def iterative_width_search(
                 if state.width is not None:
                     continue
                 base = state.next_k_unconfirmed()
+                ceiling = state.ceiling(caps[i])
                 k = state.next_k
-                while k <= caps[i] and len(pairs) < scheduler.jobs:
+                while k <= ceiling and len(pairs) < scheduler.jobs:
                     if k not in state.results and not any(
                         key == (i, k) for key in in_flight.values()
                     ):

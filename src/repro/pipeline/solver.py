@@ -35,7 +35,7 @@ from ..decomposition import (
 )
 from ..hypergraph import Hypergraph
 from .reduce import ReducedInstance, reduce_instance
-from .solve import BlockScheduler, iterative_width_search
+from .solve import CAP_MESSAGES, BlockScheduler, iterative_width_search
 from .split import Block, split_instance
 
 __all__ = [
@@ -43,9 +43,15 @@ __all__ = [
     "PipelineStats",
     "solve_width",
     "last_pipeline_stats",
+    "prepare_instance",
+    "stitch_instance",
+    "split_mode_for",
     "PREPROCESS_MODES",
 ]
 
+#: Valid ``preprocess=`` arguments, in decreasing order of work done.
+#: The CLI ``--preprocess`` flag and the README document exactly this
+#: tuple (``tests/test_docs.py`` pins the agreement).
 PREPROCESS_MODES = ("full", "reduce", "split", "none")
 
 #: The stats of the most recent pipeline run in this process, for
@@ -55,10 +61,133 @@ _LAST_STATS = None
 
 
 def last_pipeline_stats():
-    """The :class:`PipelineStats` of the most recent run, or None."""
+    """The :class:`PipelineStats` of the most recent run, or None.
+
+    Returns
+    -------
+    PipelineStats or None
+        Statistics of the last :class:`WidthSolver` query completed in
+        this process, or None when no pipeline run has happened yet.
+    """
     return _LAST_STATS
 
 _EPS = 1e-9
+
+
+def split_mode_for(kind: str, preprocess: str) -> str:
+    """The split mode the pipeline uses for a decomposition kind.
+
+    Parameters
+    ----------
+    kind : str
+        Decomposition kind: ``"hd"``, ``"ghd"`` or ``"fhd"``.
+    preprocess : str
+        One of :data:`PREPROCESS_MODES`.
+
+    Returns
+    -------
+    str
+        ``"none"`` when the preprocess mode skips splitting,
+        ``"components"`` for hw (re-rooting block HDs can break the
+        special condition), ``"biconnected"`` for ghw/fhw.
+    """
+    if preprocess in ("none", "reduce"):
+        return "none"
+    return "components" if kind == "hd" else "biconnected"
+
+
+def prepare_instance(
+    hypergraph: Hypergraph, kind: str, preprocess: str = "full"
+) -> tuple[ReducedInstance, list[Block]]:
+    """Run the reduce and split stages for one instance.
+
+    This is the front half of the pipeline, shared by
+    :class:`WidthSolver` (one instance per call) and the batch scheduler
+    in :mod:`repro.pipeline.batch` (all instances up front).
+
+    Parameters
+    ----------
+    hypergraph : Hypergraph
+        The instance to prepare.
+    kind : str
+        Decomposition kind (``"hd"``, ``"ghd"``, ``"fhd"``); gates
+        which reduction rules and which split mode are safe.
+    preprocess : str, optional
+        One of :data:`PREPROCESS_MODES` (default ``"full"``).
+
+    Returns
+    -------
+    (ReducedInstance, list of Block)
+        The reduction outcome (with its undo records) and the solvable
+        blocks of the reduced hypergraph.
+
+    Raises
+    ------
+    ValueError
+        If ``preprocess`` is not one of :data:`PREPROCESS_MODES`.
+    """
+    if preprocess not in PREPROCESS_MODES:
+        raise ValueError(f"preprocess must be one of {PREPROCESS_MODES}")
+    if preprocess in ("full", "reduce"):
+        reduced = reduce_instance(hypergraph, kind=kind)
+    else:
+        reduced = ReducedInstance(hypergraph, hypergraph)
+    blocks = split_instance(
+        reduced.hypergraph, split_mode_for(kind, preprocess)
+    )
+    return reduced, blocks
+
+
+def stitch_instance(
+    original: Hypergraph,
+    reduced: ReducedInstance,
+    blocks: list[Block],
+    witnesses: list[Decomposition],
+    kind: str,
+    width: float | None = None,
+) -> Decomposition:
+    """Join per-block witnesses and lift them back to the original.
+
+    The back half of the pipeline, shared by :class:`WidthSolver` and
+    the batch scheduler: re-root and join the block decompositions
+    along the block-cut forest, replay the reduction undo records, and
+    re-validate the result against the *original* hypergraph, so
+    soundness never rests on the reduce/split layers being right.
+
+    Parameters
+    ----------
+    original : Hypergraph
+        The unreduced input instance to validate against.
+    reduced : ReducedInstance
+        The reduction outcome whose undo records are replayed.
+    blocks : list of Block
+        The blocks, parallel to ``witnesses``.
+    witnesses : list of Decomposition
+        One validated decomposition per block.
+    kind : str
+        Decomposition kind to validate as (``"hd"``/``"ghd"``/``"fhd"``).
+    width : float, optional
+        Width bound passed to the validator (None skips the check).
+
+    Returns
+    -------
+    Decomposition
+        A validated decomposition of ``original``.
+
+    Raises
+    ------
+    ValueError
+        If the stitched decomposition fails validation (a pipeline bug).
+    """
+    stitched = stitch_blocks(
+        [
+            (witness, block.parent, block.cut_vertex)
+            for block, witness in zip(blocks, witnesses)
+        ]
+    )
+    final = replay_reductions(stitched, reduced.undo)
+    validate(original, final, kind=kind, width=width)
+    return final
 
 
 @dataclass
@@ -84,6 +213,7 @@ class PipelineStats:
 
     @property
     def total_seconds(self) -> float:
+        """Wall-clock summed over the four pipeline stages."""
         return (
             self.reduce_seconds
             + self.split_seconds
@@ -92,6 +222,7 @@ class PipelineStats:
         )
 
     def as_dict(self) -> dict:
+        """The statistics as a JSON-ready dictionary."""
         return {
             "kind": self.kind,
             "preprocess": self.preprocess,
@@ -148,12 +279,6 @@ class WidthSolver:
     # ------------------------------------------------------------------
     # Stage plumbing
     # ------------------------------------------------------------------
-    def _split_mode(self, kind: str) -> str:
-        if self.preprocess in ("none", "reduce"):
-            return "none"
-        # hw cannot re-root block HDs (special condition); components only.
-        return "components" if kind == "hd" else "biconnected"
-
     def _prepare(
         self, kind: str
     ) -> tuple[ReducedInstance, list[Block], BlockScheduler, PipelineStats]:
@@ -170,7 +295,9 @@ class WidthSolver:
         else:
             reduced = ReducedInstance(self.hypergraph, self.hypergraph)
         t1 = time.perf_counter()
-        blocks = split_instance(reduced.hypergraph, self._split_mode(kind))
+        blocks = split_instance(
+            reduced.hypergraph, split_mode_for(kind, self.preprocess)
+        )
         t2 = time.perf_counter()
         stats.reduce_seconds = t1 - t0
         stats.split_seconds = t2 - t1
@@ -194,14 +321,9 @@ class WidthSolver:
         width: float | None,
     ) -> Decomposition:
         t0 = time.perf_counter()
-        stitched = stitch_blocks(
-            [
-                (witness, block.parent, block.cut_vertex)
-                for block, witness in zip(blocks, witnesses)
-            ]
+        final = stitch_instance(
+            self.hypergraph, reduced, blocks, witnesses, kind, width
         )
-        final = replay_reductions(stitched, reduced.undo)
-        validate(self.hypergraph, final, kind=kind, width=width)
         stats.stitch_seconds = time.perf_counter() - t0
         return final
 
@@ -323,11 +445,7 @@ class WidthSolver:
     def hypertree_width(self, kmax: int | None = None) -> tuple[int, Decomposition]:
         """``hw(H)`` with a validated witness HD."""
         return self._iterative_width(
-            "hd",
-            "check-hd",
-            kmax,
-            {},
-            "no HD of width <= {cap} found (cap too small?)",
+            "hd", "check-hd", kmax, {}, CAP_MESSAGES["hw"]
         )
 
     def generalized_hypertree_width(
@@ -339,7 +457,7 @@ class WidthSolver:
             "check-ghd",
             kmax,
             {"method": method, **caps},
-            "no GHD of width <= {cap} found (cap too small?)",
+            CAP_MESSAGES["ghw"],
         )
 
     # ------------------------------------------------------------------

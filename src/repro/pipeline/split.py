@@ -156,15 +156,31 @@ def split_instance(
 ) -> list[Block]:
     """Partition the instance into independently solvable blocks.
 
-    ``"biconnected"`` splits along articulation points of the primal
-    graph (safe for ghw/fhw); ``"components"`` splits into connected
-    components only (safe for every measure, including hw);
-    ``"none"`` returns the whole instance as a single block.
+    Parameters
+    ----------
+    hypergraph : Hypergraph
+        The (already reduced) instance to split.
+    mode : str, optional
+        ``"biconnected"`` (default) splits along articulation points of
+        the primal graph (safe for ghw/fhw); ``"components"`` splits
+        into connected components only (safe for every measure,
+        including hw); ``"none"`` returns the whole instance as a
+        single block.
 
-    Edges keep their names and full contents — every edge lies in
-    exactly one block (singleton edges go to any block containing their
-    vertex).  Declared isolated vertices are not assigned to any block;
-    drop them first (the ``isolated`` reduction rule).
+    Returns
+    -------
+    list of Block
+        The blocks, with the block forest recorded as per-block
+        ``(parent, cut_vertex)`` links.  Edges keep their names and
+        full contents — every edge lies in exactly one block (singleton
+        edges go to any block containing their vertex).  Declared
+        isolated vertices are not assigned to any block; drop them
+        first (the ``isolated`` reduction rule).
+
+    Raises
+    ------
+    ValueError
+        If ``mode`` is not one of :data:`SPLIT_MODES`.
     """
     if mode not in SPLIT_MODES:
         raise ValueError(f"mode must be one of {SPLIT_MODES}")

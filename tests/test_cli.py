@@ -165,3 +165,106 @@ class TestReport:
     def test_integral_bounds(self, c6_file, capsys):
         assert main(["bounds", c6_file, "--cost", "integral"]) == 0
         assert "<= ghw(" in capsys.readouterr().out
+
+
+class TestBatch:
+    @pytest.fixture
+    def manifest_file(self, tmp_path):
+        from repro.hypergraph.generators import clique, triangle_cascade
+
+        (tmp_path / "c6.hg").write_text(to_hyperbench(cycle(6)))
+        (tmp_path / "t3.hg").write_text(to_hyperbench(triangle_cascade(3)))
+        (tmp_path / "k5.hg").write_text(to_hyperbench(clique(5)))
+        manifest = tmp_path / "manifest.json"
+        manifest.write_text(json.dumps({
+            "requests": [
+                {"file": "c6.hg", "kind": "ghw"},
+                {"file": "t3.hg", "kind": "hw"},
+                {"file": "k5.hg", "kind": "fhw"},
+                {"file": "c6.hg", "kind": "check-ghd", "params": {"k": 1},
+                 "label": "c6@1"},
+                {"file": "t3.hg", "kind": "bounds"},
+            ]
+        }))
+        return str(manifest)
+
+    def test_text_output(self, manifest_file, capsys):
+        assert main(["batch", manifest_file, "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "ghw(c6) = 2" in out
+        assert "hw(t3) = 2" in out
+        assert "fhw(k5) = 2.5" in out
+        assert "check-ghd(c6@1, k=1) = no" in out
+        assert "<= fhw(t3) <=" in out
+        assert "5 requests, 5 ok, 0 failed" in out
+
+    def test_json_output(self, manifest_file, capsys):
+        assert main(["batch", manifest_file, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert len(data["results"]) == 5
+        assert data["results"][0] == {
+            "label": "c6", "kind": "ghw", "ok": True, "width": 2,
+        }
+        assert data["results"][3]["accepted"] is False
+        assert data["stats"]["requests"] == 5
+        assert data["stats"]["failures"] == 0
+
+    def test_bare_list_manifest_and_stats(self, tmp_path, capsys):
+        (tmp_path / "c4.hg").write_text(to_hyperbench(cycle(4)))
+        manifest = tmp_path / "list.json"
+        manifest.write_text(json.dumps(["c4.hg", {"file": "c4.hg", "kind": "fhw"}]))
+        assert main(["batch", str(manifest), "--pipeline-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "ghw(c4) = 2" in out  # bare string entry defaults to ghw
+        assert "batch stats:" in out
+        assert "tasks_run" in out
+
+    def test_failing_request_reported_and_exit_1(self, tmp_path, capsys):
+        (tmp_path / "c4.hg").write_text(to_hyperbench(cycle(4)))
+        manifest = tmp_path / "m.json"
+        manifest.write_text(json.dumps([
+            {"file": "c4.hg", "kind": "zzz"},
+            {"file": "c4.hg", "kind": "ghw"},
+        ]))
+        assert main(["batch", str(manifest)]) == 1
+        out = capsys.readouterr().out
+        assert "ERROR" in out
+        assert "ghw(c4) = 2" in out  # sibling still answered
+        assert "1 failed" in out
+
+    def test_bad_manifest_exits_2(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert main(["batch", str(missing)]) == 2
+        assert "cannot read manifest" in capsys.readouterr().err
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["batch", str(bad)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+        noreq = tmp_path / "noreq.json"
+        noreq.write_text(json.dumps({"files": []}))
+        assert main(["batch", str(noreq)]) == 2
+        assert "requests" in capsys.readouterr().err
+        nofile = tmp_path / "nofile.json"
+        nofile.write_text(json.dumps([{"kind": "ghw"}]))
+        assert main(["batch", str(nofile)]) == 2
+        assert "entry 0" in capsys.readouterr().err
+        gone = tmp_path / "gone.json"
+        gone.write_text(json.dumps([{"file": "missing.hg"}]))
+        assert main(["batch", str(gone)]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_structurally_bad_entry_values_exit_2(self, tmp_path, capsys):
+        (tmp_path / "c4.hg").write_text(to_hyperbench(cycle(4)))
+        intfile = tmp_path / "intfile.json"
+        intfile.write_text(json.dumps([{"file": 123}]))
+        assert main(["batch", str(intfile)]) == 2
+        assert '"file" string' in capsys.readouterr().err
+        badparams = tmp_path / "badparams.json"
+        badparams.write_text(json.dumps([{"file": "c4.hg", "params": "zz"}]))
+        assert main(["batch", str(badparams)]) == 2
+        assert "entry 0 is invalid" in capsys.readouterr().err
+        # params: null is tolerated (treated as no params)
+        nullparams = tmp_path / "nullparams.json"
+        nullparams.write_text(json.dumps([{"file": "c4.hg", "params": None}]))
+        assert main(["batch", str(nullparams)]) == 0
+        assert "ghw(c4) = 2" in capsys.readouterr().out

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Markdown link check over README.md and docs/ (the CI docs job).
+
+Verifies that every relative link target in the checked markdown files
+exists on disk, and that intra-document anchors (``#section``) point at
+a real heading of the target file.  External ``http(s)://`` links are
+not fetched — CI must not depend on third-party uptime.
+
+Exit status: 0 when every link resolves, 1 otherwise (broken links are
+listed on stderr).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)]+)\)")
+HEADING = re.compile(r"(?m)^#{1,6}\s+(.*)$")
+
+
+def checked_files() -> list[Path]:
+    """README.md plus every markdown file under docs/."""
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("**/*.md")))
+    return [f for f in files if f.exists()]
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug of a heading."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\s-]", "", slug)
+    return re.sub(r"[\s]+", "-", slug)
+
+
+def anchors_of(path: Path) -> set[str]:
+    return {slugify(h) for h in HEADING.findall(path.read_text())}
+
+
+def check_file(path: Path) -> list[str]:
+    problems = []
+    for raw_target in LINK.findall(path.read_text()):
+        target = raw_target.split(" ")[0].strip("<>")
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part, _sep, anchor = target.partition("#")
+        if file_part:
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                problems.append(f"{path.relative_to(REPO_ROOT)}: broken link -> {target}")
+                continue
+        else:
+            resolved = path
+        if anchor and resolved.suffix == ".md":
+            if anchor not in anchors_of(resolved):
+                problems.append(
+                    f"{path.relative_to(REPO_ROOT)}: dead anchor -> {target}"
+                )
+    return problems
+
+
+def main() -> int:
+    files = checked_files()
+    problems = [p for f in files for p in check_file(f)]
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(
+        f"checked {len(files)} markdown files: "
+        f"{'OK' if not problems else f'{len(problems)} broken link(s)'}"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,6 +13,9 @@ A complete reproduction of the paper's systems:
 * the reduce → split → solve → stitch instance pipeline
   behind every width query (:class:`WidthSolver`), plus
   batched multi-instance serving (:func:`solve_many`)    — :mod:`repro.pipeline`
+* a second exact engine: CNF-encoded width checks with a
+  bundled CDCL core, raced against branch-and-bound in
+  ``solver="portfolio"`` mode                            — :mod:`repro.sat`
 * the Theorem 3.2 NP-hardness reduction + certificates   — :mod:`repro.hardness`
 * conjunctive queries and CSPs (the applications)        — :mod:`repro.cqcsp`
 
@@ -76,7 +79,7 @@ from .pipeline import (
     solve_width,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",

@@ -21,12 +21,27 @@ def via_pipeline(
     jobs: int | None,
     /,  # positional-only: kwargs like method= belong to the solver call
     *args,
+    solver: str | None = None,
     **kwargs,
 ):
-    """Run ``WidthSolver(...).<method>(*args, **kwargs)`` or ``direct``."""
-    if preprocess == "none" or hypergraph.num_edges == 0:
+    """Run ``WidthSolver(...).<method>(*args, **kwargs)`` or ``direct``.
+
+    A non-default ``solver`` mode (``"sat"`` / ``"portfolio"``) always
+    routes through the pipeline, even for ``preprocess="none"`` — the
+    engine choice lives in the per-block scheduler, and the pipeline's
+    ``"none"`` mode runs the instance as one unreduced block.  Edgeless
+    hypergraphs keep the raw path so their historical error behaviour
+    is preserved.
+    """
+    direct_solver = solver in (None, "bb")
+    if hypergraph.num_edges == 0 or (preprocess == "none" and direct_solver):
         return direct(hypergraph, *args, **kwargs)
     from ..pipeline import WidthSolver
 
-    solver = WidthSolver(hypergraph, preprocess=preprocess, jobs=jobs)
+    solver = WidthSolver(
+        hypergraph,
+        preprocess=preprocess,
+        jobs=jobs,
+        solver=solver if solver is not None else "bb",
+    )
     return getattr(solver, method)(*args, **kwargs)

@@ -84,18 +84,21 @@ def generalized_hypertree_decomposition(
     method: str = "fixpoint",
     preprocess: str = "full",
     jobs: int | None = None,
+    solver: str | None = None,
     **caps,
 ) -> Decomposition | None:
     """Solve Check(GHD,k): a GHD of H of width <= k, or None.
 
     Runs the reduce → split → solve → stitch pipeline by default
     (``preprocess="none"`` restores the raw subedge search; ``jobs=N``
-    solves biconnected blocks in parallel).  A non-None result is
-    re-validated against Definition 2.4 on the original hypergraph, so
-    "yes" answers are certified unconditionally.  "No" answers are
-    correct whenever the chosen subedge generator is complete for H
-    (always for ``"limit"``; for ``"fixpoint"`` whenever it terminates
-    within its cap, which the BIP/BMIP guarantees).
+    solves biconnected blocks in parallel; ``solver`` picks the
+    per-block engine mode — ``"bb"``, ``"sat"`` or ``"portfolio"`` —
+    and non-bb modes always run through the pipeline).  A non-None
+    result is re-validated against Definition 2.4 on the original
+    hypergraph, so "yes" answers are certified unconditionally.  "No"
+    answers are correct whenever the chosen subedge generator is
+    complete for H (always for ``"limit"``; for ``"fixpoint"`` whenever
+    it terminates within its cap, which the BIP/BMIP guarantees).
     """
     if k == 1:
         # Keep the GYO fast path on the whole hypergraph: the join tree
@@ -110,6 +113,7 @@ def generalized_hypertree_decomposition(
         preprocess,
         jobs,
         k,
+        solver=solver,
         method=method,
         **caps,
     )
@@ -131,6 +135,7 @@ def generalized_hypertree_width(
     method: str = "fixpoint",
     preprocess: str = "full",
     jobs: int | None = None,
+    solver: str | None = None,
     **caps,
 ) -> tuple[int, Decomposition]:
     """``ghw(H)`` with a witness, iterating Check(GHD,k) for k = 1, 2, ...
@@ -139,7 +144,8 @@ def generalized_hypertree_width(
     handled by the same machinery since hw = ghw = 1 coincide.  The
     pipeline reduces the instance and iterates k per biconnected block
     (``jobs=N`` adds cross-block and cross-k parallelism;
-    ``preprocess="none"`` restores the raw loop).
+    ``preprocess="none"`` restores the raw loop; ``solver`` picks the
+    per-block engine mode — ``"bb"``, ``"sat"`` or ``"portfolio"``).
     """
     return via_pipeline(
         hypergraph,
@@ -148,6 +154,7 @@ def generalized_hypertree_width(
         preprocess,
         jobs,
         kmax,
+        solver=solver,
         method=method,
         **caps,
     )

@@ -16,7 +16,9 @@ bounds the cover-oracle LRU (0 disables caching), and ``--cache-stats``
 prints LP-solve counts and cache hit rates after the command.  They
 also accept pipeline options: ``--preprocess`` selects the reduce/split
 stages (default ``full``; ``none`` solves the raw instance), ``--jobs``
-parallelizes across biconnected blocks and candidate widths, and
+parallelizes across biconnected blocks and candidate widths,
+``--solver`` picks the per-block engine mode (``bb`` branch-and-bound,
+``sat`` for the CNF engine, ``portfolio`` to race both per task), and
 ``--pipeline-stats`` prints per-stage counters and wall-clock.
 
 Hypergraphs are read in the HyperBench text format
@@ -52,7 +54,7 @@ from .hypergraph import (
     vc_dimension,
 )
 from .hypergraph.acyclicity import is_alpha_acyclic
-from .pipeline import BATCH_KINDS, PREPROCESS_MODES
+from .pipeline import BATCH_KINDS, PREPROCESS_MODES, SOLVER_MODES
 from .hypergraph.generators import (
     clique,
     cycle,
@@ -106,21 +108,29 @@ def _pipeline_options_of(args: argparse.Namespace) -> dict:
     }
 
 
-def _compute_width(h: Hypergraph, kind: str, options: dict):
+def _compute_width(h: Hypergraph, kind: str, options: dict, solver=None):
     if kind == "hw":
-        return hypertree_width(h, **options)
+        return hypertree_width(h, solver=solver, **options)
     if kind == "ghw":
-        if h.num_vertices <= 14:
+        if solver in (None, "bb") and h.num_vertices <= 14:
             return generalized_hypertree_width_exact(h, **options)
-        return generalized_hypertree_width(h, **options)
+        return generalized_hypertree_width(h, solver=solver, **options)
     if kind == "fhw":
+        # One-shot exact LP oracle per block: the check-style engine
+        # modes (bb / sat / portfolio) race Check(X, k) tasks and do
+        # not apply here, so --solver is ignored for fhw.
         return fractional_hypertree_width_exact(h, **options)
     raise ValueError(f"unknown width kind {kind!r}")
 
 
 def _cmd_width(args: argparse.Namespace) -> int:
     h = _load(args.file)
-    width, decomposition = _compute_width(h, args.kind, _pipeline_options_of(args))
+    width, decomposition = _compute_width(
+        h,
+        args.kind,
+        _pipeline_options_of(args),
+        solver=getattr(args, "solver", None),
+    )
     print(f"{args.kind}({h.name or args.file}) = {width}")
     if args.show:
         for nid in decomposition.preorder():
@@ -138,7 +148,10 @@ def _cmd_decompose(args: argparse.Namespace) -> int:
 
     h = _load(args.file)
     decomposition = generalized_hypertree_decomposition(
-        h, args.k, **_pipeline_options_of(args)
+        h,
+        args.k,
+        solver=getattr(args, "solver", None),
+        **_pipeline_options_of(args),
     )
     if decomposition is None:
         print(f"no GHD of width <= {args.k}", file=sys.stderr)
@@ -187,14 +200,16 @@ def _load_manifest(path: str) -> list:
 
     The manifest is JSON: either a list of entries or an object with a
     ``"requests"`` list.  Each entry is ``{"file": "q.hg", "kind":
-    "ghw", "params": {...}, "label": "..."}`` (``file`` required; a
-    bare string is shorthand for ``{"file": ...}``).  Relative paths
-    resolve against the manifest's own directory.
+    "ghw", "params": {...}, "label": "...", "solver": "portfolio"}``
+    (``file`` required; a bare string is shorthand for ``{"file":
+    ...}``; ``solver`` optionally overrides the batch-wide ``--solver``
+    mode for that entry).  Relative paths resolve against the
+    manifest's own directory.
 
-    Raises ``ValueError`` on a structurally invalid manifest or an
-    unreadable/unparseable instance file — configuration errors abort
-    the command; per-request *solver* errors (unknown kind, bad params)
-    are reported per request instead.
+    Raises ``ValueError`` on a structurally invalid manifest, an
+    unknown ``solver`` name, or an unreadable/unparseable instance
+    file — configuration errors abort the command; per-request *solve*
+    errors (unknown kind, bad params) are reported per request instead.
     """
     from .pipeline import BatchRequest
 
@@ -237,6 +252,12 @@ def _load_manifest(path: str) -> list:
             raise ValueError(
                 f"manifest entry {i}: cannot parse {file_path}: {exc}"
             ) from exc
+        solver = entry.get("solver")
+        if solver is not None and solver not in SOLVER_MODES:
+            raise ValueError(
+                f"manifest entry {i} has unknown solver {solver!r}; "
+                f"choose from {', '.join(SOLVER_MODES)}"
+            )
         try:
             requests.append(
                 BatchRequest(
@@ -244,6 +265,7 @@ def _load_manifest(path: str) -> list:
                     kind=entry.get("kind", "ghw"),
                     params=dict(entry.get("params") or {}),
                     label=entry.get("label") or file_path.stem,
+                    solver=solver,
                 )
             )
         except (TypeError, ValueError) as exc:
@@ -305,6 +327,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         preprocess=args.preprocess or "full",
         executor=args.executor,
+        solver=getattr(args, "solver", None) or "bb",
     )
     stats = last_batch_stats()
     failed = [r for r in results if not r.ok]
@@ -395,6 +418,19 @@ def _engine_options() -> argparse.ArgumentParser:
         help="parallel workers across blocks and candidate widths",
     )
     pipeline_group.add_argument(
+        "--solver",
+        # Single source of truth for the engine modes; docs/api.md and
+        # docs/architecture.md quote this flag and tests/test_docs.py
+        # pins the agreement.
+        choices=list(SOLVER_MODES),
+        default=None,
+        help=(
+            "per-block engine for check tasks: bb (branch and bound), "
+            "sat (CNF engine), or portfolio racing both (default: bb; "
+            "ignored by fhw and bounds)"
+        ),
+    )
+    pipeline_group.add_argument(
         "--pipeline-stats",
         action="store_true",
         help="print per-stage pipeline counters and wall-clock times",
@@ -477,6 +513,7 @@ def _print_pipeline_stats(args: argparse.Namespace) -> None:
         "block_sizes",
         "tasks_run",
         "speculative_checks",
+        "tasks_cancelled",
     ):
         print(f"  {key:>18}: {summary[key]}")
     for stage in ("reduce", "split", "solve", "stitch"):

@@ -7,9 +7,11 @@ Every width query in the library runs through this package by default:
   vertices, twin-vertex contraction);
 * :mod:`repro.pipeline.split` — articulation points and biconnected
   blocks of the cached primal graph;
-* :mod:`repro.pipeline.solve` — per-block solver registry plus the
-  opt-in ``concurrent.futures`` scheduler (cross-block and cross-k
-  parallelism, ``jobs=N``);
+* :mod:`repro.pipeline.solve` — per-block solver registry (both the
+  branch-and-bound engines and their SAT twins from :mod:`repro.sat`,
+  selected per :data:`SOLVER_MODES` and raced in ``"portfolio"`` mode)
+  plus the opt-in ``concurrent.futures`` scheduler (cross-block and
+  cross-k parallelism, ``jobs=N``);
 * :mod:`repro.pipeline.solver` — the :class:`WidthSolver` facade tying
   the stages together, with per-stage :class:`PipelineStats`;
 * :mod:`repro.pipeline.batch` — batched multi-instance serving:
@@ -42,9 +44,11 @@ from .reduce import (
     rules_for,
 )
 from .solve import (
+    SOLVER_MODES,
     SOLVERS,
     BlockScheduler,
     BlockState,
+    engines_for,
     iterative_width_search,
     run_block_task,
 )
@@ -93,4 +97,6 @@ __all__ = [
     "iterative_width_search",
     "run_block_task",
     "SOLVERS",
+    "SOLVER_MODES",
+    "engines_for",
 ]

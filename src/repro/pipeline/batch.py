@@ -39,6 +39,7 @@ Quickstart::
 
 from __future__ import annotations
 
+import threading
 import time
 from collections.abc import Mapping
 from concurrent.futures import FIRST_COMPLETED, wait
@@ -46,11 +47,17 @@ from dataclasses import dataclass, field
 
 from ..hypergraph import Hypergraph
 from .solve import (
+    _ABORTABLE,
     CAP_MESSAGES,
     EXECUTORS,
+    RACE_SKIPPED,
+    SOLVER_MODES,
     BlockState,
+    engines_for,
     make_pool,
+    order_engines,
     run_block_task,
+    run_gated_block_task,
 )
 from .solver import (
     _EPS,
@@ -130,12 +137,18 @@ class BatchRequest:
     label : str, optional
         Display name for results and the CLI (defaults to the
         hypergraph's own name).
+    solver : str, optional
+        Per-request solver mode override — one of
+        :data:`~repro.pipeline.solve.SOLVER_MODES` (``"bb"``, ``"sat"``,
+        ``"portfolio"``).  ``None`` (default) inherits the batch-wide
+        mode of :class:`BatchScheduler` / :func:`solve_many`.
     """
 
     hypergraph: Hypergraph
     kind: str = "ghw"
     params: dict = field(default_factory=dict)
     label: str | None = None
+    solver: str | None = None
 
     @classmethod
     def of(cls, spec) -> "BatchRequest":
@@ -349,6 +362,7 @@ class _Instance:
         "result",
         "dkind",
         "solver",
+        "engines",
         "mode",
         "params",
         "k",
@@ -388,7 +402,7 @@ class _Instance:
             self.result._resolve(error=error)
         self.finalized = True
 
-    def prepare(self, preprocess: str) -> None:
+    def prepare(self, preprocess: str, solver_mode: str = "bb") -> None:
         """Validate the request and run its reduce + split stages."""
         request = self.request
         if request.kind not in _KIND_TABLE:
@@ -400,7 +414,13 @@ class _Instance:
                 f"request {self.index} has no hypergraph: "
                 f"{request.hypergraph!r}"
             )
+        mode = request.solver if request.solver is not None else solver_mode
+        if mode not in SOLVER_MODES:
+            raise ValueError(
+                f"solver must be one of {SOLVER_MODES}; got {mode!r}"
+            )
         self.dkind, self.solver, self.mode = _KIND_TABLE[request.kind]
+        self.engines = engines_for(self.solver, mode)
         params = dict(request.params or {})
         if request.kind == "bounds":
             cost = params.get("cost", "fractional")
@@ -481,6 +501,18 @@ class _Instance:
             self.block_results[b] = value
             if self.mode == "check" and value is None:
                 self.rejected = True
+
+    def has_result(self, b: int, k: int | None) -> bool:
+        """Whether task ``(b, k)`` already recorded an answer.
+
+        Raced twins check this before folding their result in: only the
+        first engine home per task records; later twins are discarded.
+        """
+        if self.blocks is None:
+            return False
+        if self.mode == "iterative":
+            return k in self.states[b].results
+        return self.block_results[b] is not _PENDING
 
     def unsubmitted_blocks(self) -> int:
         """Blocks never handed to the pool (check-mode early rejection)."""
@@ -597,6 +629,16 @@ class BatchScheduler:
         SearchContext/CoverOracle caches) or ``"process"`` (GIL-free,
         one cache domain per worker process, warmed over the batch's
         lifetime).
+    solver : str, optional
+        Batch-wide solver mode for check-style tasks — one of
+        :data:`~repro.pipeline.solve.SOLVER_MODES`.  ``"bb"`` (default)
+        runs branch-and-bound, ``"sat"`` the CNF engine, and
+        ``"portfolio"`` races both per ``(block, k)`` task: the first
+        engine home records the answer and its twin is cancelled
+        (dequeued, or aborted cooperatively for SAT engines on the
+        thread executor) — exactly one cancellation is counted per
+        raced task that produced an answer.  Requests can override the
+        mode individually via :attr:`BatchRequest.solver`.
     """
 
     def __init__(
@@ -604,6 +646,7 @@ class BatchScheduler:
         jobs: int | None = None,
         preprocess: str = "full",
         executor: str = "thread",
+        solver: str = "bb",
     ) -> None:
         if preprocess not in PREPROCESS_MODES:
             raise ValueError(
@@ -611,9 +654,12 @@ class BatchScheduler:
             )
         if executor not in EXECUTORS:
             raise ValueError("executor must be 'thread' or 'process'")
+        if solver not in SOLVER_MODES:
+            raise ValueError(f"solver must be one of {SOLVER_MODES}")
         self.jobs = max(1, int(jobs or 1))
         self.preprocess = preprocess
         self.executor = executor
+        self.solver = solver
         self.instances: list[_Instance] = []
         self.last_stats: BatchStats | None = None
 
@@ -648,18 +694,51 @@ class BatchScheduler:
     def _pool(self):
         return make_pool(self.executor, self.jobs)
 
-    def _cancel_instance(self, instance, in_flight, stats) -> None:
+    def _cancel_instance(self, instance, in_flight, stats, aborts) -> None:
         """Cancel an instance's pending pool work; count what it saved."""
         stats.tasks_cancelled += instance.unsubmitted_blocks()
-        for future, (i, _b, _k) in in_flight.items():
-            if i == instance.index and future.cancel():
+        for future, (i, b, k, _e) in list(in_flight.items()):
+            if i != instance.index:
+                continue
+            if future.cancel():
+                stats.tasks_cancelled += 1
+            elif future in aborts:
+                # Running SAT engine: tell it to stop and stop tracking
+                # it — its SolveAborted outcome is not a result.
+                del in_flight[future]
+                instance.in_flight.discard((b, k))
+                aborts.pop(future).set()
                 stats.tasks_cancelled += 1
 
-    def _cancel_block(self, instance, block, in_flight, stats) -> None:
+    def _cancel_block(self, instance, block, in_flight, stats, aborts) -> None:
         """Cancel a settled block's speculative higher-k checks."""
-        for future, (i, b, _k) in in_flight.items():
-            if i == instance.index and b == block and future.cancel():
+        for future, (i, b, k, _e) in list(in_flight.items()):
+            if i != instance.index or b != block:
+                continue
+            if future.cancel():
                 stats.tasks_cancelled += 1
+            elif future in aborts:
+                del in_flight[future]
+                instance.in_flight.discard((b, k))
+                aborts.pop(future).set()
+                stats.tasks_cancelled += 1
+
+    def _cancel_twins(self, index, block, k, in_flight, aborts) -> None:
+        """Drop the raced losers of a task whose winner just recorded.
+
+        The caller counts the cancellation (exactly ``len(engines) - 1``
+        per settled raced task); this only stops and untracks the twin
+        futures, whether queued (dequeued before starting), running SAT
+        (aborted cooperatively) or running branch-and-bound (result
+        discarded).
+        """
+        for future, key in list(in_flight.items()):
+            if key[:3] == (index, block, k):
+                del in_flight[future]
+                future.cancel()
+                event = aborts.pop(future, None)
+                if event is not None:
+                    event.set()
 
     def _finalize_ready(self, stats) -> None:
         for instance in self.instances:
@@ -670,9 +749,18 @@ class BatchScheduler:
 
     def _drive(self, stats: BatchStats) -> None:
         with self._pool() as pool:
-            in_flight: dict = {}
+            in_flight: dict = {}  # future -> (instance, block, k, engine)
+            aborts: dict = {}
+            gates: dict = {}  # (instance, block, k) -> first-answer gate
+            threaded = self.executor == "thread"
             while any(inst.active for inst in self.instances):
-                free = self.jobs - len(in_flight)
+                # Budget in *tasks*: a raced task holds one slot however
+                # many engine futures it fans out to, so with jobs=J the
+                # workers run the J predicted winners while their twins
+                # queue behind them (cancelled before starting when the
+                # prediction holds).
+                tasks_in_flight = len({key[:3] for key in in_flight.values()})
+                free = self.jobs - tasks_in_flight
                 if free > 0:
                     candidates = []
                     for inst in self.instances:
@@ -681,20 +769,54 @@ class BatchScheduler:
                         for prio, b, k in inst.next_tasks(free):
                             candidates.append((prio, inst.index, b, k))
                     candidates.sort()
+                    submissions = []
                     for prio, i, b, k in candidates[:free]:
                         inst = self.instances[i]
-                        future = pool.submit(
-                            run_block_task,
-                            inst.solver,
-                            inst.blocks[b].hypergraph,
-                            inst.task_params(k),
+                        engines = order_engines(
+                            inst.engines, inst.blocks[b].hypergraph
                         )
-                        in_flight[future] = (i, b, k)
+                        for rank, engine in enumerate(engines):
+                            submissions.append((rank, prio, i, b, k, engine))
                         inst.in_flight.add((b, k))
                         if inst.mode in ("oneshot", "check"):
                             inst.submitted[b] = True
                         if prio > 0:
                             stats.speculative_checks += 1
+                    # All predicted winners enter the pool queue before
+                    # any twin, so the twins only start on spare workers.
+                    submissions.sort(key=lambda s: s[0])
+                    for _rank, _prio, i, b, k, engine in submissions:
+                        inst = self.instances[i]
+                        task_params = inst.task_params(k)
+                        raced = len(inst.engines) > 1
+                        event = None
+                        if raced and engine in _ABORTABLE and threaded:
+                            event = threading.Event()
+                            task_params["abort"] = event
+                        if raced and threaded:
+                            # The gate lets a twin dequeued right after
+                            # its sibling answered skip instead of
+                            # burning a full (unabortable) solve.
+                            gate = gates.setdefault(
+                                (i, b, k), threading.Event()
+                            )
+                            future = pool.submit(
+                                run_gated_block_task,
+                                gate,
+                                engine,
+                                inst.blocks[b].hypergraph,
+                                task_params,
+                            )
+                        else:
+                            future = pool.submit(
+                                run_block_task,
+                                engine,
+                                inst.blocks[b].hypergraph,
+                                task_params,
+                            )
+                        in_flight[future] = (i, b, k, engine)
+                        if event is not None:
+                            aborts[future] = event
                 if not in_flight:
                     # Nothing running and nothing submittable: settle
                     # exhausted caps and stitch whatever completed.
@@ -712,19 +834,35 @@ class BatchScheduler:
                     continue
                 done, _pending = wait(in_flight, return_when=FIRST_COMPLETED)
                 for future in done:
-                    i, b, k = in_flight.pop(future)
+                    if future not in in_flight:
+                        continue  # raced twin untracked when its winner won
+                    i, b, k, _engine = in_flight.pop(future)
+                    aborts.pop(future, None)
                     inst = self.instances[i]
-                    inst.in_flight.discard((b, k))
+                    racing = len(inst.engines) > 1
                     if future.cancelled():
+                        inst.in_flight.discard((b, k))
                         continue
-                    stats.tasks_run += 1
+                    if racing and inst.has_result(b, k):
+                        continue  # raced loser finishing after its winner
                     try:
                         value = future.result()
                     except Exception as exc:
+                        inst.in_flight.discard((b, k))
+                        stats.tasks_run += len(inst.engines) if racing else 1
                         if inst.active:
                             inst.fail(exc)
-                            self._cancel_instance(inst, in_flight, stats)
+                            self._cancel_instance(
+                                inst, in_flight, stats, aborts
+                            )
                         continue
+                    if value is RACE_SKIPPED:
+                        continue  # gated twin; the sibling's answer is coming
+                    inst.in_flight.discard((b, k))
+                    # A raced task accounts for all of its engine runs at
+                    # once; its losers are counted below, so the totals
+                    # stay deterministic however the race resolves.
+                    stats.tasks_run += len(inst.engines) if racing else 1
                     if not inst.active:
                         continue
                     # Cancel only on the *transition* to rejected/settled,
@@ -735,15 +873,20 @@ class BatchScheduler:
                         and inst.states[b].width is not None
                     )
                     inst.record(b, k, value)
+                    if racing:
+                        stats.tasks_cancelled += len(inst.engines) - 1
+                        self._cancel_twins(i, b, k, in_flight, aborts)
                     if inst.mode == "check" and inst.rejected:
                         if not was_rejected:
-                            self._cancel_instance(inst, in_flight, stats)
+                            self._cancel_instance(
+                                inst, in_flight, stats, aborts
+                            )
                     elif (
                         inst.mode == "iterative"
                         and inst.states[b].width is not None
                         and not was_settled
                     ):
-                        self._cancel_block(inst, b, in_flight, stats)
+                        self._cancel_block(inst, b, in_flight, stats, aborts)
                 self._finalize_ready(stats)
 
     def run(self) -> BatchStats:
@@ -774,7 +917,7 @@ class BatchScheduler:
             kind = instance.request.kind
             stats.kinds[kind] = stats.kinds.get(kind, 0) + 1
             try:
-                instance.prepare(self.preprocess)
+                instance.prepare(self.preprocess, self.solver)
             except Exception as exc:
                 instance.fail(exc)
         stats.blocks = sum(
@@ -808,6 +951,7 @@ def solve_many(
     preprocess: str = "full",
     executor: str = "thread",
     backend: str | None = None,
+    solver: str = "bb",
 ) -> list[BatchResult]:
     """Solve a batch of width queries on one shared scheduler.
 
@@ -835,6 +979,12 @@ def solve_many(
         LP backend for the batch (``"auto"``, ``"scipy"``,
         ``"purepython"``); the process-global engine configuration is
         restored afterwards.
+    solver : str, optional
+        Batch-wide solver mode for check-style tasks — ``"bb"``
+        (default), ``"sat"`` or ``"portfolio"`` (race both engines per
+        ``(block, k)`` task, first answer wins).  Individual requests
+        override it via :attr:`BatchRequest.solver`; answers are the
+        same whatever the mode, both engines being exact.
 
     Returns
     -------
@@ -846,14 +996,15 @@ def solve_many(
     Raises
     ------
     ValueError
-        If ``preprocess``, ``executor`` or ``backend`` is invalid —
-        batch-level configuration errors raise; per-request problems
-        do not.
+        If ``preprocess``, ``executor``, ``backend`` or ``solver`` is
+        invalid — batch-level configuration errors raise; per-request
+        problems (including an unknown per-request solver override) do
+        not.
     """
     from .. import engine  # lazy: keeps the pipeline package cycle-free
 
     scheduler = BatchScheduler(
-        jobs=jobs, preprocess=preprocess, executor=executor
+        jobs=jobs, preprocess=preprocess, executor=executor, solver=solver
     )
     results = [scheduler.submit(request) for request in requests]
     if backend is not None:

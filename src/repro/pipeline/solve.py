@@ -24,6 +24,7 @@ the pipeline package import-cycle free.
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import (
     FIRST_COMPLETED,
     ProcessPoolExecutor,
@@ -39,15 +40,23 @@ __all__ = [
     "BlockScheduler",
     "BlockState",
     "run_block_task",
+    "race_block_task",
     "iterative_width_search",
     "make_pool",
+    "engines_for",
+    "order_engines",
     "SOLVERS",
+    "SOLVER_MODES",
     "EXECUTORS",
     "CAP_MESSAGES",
 ]
 
 #: Valid worker-pool types for every scheduler in the pipeline.
 EXECUTORS = ("thread", "process")
+
+#: Engine-selection modes for check-style solves: branch-and-bound
+#: only, SAT only, or a per-task race between the two.
+SOLVER_MODES = ("bb", "sat", "portfolio")
 
 #: Cap-exhaustion error templates per width-search entry point, shared
 #: by ``WidthSolver`` and the batch scheduler so the two report byte-
@@ -143,18 +152,158 @@ def _fhw_approximation(hypergraph: Hypergraph, **params):
     return fhw_approximation(hypergraph, preprocess="none", **params)
 
 
+def _sat_check_hd(hypergraph: Hypergraph, k: int, abort=None, **_bb_only):
+    from ..sat.checks import sat_hypertree_decomposition
+
+    return sat_hypertree_decomposition(hypergraph, k, abort=abort)
+
+
+def _sat_check_ghd(hypergraph: Hypergraph, k: int, abort=None, **_bb_only):
+    from ..sat.checks import sat_generalized_hypertree_decomposition
+
+    return sat_generalized_hypertree_decomposition(hypergraph, k, abort=abort)
+
+
+def _sat_check_fhd(hypergraph: Hypergraph, k: float, abort=None, **_bb_only):
+    from ..sat.checks import sat_fractional_hypertree_decomposition
+
+    return sat_fractional_hypertree_decomposition(hypergraph, k, abort=abort)
+
+
 #: Per-block solver registry: name -> callable(hypergraph, **params).
 #: Check-style solvers additionally take ``k`` and return None on reject.
+#: The ``sat-*`` twins answer the same Check(X, k) questions through the
+#: CNF engine in :mod:`repro.sat`; they accept (and ignore) the
+#: branch-and-bound tuning keywords so both twins of a portfolio race
+#: can share one task-params dict.
 SOLVERS = {
     "check-hd": _check_hd,
     "check-ghd": _check_ghd,
     "check-fhd-bd": _check_fhd_bounded_degree,
+    "sat-check-hd": _sat_check_hd,
+    "sat-check-ghd": _sat_check_ghd,
+    "sat-check-fhd": _sat_check_fhd,
     "ghw-exact": _ghw_exact,
     "fhw-exact": _fhw_exact,
     "heuristic-bounds": _heuristic_bounds,
     "heuristic-decomposition": _heuristic_decomposition,
     "fhw-approximation": _fhw_approximation,
 }
+
+#: Check-style solvers with a SAT twin, keyed by branch-and-bound name.
+_SAT_CHECKS = {
+    "check-hd": "sat-check-hd",
+    "check-ghd": "sat-check-ghd",
+    "check-fhd-bd": "sat-check-fhd",
+}
+
+#: Engines that honour a cooperative ``abort`` event (thread pools only).
+_ABORTABLE = frozenset(_SAT_CHECKS.values())
+
+
+def engines_for(solver: str, mode: str = "bb") -> tuple[str, ...]:
+    """The solver registry keys a mode runs for one check-style task.
+
+    ``"bb"`` keeps the branch-and-bound solver alone, ``"sat"`` swaps in
+    its CNF twin, and ``"portfolio"`` returns both so schedulers race
+    them per ``(block, k)`` task.  Solvers without a SAT twin (the
+    oracle and heuristic kinds) always run alone, whatever the mode.
+
+    Raises
+    ------
+    ValueError
+        If ``mode`` is not one of :data:`SOLVER_MODES`.
+    """
+    if mode not in SOLVER_MODES:
+        raise ValueError(
+            f"solver must be one of {SOLVER_MODES}, got {mode!r}"
+        )
+    twin = _SAT_CHECKS.get(solver)
+    if mode == "bb" or twin is None:
+        return (solver,)
+    if mode == "sat":
+        return (twin,)
+    return (solver, twin)
+
+
+def order_engines(
+    engines: tuple[str, ...], hypergraph: Hypergraph
+) -> tuple[str, ...]:
+    """Submission order for a portfolio race: predicted winner first.
+
+    Queued twins whose sibling finishes first are cancelled before they
+    start, so starting the likely-faster engine first turns a race into
+    a cheap hedge.  The SAT encoding shines on small blocks with more
+    edges than vertices (branch-and-bound drowns in subedge
+    combinations there) and drowns in its own O(n³) transitivity
+    clauses on larger sparse ones — a density test captures both
+    regimes.
+    """
+    if len(engines) < 2:
+        return tuple(engines)
+    n = hypergraph.num_vertices
+    sat_first = n <= 10 and hypergraph.num_edges > n
+    ordered = sorted(
+        engines, key=lambda e: (e in _ABORTABLE) != sat_first
+    )
+    return tuple(ordered)
+
+
+#: Sentinel a gated racing twin returns when its sibling already
+#: answered before the twin started (see :func:`run_gated_block_task`).
+#: Schedulers must skip it without recording.
+RACE_SKIPPED = object()
+
+
+def run_gated_block_task(
+    gate: threading.Event, solver: str, hypergraph: Hypergraph, params: dict
+):
+    """Run one raced engine behind a shared first-answer gate.
+
+    A thread-pool worker dequeues a queued racing twin the instant its
+    sibling's payload returns — before the scheduler thread wakes up to
+    cancel it.  The gate closes that window: the first engine to answer
+    sets the event *synchronously in the worker*, so a twin dequeued
+    afterwards returns :data:`RACE_SKIPPED` immediately instead of
+    burning a full solve.  (SAT engines also honour a cooperative abort
+    mid-run; for branch-and-bound this gate is the only cheap exit.)
+
+    Thread pools only — the event is not picklable, so process-pool
+    racing submits :func:`run_block_task` bare and relies on dequeue
+    cancellation alone.
+    """
+    if gate.is_set():
+        return RACE_SKIPPED
+    result = run_block_task(solver, hypergraph, params)
+    gate.set()
+    return result
+
+
+def race_block_task(
+    engines: tuple[str, ...], hypergraph: Hypergraph, params: dict
+):
+    """Race one block task's engines on a single-slot pool.
+
+    Used by the serial scheduler paths in ``solver="portfolio"`` mode
+    (the parallel paths race on their own pools instead).  On one slot
+    the race degenerates into its prediction: the engine
+    :func:`order_engines` puts first runs to completion, and the gated
+    twin is dequeued-and-skipped (or cancelled before starting).  True
+    concurrent racing needs ``jobs > 1``.
+    """
+    engines = order_engines(tuple(engines), hypergraph)
+    if len(engines) == 1:
+        return run_block_task(engines[0], hypergraph, params)
+    gate = threading.Event()
+    pool = ThreadPoolExecutor(max_workers=1)
+    try:
+        futures = [
+            pool.submit(run_gated_block_task, gate, engine, hypergraph, params)
+            for engine in engines
+        ]
+        return futures[0].result()
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
 
 
 def run_block_task(solver: str, hypergraph: Hypergraph, params: dict):
@@ -192,12 +341,19 @@ def run_block_task(solver: str, hypergraph: Hypergraph, params: dict):
 
 @dataclass
 class BlockScheduler:
-    """Serial or pooled execution of per-block tasks, with counters."""
+    """Serial or pooled execution of per-block tasks, with counters.
+
+    ``tasks_cancelled`` counts portfolio losers: exactly one per raced
+    ``(block, k)`` task that produced an answer, however the loser was
+    stopped (dequeued before starting, aborted cooperatively, or simply
+    discarded).
+    """
 
     jobs: int = 1
     executor: str = "thread"
     tasks_run: int = 0
     speculative_checks: int = 0
+    tasks_cancelled: int = 0
 
     def __post_init__(self) -> None:
         self.jobs = max(1, int(self.jobs or 1))
@@ -216,13 +372,25 @@ class BlockScheduler:
         self,
         task_specs: list[tuple[str, Hypergraph, dict]],
         stop_on_none: bool = False,
+        engines: tuple[str, ...] | None = None,
     ) -> list:
         """Run ``run_block_task`` over the specs; ordered results.
 
         With ``stop_on_none`` (check-style queries: one rejecting block
         decides the whole answer) remaining tasks are skipped/cancelled
         once any task returns None; their slots stay None.
+
+        ``engines`` (from :func:`engines_for`) overrides each spec's
+        solver; with more than one engine, every spec is raced and the
+        first verdict per spec wins (``solver="portfolio"``).
         """
+        if engines is not None and len(engines) > 1:
+            return self._map_racing(task_specs, stop_on_none, tuple(engines))
+        if engines:
+            task_specs = [
+                (engines[0], hypergraph, params)
+                for (_solver, hypergraph, params) in task_specs
+            ]
         if not self.parallel or len(task_specs) <= 1:
             results: list = []
             for spec in task_specs:
@@ -249,6 +417,93 @@ class BlockScheduler:
                 f.result() if f.done() and not f.cancelled() else None
                 for f in futures
             ]
+
+    def _map_racing(
+        self,
+        task_specs: list[tuple[str, Hypergraph, dict]],
+        stop_on_none: bool,
+        engines: tuple[str, ...],
+    ) -> list:
+        """Portfolio variant of :meth:`map`: race every spec's engines."""
+        if not self.parallel or len(task_specs) <= 1:
+            results: list = []
+            for _solver, hypergraph, params in task_specs:
+                self.tasks_run += len(engines)
+                result = race_block_task(engines, hypergraph, params)
+                self.tasks_cancelled += len(engines) - 1
+                results.append(result)
+                if stop_on_none and result is None:
+                    results.extend([None] * (len(task_specs) - len(results)))
+                    break
+            return results
+        self.tasks_run += len(task_specs) * len(engines)
+        with self._pool() as pool:
+            in_flight: dict = {}
+            aborts: dict = {}
+            gates: dict = {}
+            threaded = self.executor == "thread"
+            # Two passes: every spec's predicted winner enters the FIFO
+            # queue before any twin, so workers spread across specs
+            # instead of racing the same one; gates let late-dequeued
+            # twins skip once their sibling answered.
+            submissions = []
+            for index, (_solver, hypergraph, params) in enumerate(task_specs):
+                ordered = order_engines(engines, hypergraph)
+                for rank, engine in enumerate(ordered):
+                    submissions.append((rank, index, engine, hypergraph, params))
+            submissions.sort(key=lambda s: s[0])
+            for _rank, index, engine, hypergraph, params in submissions:
+                task_params = params
+                if engine in _ABORTABLE and threaded:
+                    event = threading.Event()
+                    task_params = {**params, "abort": event}
+                if threaded:
+                    gate = gates.setdefault(index, threading.Event())
+                    future = pool.submit(
+                        run_gated_block_task,
+                        gate,
+                        engine,
+                        hypergraph,
+                        task_params,
+                    )
+                else:
+                    future = pool.submit(
+                        run_block_task, engine, hypergraph, task_params
+                    )
+                in_flight[future] = index
+                if engine in _ABORTABLE and threaded:
+                    aborts[future] = event
+            results = [None] * len(task_specs)
+            settled = [False] * len(task_specs)
+            rejected = False
+            while in_flight and not all(settled) and not rejected:
+                done, _pending = wait(in_flight, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = in_flight.pop(future)
+                    if settled[index]:
+                        continue  # the raced twin already answered
+                    value = future.result()
+                    if value is RACE_SKIPPED:
+                        continue  # gated twin; the sibling's answer is coming
+                    results[index] = value
+                    settled[index] = True
+                    self.tasks_cancelled += len(engines) - 1
+                    for twin in [
+                        f for f, i in in_flight.items() if i == index
+                    ]:
+                        del in_flight[twin]
+                        twin.cancel()
+                        event = aborts.pop(twin, None)
+                        if event is not None:
+                            event.set()
+                    if stop_on_none and results[index] is None:
+                        rejected = True
+            for future in in_flight:
+                future.cancel()
+                event = aborts.get(future)
+                if event is not None:
+                    event.set()
+            return results
 
 
 @dataclass
@@ -327,6 +582,7 @@ def iterative_width_search(
     scheduler: BlockScheduler,
     params: dict | None = None,
     cap_message: str = "no decomposition of width <= {cap} found (cap too small?)",
+    engines: tuple[str, ...] | None = None,
 ) -> list[tuple[int, Decomposition]]:
     """Smallest accepted k per block, via a check-style solver.
 
@@ -349,6 +605,10 @@ def iterative_width_search(
     cap_message : str, optional
         ``ValueError`` text when a block exhausts its cap; ``{cap}``
         is substituted.
+    engines : tuple of str, optional
+        Override from :func:`engines_for`; more than one engine races
+        every ``(block, k)`` task and counts one cancelled loser per
+        settled task (``solver="portfolio"``).
 
     Returns
     -------
@@ -362,16 +622,28 @@ def iterative_width_search(
         When some block rejects every k up to its cap.
     """
     params = dict(params or {})
+    if engines is None:
+        engines = (solver,)
+    engines = tuple(engines)
+    racing = len(engines) > 1
+    if not racing:
+        solver = engines[0]
 
     if not scheduler.parallel:
         out = []
         for hypergraph, cap in zip(hypergraphs, caps):
             found = None
             for k in range(1, cap + 1):
-                scheduler.tasks_run += 1
-                witness = run_block_task(
-                    solver, hypergraph, {"k": k, **params}
-                )
+                scheduler.tasks_run += len(engines)
+                if racing:
+                    witness = race_block_task(
+                        engines, hypergraph, {"k": k, **params}
+                    )
+                    scheduler.tasks_cancelled += len(engines) - 1
+                else:
+                    witness = run_block_task(
+                        solver, hypergraph, {"k": k, **params}
+                    )
                 if witness is not None:
                     found = (k, witness)
                     break
@@ -382,7 +654,8 @@ def iterative_width_search(
 
     states = [BlockState() for _ in hypergraphs]
     with scheduler._pool() as pool:
-        in_flight: dict = {}
+        in_flight: dict = {}  # future -> (block, k, engine)
+        aborts: dict = {}
 
         def submittable():
             """(block, k) pairs worth starting, nearest-k first."""
@@ -395,28 +668,62 @@ def iterative_width_search(
                 k = state.next_k
                 while k <= ceiling and len(pairs) < scheduler.jobs:
                     if k not in state.results and not any(
-                        key == (i, k) for key in in_flight.values()
+                        key[:2] == (i, k) for key in in_flight.values()
                     ):
                         pairs.append((k - base, i, k))
                     k += 1
             pairs.sort()
             return [(i, k) for (_d, i, k) in pairs]
 
+        def cancel_twins(i: int, k: int) -> None:
+            for twin in [
+                f for f, key in in_flight.items() if key[:2] == (i, k)
+            ]:
+                del in_flight[twin]
+                twin.cancel()
+                event = aborts.pop(twin, None)
+                if event is not None:
+                    event.set()
+
+        gates: dict = {}  # (block, k) -> first-answer gate
+        threaded = scheduler.executor == "thread"
         while any(state.width is None for state in states):
+            # Collect the round's submissions, then enqueue predicted
+            # winners before any twin so workers spread across tasks.
+            round_subs = []
             for i, k in submittable():
-                if len(in_flight) >= scheduler.jobs:
+                if len(in_flight) >= scheduler.jobs * len(engines):
                     break
-                future = pool.submit(
-                    run_block_task,
-                    solver,
-                    hypergraphs[i],
-                    {"k": k, **params},
-                )
-                in_flight[future] = (i, k)
+                for rank, engine in enumerate(
+                    order_engines(engines, hypergraphs[i])
+                ):
+                    round_subs.append((rank, i, k, engine))
                 states[i].next_k = max(states[i].next_k, k + 1)
-                scheduler.tasks_run += 1
+                scheduler.tasks_run += len(engines)
                 if k > states[i].next_k_unconfirmed():
                     scheduler.speculative_checks += 1
+            round_subs.sort(key=lambda s: s[0])
+            for _rank, i, k, engine in round_subs:
+                task_params = {"k": k, **params}
+                if racing and engine in _ABORTABLE and threaded:
+                    event = threading.Event()
+                    task_params["abort"] = event
+                if racing and threaded:
+                    gate = gates.setdefault((i, k), threading.Event())
+                    future = pool.submit(
+                        run_gated_block_task,
+                        gate,
+                        engine,
+                        hypergraphs[i],
+                        task_params,
+                    )
+                else:
+                    future = pool.submit(
+                        run_block_task, engine, hypergraphs[i], task_params
+                    )
+                in_flight[future] = (i, k, engine)
+                if "abort" in task_params:
+                    aborts[future] = task_params["abort"]
             if not in_flight:
                 # Everything submittable is exhausted but some block is
                 # unsettled: its cap ran out with rejections everywhere.
@@ -428,9 +735,22 @@ def iterative_width_search(
                 raise ValueError(cap_message.format(cap=min(failed)))
             done, _pending = wait(in_flight, return_when=FIRST_COMPLETED)
             for future in done:
-                i, k = in_flight.pop(future)
-                states[i].results[k] = future.result()
+                if future not in in_flight:
+                    continue  # twin of a task settled earlier this batch
+                i, k, _engine = in_flight.pop(future)
+                if k in states[i].results:
+                    continue
+                value = future.result()
+                if value is RACE_SKIPPED:
+                    continue  # gated twin; the sibling's answer is coming
+                states[i].results[k] = value
+                if racing:
+                    scheduler.tasks_cancelled += len(engines) - 1
+                    cancel_twins(i, k)
                 states[i].settle()
         for future in in_flight:
             future.cancel()
+            event = aborts.get(future)
+            if event is not None:
+                event.set()
     return [(state.width, state.witness) for state in states]

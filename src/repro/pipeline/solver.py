@@ -35,7 +35,13 @@ from ..decomposition import (
 )
 from ..hypergraph import Hypergraph
 from .reduce import ReducedInstance, reduce_instance
-from .solve import CAP_MESSAGES, BlockScheduler, iterative_width_search
+from .solve import (
+    CAP_MESSAGES,
+    SOLVER_MODES,
+    BlockScheduler,
+    engines_for,
+    iterative_width_search,
+)
 from .split import Block, split_instance
 
 __all__ = [
@@ -210,6 +216,7 @@ class PipelineStats:
     block_sizes: list = field(default_factory=list)  # (|V|, |E|) per block
     tasks_run: int = 0
     speculative_checks: int = 0
+    tasks_cancelled: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -234,6 +241,7 @@ class PipelineStats:
             "block_sizes": list(self.block_sizes),
             "tasks_run": self.tasks_run,
             "speculative_checks": self.speculative_checks,
+            "tasks_cancelled": self.tasks_cancelled,
             "reduce_seconds": self.reduce_seconds,
             "split_seconds": self.split_seconds,
             "solve_seconds": self.solve_seconds,
@@ -259,6 +267,14 @@ class WidthSolver:
     executor:
         ``"thread"`` (default; shares engine caches) or ``"process"``
         (GIL-free, cold caches per worker).
+    solver:
+        Engine-selection mode for the Check(X, k) queries, one of
+        :data:`repro.pipeline.solve.SOLVER_MODES`: ``"bb"`` (default,
+        branch-and-bound), ``"sat"`` (the CNF engine in
+        :mod:`repro.sat`), or ``"portfolio"`` (race both per
+        ``(block, k)`` task; the loser is cancelled and counted in
+        ``last_stats.tasks_cancelled``).  Oracle/heuristic queries are
+        unaffected.
     """
 
     def __init__(
@@ -267,13 +283,17 @@ class WidthSolver:
         preprocess: str = "full",
         jobs: int | None = None,
         executor: str = "thread",
+        solver: str = "bb",
     ) -> None:
         if preprocess not in PREPROCESS_MODES:
             raise ValueError(f"preprocess must be one of {PREPROCESS_MODES}")
+        if solver not in SOLVER_MODES:
+            raise ValueError(f"solver must be one of {SOLVER_MODES}")
         self.hypergraph = hypergraph
         self.preprocess = preprocess
         self.jobs = max(1, int(jobs or 1))
         self.executor = executor
+        self.solver = solver
         self.last_stats: PipelineStats | None = None
 
     # ------------------------------------------------------------------
@@ -331,6 +351,7 @@ class WidthSolver:
         global _LAST_STATS
         stats.tasks_run = scheduler.tasks_run
         stats.speculative_checks = scheduler.speculative_checks
+        stats.tasks_cancelled = scheduler.tasks_cancelled
         self.last_stats = stats
         _LAST_STATS = stats
 
@@ -342,11 +363,13 @@ class WidthSolver:
         stats: PipelineStats,
         params: dict,
         stop_on_none: bool = False,
+        engines: tuple[str, ...] | None = None,
     ) -> list:
         t0 = time.perf_counter()
         results = scheduler.map(
             [(solver, block.hypergraph, dict(params)) for block in blocks],
             stop_on_none=stop_on_none,
+            engines=engines,
         )
         stats.solve_seconds = time.perf_counter() - t0
         return results
@@ -365,6 +388,7 @@ class WidthSolver:
             stats,
             {"k": k, **params},
             stop_on_none=True,  # one rejecting block decides the answer
+            engines=engines_for(solver, self.solver),
         )
         if any(w is None for w in witnesses):
             self._finish(stats, scheduler)
@@ -428,6 +452,7 @@ class WidthSolver:
             scheduler,
             params=params,
             cap_message=cap_message,
+            engines=engines_for(solver, self.solver),
         )
         stats.solve_seconds = time.perf_counter() - t0
         width = max(1, *(k for k, _w in results)) if results else 1
@@ -606,16 +631,23 @@ def solve_width(
     preprocess: str = "full",
     jobs: int | None = None,
     executor: str = "thread",
+    solver: str = "bb",
     **params,
 ):
     """One-call pipeline width query.
 
     ``kind`` is one of ``"hw"``, ``"ghw"``, ``"ghw-exact"``, ``"fhw"``
     (the exact oracle), or ``"bounds"`` (heuristic sandwich); extra
-    keyword arguments go to the underlying solver method.
+    keyword arguments go to the underlying solver method.  ``solver``
+    selects the check engine (``"bb"``, ``"sat"`` or ``"portfolio"``)
+    for the iterative kinds.
     """
     solver = WidthSolver(
-        hypergraph, preprocess=preprocess, jobs=jobs, executor=executor
+        hypergraph,
+        preprocess=preprocess,
+        jobs=jobs,
+        executor=executor,
+        solver=solver,
     )
     dispatch = {
         "hw": solver.hypertree_width,

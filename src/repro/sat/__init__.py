@@ -1,0 +1,52 @@
+"""SAT-encoded exact width checks: the second engine.
+
+This package gives the repository an independent exact decision
+procedure for the paper's Check(HD/GHD/FHD, k) problems, encoded over
+elimination orderings (:mod:`repro.sat.encoding`) and decided either by
+the bundled dependency-free CDCL core (:mod:`repro.sat.solver`) or by
+`python-sat` when installed (:mod:`repro.sat.backends`).  The
+:mod:`repro.sat.checks` entry points return validated decompositions
+and plug into the per-block solver registry in
+:mod:`repro.pipeline.solve`, where ``solver="sat"`` selects them and
+``solver="portfolio"`` races them against branch-and-bound.
+
+Having two engines of independent design is the repo's strongest
+correctness instrument: ``tests/test_differential.py`` continuously
+checks them against each other over generated corpora.
+"""
+
+from .backends import (
+    HAVE_PYSAT,
+    PurePythonCDCLBackend,
+    PySATBackend,
+    SATBackend,
+    available_sat_backends,
+    default_sat_backend_name,
+    get_sat_backend,
+    register_sat_backend,
+)
+from .checks import (
+    sat_fractional_hypertree_decomposition,
+    sat_generalized_hypertree_decomposition,
+    sat_hypertree_decomposition,
+)
+from .encoding import EliminationEncoding
+from .solver import CDCLSolver, SolveAborted, solve_cnf
+
+__all__ = [
+    "CDCLSolver",
+    "EliminationEncoding",
+    "HAVE_PYSAT",
+    "PurePythonCDCLBackend",
+    "PySATBackend",
+    "SATBackend",
+    "SolveAborted",
+    "available_sat_backends",
+    "default_sat_backend_name",
+    "get_sat_backend",
+    "register_sat_backend",
+    "sat_fractional_hypertree_decomposition",
+    "sat_generalized_hypertree_decomposition",
+    "sat_hypertree_decomposition",
+    "solve_cnf",
+]

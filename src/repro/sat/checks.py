@@ -1,0 +1,310 @@
+"""SAT-backed exact Check(X, k) procedures for hw / ghw / fhw.
+
+Each function mirrors the branch-and-bound entry point of the same
+width kind: given a hypergraph and a width bound ``k``, return a
+*validated* decomposition of width ≤ k, or ``None`` if none exists.
+They are registered as per-block solvers in
+:mod:`repro.pipeline.solve` under ``sat-check-hd`` / ``sat-check-ghd``
+/ ``sat-check-fhd`` and race the branch-and-bound engines in
+``solver="portfolio"`` mode.
+
+Strategy per kind (all built on
+:class:`repro.sat.encoding.EliminationEncoding`):
+
+``ghw``
+    one shot: solve the ``"cover"`` encoding, decode the elimination
+    ordering, rebuild the clique-tree decomposition with minimum
+    integral covers from the shared engine oracle, validate.
+``fhw``
+    CEGAR over the ``"structural"`` encoding: decode an ordering, price
+    its fill bags with the fractional-cover LP; bags above ``k`` are
+    excluded via :meth:`EliminationEncoding.block_bag` and the solver
+    re-runs.  ρ* is monotone, so blocked bags never appear in a good
+    ordering's fill, and each round excludes at least the current
+    ordering — the loop terminates.
+``hw``
+    CEGAR with a completion check: the cover encoding is necessary
+    (ghw ≤ hw); for each candidate ordering, :func:`_complete_hd` tries
+    to satisfy the special condition by re-rooting the fill clique tree
+    per biconnected-free component and re-covering each bag from the
+    edges the special condition allows there.  Orderings that cannot be
+    completed are excluded one at a time via
+    :meth:`EliminationEncoding.block_ordering`.
+
+Every "yes" answer is re-validated through
+:mod:`repro.decomposition.validation` before being returned, so a bug
+in the encoding can only surface as a "no"/exception — never as a
+wrong witness.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Optional
+
+from ..algorithms.elimination import _reachable_bag, decomposition_from_ordering
+from ..covers import EPS
+from ..decomposition import Decomposition
+from ..decomposition.validation import validate
+from ..engine import oracle_for
+from ..hypergraph import Hypergraph
+from ..hypergraph.components import connected_components
+from .backends import get_sat_backend
+from .encoding import EliminationEncoding
+
+__all__ = [
+    "sat_fractional_hypertree_decomposition",
+    "sat_generalized_hypertree_decomposition",
+    "sat_hypertree_decomposition",
+]
+
+
+def _fill_bags(hypergraph: Hypergraph, ordering: list) -> list[frozenset]:
+    """``bag_π(v)`` for each vertex of the elimination ordering."""
+    adjacency = hypergraph.primal_graph()
+    bags = []
+    for i, v in enumerate(ordering):
+        bags.append(_reachable_bag(adjacency, frozenset(ordering[:i]), v))
+    return bags
+
+
+def _exact_cover(bag: frozenset, candidates: list[tuple[str, frozenset]], limit: int) -> Optional[dict]:
+    """Minimum-cardinality set cover of ``bag`` from ``candidates``, ≤ limit.
+
+    Exact branch-and-bound on the vertex with fewest covering options.
+    Returns an edge-name → 1.0 mapping or None.
+    """
+    restrictions: dict[frozenset, str] = {}
+    for name, verts in candidates:
+        r = frozenset(verts & bag)
+        if r and r not in restrictions:
+            restrictions[r] = name
+    keys = list(restrictions)
+    items = [
+        (restrictions[r], r)
+        for r in keys
+        if not any(r < s for s in keys)
+    ]
+
+    def search(uncovered: frozenset, chosen: list[str]) -> Optional[list[str]]:
+        if not uncovered:
+            return list(chosen)
+        if len(chosen) >= limit:
+            return None
+        v = min(
+            uncovered, key=lambda u: sum(1 for _, r in items if u in r)
+        )
+        for name, r in items:
+            if v in r:
+                chosen.append(name)
+                found = search(uncovered - r, chosen)
+                chosen.pop()
+                if found is not None:
+                    return found
+        return None
+
+    names = search(frozenset(bag), [])
+    if names is None:
+        return None
+    return {name: 1.0 for name in names}
+
+
+def _complete_hd(
+    hypergraph: Hypergraph, ordering: list, k: int
+) -> Optional[Decomposition]:
+    """Try to turn an elimination ordering into a width-≤k *hypertree*
+    decomposition (special condition included).
+
+    The fill clique tree fixes bags and topology per connected
+    component; what is free is the rooting and the λ covers.  For every
+    rooting, condition 4 of Definition 2.5 restricts node ``u`` to
+    edges ``e`` with ``e ∩ V(T_u) ⊆ B_u``; each bag is then re-covered
+    exactly from the allowed edges.  Components succeed or fail
+    independently; roots of the non-primary components hang off the
+    primary root (their vertex sets are disjoint, so neither
+    connectedness nor the special condition is disturbed).
+    """
+    n = len(ordering)
+    bags = _fill_bags(hypergraph, ordering)
+    position = {v: i for i, v in enumerate(ordering)}
+    # Undirected clique-tree links: i — m(i), the node of the earliest
+    # later-eliminated vertex in bag i.
+    neighbours: list[set[int]] = [set() for _ in range(n)]
+    for i, bag in enumerate(bags):
+        later = [position[u] for u in bag if position[u] > i]
+        if later:
+            m = min(later)
+            neighbours[i].add(m)
+            neighbours[m].add(i)
+    components = connected_components(hypergraph)
+    groups = [
+        [i for i in range(n) if ordering[i] in comp] for comp in components
+    ]
+    edges = hypergraph.edges
+    cover_memo: dict[tuple[frozenset, frozenset], Optional[dict]] = {}
+
+    def covers_for_rooting(group: list[int], root: int) -> Optional[dict[int, dict]]:
+        # Orient the tree away from root, collect subtree vertex unions.
+        order: list[int] = []
+        parent: dict[int, int] = {root: -1}
+        stack = [root]
+        while stack:
+            u = stack.pop()
+            order.append(u)
+            for w in neighbours[u]:
+                if w not in parent:
+                    parent[w] = u
+                    stack.append(w)
+        subtree: dict[int, frozenset] = {}
+        for u in reversed(order):
+            acc = set(bags[u])
+            for w in neighbours[u]:
+                if parent.get(w) == u:
+                    acc |= subtree[w]
+            subtree[u] = frozenset(acc)
+        covers: dict[int, dict] = {}
+        for u in order:
+            allowed = frozenset(
+                name
+                for name, verts in edges.items()
+                if verts & subtree[u] <= bags[u]
+            )
+            key = (bags[u], allowed)
+            if key not in cover_memo:
+                cover_memo[key] = _exact_cover(
+                    bags[u], [(name, edges[name]) for name in allowed], k
+                )
+            if cover_memo[key] is None:
+                return None
+            covers[u] = cover_memo[key]
+        return covers
+
+    chosen_parent: dict[str, str] = {}
+    chosen_covers: dict[int, dict] = {}
+    primary_root: Optional[int] = None
+    for group in groups:
+        # The natural root (last-eliminated vertex) first — it is the
+        # orientation the standard clique tree uses and usually works.
+        roots = sorted(group, reverse=True)
+        for root in roots:
+            covers = covers_for_rooting(group, root)
+            if covers is not None:
+                break
+        else:
+            return None
+        chosen_covers.update(covers)
+        parent: dict[int, int] = {root: -1}
+        stack = [root]
+        while stack:
+            u = stack.pop()
+            for w in neighbours[u]:
+                if w not in parent:
+                    parent[w] = u
+                    chosen_parent[f"n{w}"] = f"n{u}"
+                    stack.append(w)
+        if primary_root is None:
+            primary_root = root
+        else:
+            chosen_parent[f"n{root}"] = f"n{primary_root}"
+    nodes = [(f"n{i}", bags[i], chosen_covers[i]) for i in range(n)]
+    decomposition = Decomposition(
+        nodes, parent=chosen_parent, root=f"n{primary_root}"
+    )
+    validate(hypergraph, decomposition, kind="hd", width=k)
+    return decomposition
+
+
+def _require_k(k, *, integral: bool) -> None:
+    if integral and (int(k) != k or k < 1):
+        raise ValueError(f"k must be an integer >= 1, got {k!r}")
+    if not integral and k < 1 - EPS:
+        raise ValueError(f"k must be >= 1, got {k!r}")
+
+
+def sat_generalized_hypertree_decomposition(
+    hypergraph: Hypergraph, k: int, backend: Optional[str] = None, abort=None
+) -> Optional[Decomposition]:
+    """Check(GHD, k) via the SAT cover encoding.
+
+    Returns a validated GHD of width ≤ k, or None if ghw(H) > k.
+    """
+    _require_k(k, integral=True)
+    k = int(k)
+    encoding = EliminationEncoding(hypergraph, kind="cover", k=k)
+    model = get_sat_backend(backend).solve(
+        encoding.num_vars, encoding.clauses, abort=abort
+    )
+    if model is None:
+        return None
+    ordering = encoding.decode_ordering(model)
+    oracle = oracle_for(hypergraph)
+
+    def cover_for_bag(bag):
+        cover = oracle.integral_cover(bag)
+        if cover is None:  # pragma: no cover - excluded by the encoding
+            raise RuntimeError(f"SAT model produced uncoverable bag {set(bag)}")
+        return cover
+
+    decomposition = decomposition_from_ordering(hypergraph, ordering, cover_for_bag)
+    validate(hypergraph, decomposition, kind="ghd", width=k)
+    return decomposition
+
+
+def sat_hypertree_decomposition(
+    hypergraph: Hypergraph, k: int, backend: Optional[str] = None, abort=None
+) -> Optional[Decomposition]:
+    """Check(HD, k) via SAT + completion CEGAR.
+
+    The cover encoding enumerates orderings whose fill bags are
+    coverable with ≤ k edges (necessary, since ghw ≤ hw); orderings the
+    special condition cannot be completed for are excluded one by one.
+    Returns a validated HD of width ≤ k, or None if hw(H) > k.
+    """
+    _require_k(k, integral=True)
+    k = int(k)
+    encoding = EliminationEncoding(hypergraph, kind="cover", k=k)
+    clauses = list(encoding.clauses)
+    solver = get_sat_backend(backend)
+    for _round in count():
+        model = solver.solve(encoding.num_vars, clauses, abort=abort)
+        if model is None:
+            return None
+        ordering = encoding.decode_ordering(model)
+        decomposition = _complete_hd(hypergraph, ordering, k)
+        if decomposition is not None:
+            return decomposition
+        clauses.append(encoding.block_ordering(ordering))
+    return None  # pragma: no cover - count() never ends
+
+
+def sat_fractional_hypertree_decomposition(
+    hypergraph: Hypergraph, k: float, backend: Optional[str] = None, abort=None
+) -> Optional[Decomposition]:
+    """Check(FHD, k) via structural SAT + LP-priced bag CEGAR.
+
+    Returns a validated FHD of width ≤ k (+EPS), or None if fhw(H) > k.
+    """
+    _require_k(k, integral=False)
+    encoding = EliminationEncoding(hypergraph, kind="structural")
+    clauses = list(encoding.clauses)
+    solver = get_sat_backend(backend)
+    oracle = oracle_for(hypergraph)
+    for _round in count():
+        model = solver.solve(encoding.num_vars, clauses, abort=abort)
+        if model is None:
+            return None
+        ordering = encoding.decode_ordering(model)
+        bad: list[frozenset] = []
+        for bag in set(_fill_bags(hypergraph, ordering)):
+            cover = oracle.fractional_cover(bag)
+            if cover is None or cover.weight > k + EPS:
+                bad.append(bag)
+        if not bad:
+            decomposition = decomposition_from_ordering(
+                hypergraph, ordering, oracle.fractional_cover
+            )
+            validate(hypergraph, decomposition, kind="fhd", width=k + EPS)
+            return decomposition
+        for bag in bad:
+            clauses.extend(encoding.block_bag(bag))
+    return None  # pragma: no cover - count() never ends

@@ -1,0 +1,267 @@
+"""CNF encoding of elimination-ordering width checks (Check(X, k)).
+
+The model follows the frasmt/PACE lineage: a width-``k`` check is
+phrased over a *vertex elimination ordering* rather than over tree
+shapes directly.
+
+Variables
+---------
+
+``ord(i, j)``
+    one variable per unordered vertex pair; its sign chooses which of
+    the two vertices is eliminated first.  Transitivity clauses over
+    all triples make the relation a total order.
+``arc(i, j)``
+    "``j`` is in the bag created when ``i`` is eliminated".  Primal
+    clauses seed the arcs (every hyperedge pair is an arc one way or
+    the other), arc→ord clauses orient them, and the fill rule
+    (``arc(i,j) ∧ arc(i,l) ∧ ord(j,l) → arc(j,l)``) closes them under
+    elimination, so in every model the bag of ``i`` is a superset of
+    the true fill bag ``bag_π(i)`` — and in the *minimal* model it is
+    exactly the fill bag.
+``weight(i, e)``
+    (kind ``"cover"`` only) edge ``e`` participates in the integral
+    cover of ``i``'s bag.  Cover clauses force each bag to be covered
+    and a sequential-counter [Sinz 2005] caps each bag's cover at
+    ``k`` edges.
+
+Soundness/completeness relative to the ordering characterisation: a
+model exists iff some elimination ordering has every fill bag
+(integrally) coverable with at most ``k`` edges — the same quantity the
+branch-and-bound and DP engines bound.  Kind ``"structural"`` omits the
+weight layer entirely; the fractional CEGAR loop in
+:mod:`repro.sat.checks` prices bags with the LP oracle instead and
+refutes bad bags via :meth:`EliminationEncoding.block_bag`.
+
+Arcs between different connected components are forbidden outright
+(fill never crosses components), which both prunes the search and lets
+weight variables be allocated per component.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from ..hypergraph import Hypergraph
+from ..hypergraph.components import connected_components
+
+__all__ = ["EliminationEncoding"]
+
+#: Encoding flavours: "cover" carries the integral-cover layer (needs
+#: an integer k), "structural" is ord/arc only (for the fractional CEGAR).
+_KINDS = ("cover", "structural")
+
+
+class EliminationEncoding:
+    """CNF for "some elimination ordering of ``hypergraph`` has width ≤ k".
+
+    The clause list is built eagerly in ``__init__`` and exposed as
+    :attr:`clauses` (lists of signed ints) with :attr:`num_vars`
+    variables.  CEGAR refinements append the clauses produced by
+    :meth:`block_ordering` / :meth:`block_bag`.
+    """
+
+    def __init__(self, hypergraph: Hypergraph, kind: str = "cover", k: int | None = None):
+        if kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {kind!r}")
+        if kind == "cover":
+            if k is None or int(k) != k or k < 1:
+                raise ValueError("cover encoding needs an integer k >= 1")
+            k = int(k)
+        self.hypergraph = hypergraph
+        self.kind = kind
+        self.k = k
+        self.vertices: tuple = tuple(sorted(hypergraph.vertices, key=str))
+        self._position: dict = {v: i for i, v in enumerate(self.vertices)}
+        self.clauses: list[list[int]] = []
+        self._counter = 0
+        n = len(self.vertices)
+
+        # ord(i, j) for index pairs i < j; arc(i, j) for all ordered pairs.
+        self._ord: dict[tuple[int, int], int] = {}
+        for i in range(n):
+            for j in range(i + 1, n):
+                self._ord[(i, j)] = self._new_var()
+        self._arc: dict[tuple[int, int], int] = {}
+        for i in range(n):
+            for j in range(n):
+                if i != j:
+                    self._arc[(i, j)] = self._new_var()
+
+        component_of: dict = {}
+        for comp in connected_components(hypergraph):
+            for v in comp:
+                component_of[v] = comp
+
+        self._build_order_clauses(n)
+        self._build_arc_clauses(n, component_of)
+        if kind == "cover":
+            self._build_cover_clauses(n, component_of)
+
+    # -- variable bookkeeping ------------------------------------------
+
+    @property
+    def num_vars(self) -> int:
+        """Number of CNF variables allocated so far."""
+        return self._counter
+
+    def _new_var(self) -> int:
+        self._counter += 1
+        return self._counter
+
+    def ord_literal(self, i: int, j: int) -> int:
+        """The literal asserting vertex index ``i`` precedes index ``j``."""
+        if i < j:
+            return self._ord[(i, j)]
+        return -self._ord[(j, i)]
+
+    def arc_variable(self, i: int, j: int) -> int:
+        """The variable for "index ``j`` lies in the bag of index ``i``"."""
+        return self._arc[(i, j)]
+
+    # -- clause families -----------------------------------------------
+
+    def _build_order_clauses(self, n: int) -> None:
+        add = self.clauses.append
+        for i in range(n):
+            for j in range(n):
+                if j == i:
+                    continue
+                for l in range(n):
+                    if l == i or l == j:
+                        continue
+                    # ord is transitive: i<j and j<l imply i<l.
+                    add([
+                        -self.ord_literal(i, j),
+                        -self.ord_literal(j, l),
+                        self.ord_literal(i, l),
+                    ])
+
+    def _build_arc_clauses(self, n: int, component_of: Mapping) -> None:
+        add = self.clauses.append
+        # Primal seeding: co-occurring vertices are arc-adjacent.
+        seen_pairs: set[tuple[int, int]] = set()
+        for edge in self.hypergraph.edges.values():
+            indices = sorted(self._position[v] for v in edge)
+            for a in range(len(indices)):
+                for b in range(a + 1, len(indices)):
+                    pair = (indices[a], indices[b])
+                    if pair not in seen_pairs:
+                        seen_pairs.add(pair)
+                        add([self._arc[pair], self._arc[(pair[1], pair[0])]])
+        for i in range(n):
+            vi = self.vertices[i]
+            for j in range(n):
+                if j == i:
+                    continue
+                # Arcs point forward in the elimination order.
+                add([-self._arc[(i, j)], self.ord_literal(i, j)])
+                # Fill never crosses connected components.
+                if component_of[vi] is not component_of[self.vertices[j]]:
+                    add([-self._arc[(i, j)]])
+        # Fill rule: eliminating i connects its surviving neighbours.
+        for i in range(n):
+            for j in range(n):
+                if j == i:
+                    continue
+                for l in range(n):
+                    if l == i or l == j:
+                        continue
+                    add([
+                        -self._arc[(i, j)],
+                        -self._arc[(i, l)],
+                        -self.ord_literal(j, l),
+                        self._arc[(j, l)],
+                    ])
+
+    def _build_cover_clauses(self, n: int, component_of: Mapping) -> None:
+        add = self.clauses.append
+        edges = self.hypergraph.edges
+        self._weight: dict[tuple[int, str], int] = {}
+        for i in range(n):
+            vi = self.vertices[i]
+            comp = component_of[vi]
+            candidates = [name for name, verts in edges.items() if verts & comp]
+            for name in candidates:
+                self._weight[(i, name)] = self._new_var()
+            # The bag of i contains i itself…
+            add([self._weight[(i, name)] for name in candidates if vi in edges[name]])
+            # …and every arc target, each of which must be covered.
+            for j in range(n):
+                if j == i:
+                    continue
+                vj = self.vertices[j]
+                if component_of[vj] is not comp:
+                    continue  # the arc is already forbidden
+                add(
+                    [-self._arc[(i, j)]]
+                    + [self._weight[(i, name)] for name in candidates if vj in edges[name]]
+                )
+            self._add_cardinality([self._weight[(i, name)] for name in candidates], self.k)
+
+    def _add_cardinality(self, xs: Sequence[int], k: int) -> None:
+        """Sequential-counter (Sinz LTseq) constraint ``sum(xs) <= k``."""
+        add = self.clauses.append
+        m = len(xs)
+        if k >= m:
+            return
+        if k == 0:
+            for x in xs:
+                add([-x])
+            return
+        s = [[self._new_var() for _ in range(k)] for _ in range(m)]
+        add([-xs[0], s[0][0]])
+        for q in range(1, k):
+            add([-s[0][q]])
+        for p in range(1, m):
+            add([-xs[p], s[p][0]])
+            add([-s[p - 1][0], s[p][0]])
+            for q in range(1, k):
+                add([-xs[p], -s[p - 1][q - 1], s[p][q]])
+                add([-s[p - 1][q], s[p][q]])
+            add([-xs[p], -s[p - 1][k - 1]])
+
+    # -- model decoding and CEGAR refinements --------------------------
+
+    def decode_ordering(self, model: Iterable[int]) -> list:
+        """Recover the elimination ordering from a model's ord variables."""
+        model = set(model)
+        n = len(self.vertices)
+        predecessors = [0] * n
+        for (i, j), var in self._ord.items():
+            if var in model:
+                predecessors[j] += 1
+            else:
+                predecessors[i] += 1
+        order = sorted(range(n), key=lambda i: predecessors[i])
+        return [self.vertices[i] for i in order]
+
+    def block_ordering(self, ordering: Sequence) -> list[int]:
+        """A clause excluding exactly this elimination ordering.
+
+        Adjacent precedences determine the whole permutation under
+        transitivity, so negating them kills this ordering and no other.
+        """
+        clause = []
+        for a, b in zip(ordering, ordering[1:]):
+            clause.append(
+                -self.ord_literal(self._position[a], self._position[b])
+            )
+        return clause
+
+    def block_bag(self, vertex_set: Iterable) -> list[list[int]]:
+        """Clauses forbidding ``vertex_set`` from fitting inside any bag.
+
+        Used by the fractional CEGAR loop: once the LP oracle prices a
+        fill bag above ``k``, every superset of it must be excluded from
+        every node's bag.  Minimal models of good orderings (bags =
+        exact fill bags) are never excluded, so completeness survives.
+        """
+        indices = [self._position[v] for v in vertex_set]
+        clauses = []
+        for x in range(len(self.vertices)):
+            clause = [
+                -self._arc[(x, j)] for j in indices if j != x
+            ]
+            clauses.append(clause)
+        return clauses

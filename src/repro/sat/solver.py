@@ -1,0 +1,367 @@
+"""A dependency-free CDCL SAT solver.
+
+This is the pure-python counterpart of the ``covers/simplex.py``
+precedent: a small, self-contained decision procedure that keeps the
+SAT engine usable when ``python-sat`` is not installed.  It implements
+the standard modern recipe at modest scale:
+
+* two-watched-literal unit propagation,
+* first-UIP conflict analysis with clause learning,
+* non-chronological backjumping,
+* phase saving (default phase *false*, which biases models towards few
+  ``arc`` variables and therefore towards minimal fill — helpful for
+  the elimination-ordering decoders in :mod:`repro.sat.checks`),
+* VSIDS-style activity with exponential decay, and
+* Luby-sequence restarts.
+
+Variables are positive integers ``1..num_vars``; literals are signed
+ints (``-v`` is the negation of ``v``).  Clauses are iterables of
+literals.  ``solve`` returns the set of *true* variables of a model, or
+``None`` for unsatisfiable.
+
+The solver supports cooperative cancellation: pass a
+``threading.Event`` as ``abort`` and the search raises
+:class:`SolveAborted` shortly after the event is set.  The portfolio
+scheduler uses this to stop a losing SAT engine without waiting for it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+__all__ = ["CDCLSolver", "SolveAborted", "solve_cnf"]
+
+#: How many conflicts pass between cooperative abort checks.
+_ABORT_CHECK_INTERVAL = 64
+
+#: Base unit (in conflicts) of the Luby restart sequence.
+_RESTART_UNIT = 100
+
+#: Multiplicative activity decay applied after each conflict.
+_ACTIVITY_DECAY = 0.95
+
+#: Rescale threshold guarding against float overflow of activities.
+_ACTIVITY_CAP = 1e100
+
+
+class SolveAborted(Exception):
+    """Raised by :meth:`CDCLSolver.solve` when its abort event is set."""
+
+
+def _luby(i: int) -> int:
+    """The i-th term (1-based) of the Luby restart sequence 1,1,2,1,1,2,4,…"""
+    while True:
+        k = i.bit_length()
+        if i == (1 << k) - 1:
+            return 1 << (k - 1)
+        i -= (1 << (k - 1)) - 1
+
+
+class CDCLSolver:
+    """Conflict-driven clause-learning solver over integer literals.
+
+    Typical use::
+
+        solver = CDCLSolver(num_vars=3)
+        solver.add_clause([1, 2])
+        solver.add_clause([-1, 3])
+        model = solver.solve()      # set of true variables, or None
+
+    Instances are single-shot: after :meth:`solve` returns, the solver
+    keeps its learnt clauses and may be re-solved after adding more
+    clauses (incremental strengthening), which the CEGAR loops in
+    :mod:`repro.sat.checks` rely on.
+    """
+
+    def __init__(self, num_vars: int = 0) -> None:
+        self.num_vars = 0
+        self._clauses: list[list[int]] = []
+        self._watches: dict[int, list[list[int]]] = {}
+        self._assign: dict[int, int] = {}  # var -> +1/-1
+        self._level: dict[int, int] = {}
+        self._reason: dict[int, Optional[list[int]]] = {}
+        self._trail: list[int] = []  # assigned literals in order
+        self._trail_lim: list[int] = []  # trail indices at decision levels
+        self._queue_head = 0
+        self._activity: dict[int, float] = {}
+        self._phase: dict[int, int] = {}  # saved phase per var (+1/-1)
+        self._unsat = False
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        if num_vars:
+            self.ensure_vars(num_vars)
+
+    # -- construction --------------------------------------------------
+
+    def ensure_vars(self, num_vars: int) -> None:
+        """Grow the variable universe to at least ``num_vars``."""
+        for v in range(self.num_vars + 1, num_vars + 1):
+            self._watches[v] = []
+            self._watches[-v] = []
+            self._activity[v] = 0.0
+            self._phase[v] = -1
+        self.num_vars = max(self.num_vars, num_vars)
+
+    def new_var(self) -> int:
+        """Allocate and return a fresh variable."""
+        self.ensure_vars(self.num_vars + 1)
+        return self.num_vars
+
+    def add_clause(self, literals: Iterable[int]) -> bool:
+        """Add a clause; returns False if the formula became trivially unsat.
+
+        Duplicate literals are removed and tautological clauses are
+        dropped.  Unit clauses are enqueued at level 0.  May be called
+        between :meth:`solve` invocations (the trail is rewound to the
+        root level first).
+        """
+        if self._unsat:
+            return False
+        self._backtrack(0)
+        seen = set()
+        clause: list[int] = []
+        for lit in literals:
+            if lit == 0:
+                raise ValueError("literal 0 is not allowed")
+            if -lit in seen:
+                return True  # tautology
+            if lit not in seen:
+                seen.add(lit)
+                clause.append(lit)
+        if not clause:
+            self._unsat = True
+            return False
+        top = max(abs(lit) for lit in clause)
+        if top > self.num_vars:
+            self.ensure_vars(top)
+        # Drop root-level falsified literals; detect satisfied clauses.
+        reduced = []
+        for lit in clause:
+            value = self._value(lit)
+            if value > 0:
+                return True  # already satisfied at level 0
+            if value == 0:
+                reduced.append(lit)
+        if not reduced:
+            self._unsat = True
+            return False
+        if len(reduced) == 1:
+            if not self._enqueue(reduced[0], None):
+                self._unsat = True
+                return False
+            if self._propagate() is not None:
+                self._unsat = True
+                return False
+            return True
+        self._attach(reduced)
+        return True
+
+    def _attach(self, clause: list[int]) -> None:
+        self._clauses.append(clause)
+        self._watches[clause[0]].append(clause)
+        self._watches[clause[1]].append(clause)
+
+    # -- assignment primitives ----------------------------------------
+
+    def _value(self, lit: int) -> int:
+        """+1 if lit is true, -1 if false, 0 if unassigned."""
+        sign = self._assign.get(abs(lit), 0)
+        if sign == 0:
+            return 0
+        return sign if lit > 0 else -sign
+
+    def _enqueue(self, lit: int, reason: Optional[list[int]]) -> bool:
+        value = self._value(lit)
+        if value > 0:
+            return True
+        if value < 0:
+            return False
+        var = abs(lit)
+        self._assign[var] = 1 if lit > 0 else -1
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._trail.append(lit)
+        return True
+
+    def _backtrack(self, level: int) -> None:
+        if len(self._trail_lim) <= level:
+            return
+        limit = self._trail_lim[level]
+        for lit in self._trail[limit:]:
+            var = abs(lit)
+            self._phase[var] = self._assign[var]
+            del self._assign[var]
+            del self._level[var]
+            del self._reason[var]
+        del self._trail[limit:]
+        del self._trail_lim[level:]
+        self._queue_head = min(self._queue_head, len(self._trail))
+
+    # -- propagation ---------------------------------------------------
+
+    def _propagate(self) -> Optional[list[int]]:
+        """Exhaust unit propagation; return a conflicting clause or None."""
+        while self._queue_head < len(self._trail):
+            lit = self._trail[self._queue_head]
+            self._queue_head += 1
+            self.propagations += 1
+            watching = self._watches[-lit]
+            kept: list[list[int]] = []
+            self._watches[-lit] = kept
+            i = 0
+            while i < len(watching):
+                clause = watching[i]
+                i += 1
+                # Normalise: the falsified watch sits at position 1.
+                if clause[0] == -lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) > 0:
+                    kept.append(clause)
+                    continue
+                # Look for a replacement watch.
+                for j in range(2, len(clause)):
+                    if self._value(clause[j]) >= 0:
+                        clause[1], clause[j] = clause[j], clause[1]
+                        self._watches[clause[1]].append(clause)
+                        break
+                else:
+                    kept.append(clause)
+                    if not self._enqueue(first, clause):
+                        kept.extend(watching[i:])
+                        return clause  # conflict
+        return None
+
+    # -- conflict analysis ---------------------------------------------
+
+    def _bump(self, var: int) -> None:
+        self._activity[var] += self._bump_amount
+        if self._activity[var] > _ACTIVITY_CAP:
+            scale = 1.0 / _ACTIVITY_CAP
+            for v in self._activity:
+                self._activity[v] *= scale
+            self._bump_amount *= scale
+
+    def _analyze(self, conflict: list[int]) -> tuple[list[int], int]:
+        """First-UIP analysis: learnt clause + backjump level."""
+        current_level = len(self._trail_lim)
+        learnt = [0]  # slot 0 reserved for the asserting literal
+        seen: set[int] = set()
+        counter = 0
+        clause = conflict
+        skip_first = False  # reason clauses carry their implied literal first
+        index = len(self._trail) - 1
+        while True:
+            for pos, q in enumerate(clause):
+                if skip_first and pos == 0:
+                    continue
+                var = abs(q)
+                if var in seen or self._level[var] == 0:
+                    continue
+                seen.add(var)
+                self._bump(var)
+                if self._level[var] == current_level:
+                    counter += 1
+                else:
+                    learnt.append(q)
+            # Walk the trail back to the next marked literal.
+            while abs(self._trail[index]) not in seen:
+                index -= 1
+            lit = -self._trail[index]
+            var = abs(lit)
+            seen.discard(var)
+            counter -= 1
+            index -= 1
+            if counter == 0:
+                learnt[0] = lit
+                break
+            clause = self._reason[var] or []
+            skip_first = True
+        if len(learnt) == 1:
+            return learnt, 0
+        # Backjump to the second-highest decision level in the clause.
+        back = max(self._level[abs(q)] for q in learnt[1:])
+        # Watch a literal from the backjump level at position 1.
+        for j in range(1, len(learnt)):
+            if self._level[abs(learnt[j])] == back:
+                learnt[1], learnt[j] = learnt[j], learnt[1]
+                break
+        return learnt, back
+
+    # -- search --------------------------------------------------------
+
+    def _decide(self) -> int:
+        best_var = 0
+        best_score = -1.0
+        for var in range(1, self.num_vars + 1):
+            if var not in self._assign and self._activity[var] > best_score:
+                best_var = var
+                best_score = self._activity[var]
+        return best_var * self._phase.get(best_var, -1)
+
+    def solve(self, abort=None) -> Optional[set]:
+        """Search for a model.
+
+        Returns the set of variables assigned *true*, or ``None`` if the
+        formula is unsatisfiable.  If ``abort`` (a ``threading.Event``)
+        is set during the search, :class:`SolveAborted` is raised.
+        """
+        if self._unsat:
+            return None
+        self._bump_amount = 1.0
+        self._backtrack(0)
+        if self._propagate() is not None:
+            self._unsat = True
+            return None
+        restart_count = 0
+        conflicts_until_restart = _luby(1) * _RESTART_UNIT
+        conflicts_here = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                conflicts_here += 1
+                if abort is not None and self.conflicts % _ABORT_CHECK_INTERVAL == 0:
+                    if abort.is_set():
+                        raise SolveAborted("sat solve aborted")
+                if not self._trail_lim:
+                    self._unsat = True
+                    return None
+                learnt, back = self._analyze(conflict)
+                self._backtrack(back)
+                if len(learnt) == 1:
+                    if not self._enqueue(learnt[0], None):
+                        self._unsat = True
+                        return None
+                else:
+                    self._attach(learnt)
+                    self._enqueue(learnt[0], learnt)
+                self._bump_amount /= _ACTIVITY_DECAY
+                continue
+            if conflicts_here >= conflicts_until_restart:
+                restart_count += 1
+                conflicts_here = 0
+                conflicts_until_restart = _luby(restart_count + 1) * _RESTART_UNIT
+                self._backtrack(0)
+                continue
+            lit = self._decide()
+            if lit == 0:
+                return {v for v, sign in self._assign.items() if sign > 0}
+            self.decisions += 1
+            if abort is not None and self.decisions % (4 * _ABORT_CHECK_INTERVAL) == 0:
+                if abort.is_set():
+                    raise SolveAborted("sat solve aborted")
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(lit, None)
+
+
+def solve_cnf(
+    clauses: Sequence[Iterable[int]], num_vars: int = 0, abort=None
+) -> Optional[set]:
+    """One-shot convenience: solve ``clauses`` and return a model or None."""
+    solver = CDCLSolver(num_vars)
+    for clause in clauses:
+        if not solver.add_clause(clause):
+            return None
+    return solver.solve(abort=abort)

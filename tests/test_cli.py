@@ -7,7 +7,7 @@ import pytest
 from repro.cli import main
 from repro.hardness import CNF, paper_example_formula
 from repro.hypergraph import to_hyperbench
-from repro.hypergraph.generators import cycle
+from repro.hypergraph.generators import cycle, triangle_cascade
 
 
 @pytest.fixture
@@ -268,3 +268,48 @@ class TestBatch:
         nullparams.write_text(json.dumps([{"file": "c4.hg", "params": None}]))
         assert main(["batch", str(nullparams)]) == 0
         assert "ghw(c4) = 2" in capsys.readouterr().out
+
+    def test_unknown_solver_exits_2(self, tmp_path, capsys):
+        """An unknown engine mode is a configuration error: exit 2
+        with a clean message, nothing solved."""
+        (tmp_path / "c4.hg").write_text(to_hyperbench(cycle(4)))
+        badsolver = tmp_path / "badsolver.json"
+        badsolver.write_text(
+            json.dumps([{"file": "c4.hg", "solver": "cplex"}])
+        )
+        assert main(["batch", str(badsolver)]) == 2
+        err = capsys.readouterr().err
+        assert "entry 0 has unknown solver 'cplex'" in err
+        assert "bb, sat, portfolio" in err
+        # The batch-wide flag is argparse-validated: same exit code.
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps([{"file": "c4.hg"}]))
+        with pytest.raises(SystemExit) as excinfo:
+            main(["batch", str(good), "--solver", "cplex"])
+        assert excinfo.value.code == 2
+
+    def test_per_entry_solver_modes(self, tmp_path, capsys):
+        """Entries may pick their own engine; answers match bb."""
+        (tmp_path / "c6.hg").write_text(to_hyperbench(cycle(6)))
+        manifest = tmp_path / "modes.json"
+        manifest.write_text(json.dumps([
+            {"file": "c6.hg", "kind": "ghw", "solver": "sat",
+             "label": "via-sat"},
+            {"file": "c6.hg", "kind": "ghw", "solver": "portfolio",
+             "label": "via-race"},
+            {"file": "c6.hg", "kind": "ghw", "label": "via-bb"},
+        ]))
+        assert main(["batch", str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "ghw(via-sat) = 2" in out
+        assert "ghw(via-race) = 2" in out
+        assert "ghw(via-bb) = 2" in out
+
+    def test_width_command_solver_flag(self, tmp_path, capsys):
+        (tmp_path / "t3.hg").write_text(to_hyperbench(triangle_cascade(3)))
+        for mode in ("bb", "sat", "portfolio"):
+            assert main(
+                ["width", str(tmp_path / "t3.hg"), "--kind", "hw",
+                 "--solver", mode]
+            ) == 0
+            assert "hw(t3) = 2" in capsys.readouterr().out

@@ -1,0 +1,138 @@
+"""Differential testing: the SAT engine against branch-and-bound.
+
+The repository now has two exact decision procedures of independent
+design for every Check(X, k) problem — the engine-backed
+branch-and-bound searches and the CNF elimination-ordering encodings of
+:mod:`repro.sat`.  This suite is the proof obligation that they agree:
+
+* property-based parity on random hypergraphs for hw / ghw / fhw, on
+  both sides of the threshold (accept at the true width, reject just
+  below it);
+* fixed-seed parity over the HyperBench-like generator corpus of E15;
+* ``solver="portfolio"`` answers identical to ``"bb"`` alone;
+* every witness of *either* engine re-validated through
+  :mod:`repro.decomposition.validation` against the paper definitions;
+* the bundled CDCL core itself checked against the independent DPLL of
+  :meth:`repro.hardness.CNF.is_satisfiable` on random 3SAT formulas.
+
+Because both engines are exact, any disagreement is a bug by
+construction — there is no tolerance to hide behind (fhw alone uses
+the engine-wide LP epsilon).
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms import (
+    fractional_hypertree_width_exact,
+    generalized_hypertree_width_exact,
+    hypertree_width,
+)
+from repro.covers import EPS
+from repro.decomposition import is_fhd, is_ghd, is_hd
+from repro.hardness import CNF
+from repro.hypergraph import Hypergraph
+from repro.hypergraph.generators import hyperbench_like_suite
+from repro.pipeline import solve_width
+from repro.sat import (
+    sat_fractional_hypertree_decomposition,
+    sat_generalized_hypertree_decomposition,
+    sat_hypertree_decomposition,
+    solve_cnf,
+)
+
+from .strategies import cnf_formulas, hypergraphs
+
+
+# ----------------------------------------------------------------------
+# Property-based parity: accept at the true width, reject below it,
+# witnesses of both engines validate against the paper definitions.
+# ----------------------------------------------------------------------
+@given(hypergraphs(max_vertices=6, max_edges=6))
+@settings(max_examples=25, deadline=None)
+def test_sat_vs_bb_hw(h: Hypergraph):
+    width, bb_witness = hypertree_width(h)
+    assert is_hd(h, bb_witness, width=width)
+    sat_witness = sat_hypertree_decomposition(h, width)
+    assert sat_witness is not None
+    assert is_hd(h, sat_witness, width=width)
+    if width > 1:
+        assert sat_hypertree_decomposition(h, width - 1) is None
+
+
+@given(hypergraphs(max_vertices=6, max_edges=6))
+@settings(max_examples=25, deadline=None)
+def test_sat_vs_bb_ghw(h: Hypergraph):
+    width, bb_witness = generalized_hypertree_width_exact(h)
+    assert is_ghd(h, bb_witness, width=width)
+    sat_witness = sat_generalized_hypertree_decomposition(h, width)
+    assert sat_witness is not None
+    assert is_ghd(h, sat_witness, width=width)
+    if width > 1:
+        assert sat_generalized_hypertree_decomposition(h, width - 1) is None
+
+
+@given(hypergraphs(max_vertices=6, max_edges=6))
+@settings(max_examples=20, deadline=None)
+def test_sat_vs_bb_fhw(h: Hypergraph):
+    width, bb_witness = fractional_hypertree_width_exact(h)
+    assert is_fhd(h, bb_witness, width=width + EPS)
+    sat_witness = sat_fractional_hypertree_decomposition(h, width)
+    assert sat_witness is not None
+    assert is_fhd(h, sat_witness, width=width + EPS)
+    if width > 1 + 1e-6:
+        assert sat_fractional_hypertree_decomposition(h, width - 1e-4) is None
+
+
+# ----------------------------------------------------------------------
+# Fixed-seed corpus parity: the E15 HyperBench-like generator, solved
+# per solver mode through the very pipeline users call.
+# ----------------------------------------------------------------------
+def _corpus():
+    suite = hyperbench_like_suite(seed=7, n_cq=8, n_csp=4)
+    return [h for h in suite if h.num_vertices <= 12][:10]
+
+
+@pytest.mark.parametrize("kind", ["hw", "ghw"])
+def test_corpus_parity_all_modes(kind):
+    for h in _corpus():
+        widths = {}
+        witnesses = {}
+        for mode in ("bb", "sat", "portfolio"):
+            widths[mode], witnesses[mode] = solve_width(
+                h, kind=kind, solver=mode
+            )
+        assert widths["bb"] == widths["sat"] == widths["portfolio"], (
+            f"{kind} disagreement on {h.name}: {widths}"
+        )
+        check = is_hd if kind == "hw" else is_ghd
+        for mode, witness in witnesses.items():
+            assert check(h, witness, width=widths[mode]), (
+                f"{kind} witness of {mode} invalid on {h.name}"
+            )
+
+
+def test_corpus_reject_side_parity():
+    """Below the true width both engines must say no — on the corpus,
+    not just on hypothesis-sized instances."""
+    for h in _corpus():
+        width, _witness = solve_width(h, kind="ghw")
+        if width <= 1:
+            continue
+        assert sat_generalized_hypertree_decomposition(h, width - 1) is None
+
+
+# ----------------------------------------------------------------------
+# The CDCL core against the independent DPLL used by the Theorem 3.2
+# reduction machinery.
+# ----------------------------------------------------------------------
+@given(cnf_formulas(max_vars=6, max_clauses=12))
+@settings(max_examples=60, deadline=None)
+def test_cdcl_vs_reference_dpll(formula: CNF):
+    model = solve_cnf(list(formula.clauses), formula.num_variables)
+    assert (model is not None) == formula.is_satisfiable()
+    if model is not None:
+        for clause in formula.clauses:
+            assert any(
+                (lit > 0) == (abs(lit) in model) for lit in clause
+            ), f"model violates clause {clause}"

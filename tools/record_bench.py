@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""Record benchmark perf baselines as ``BENCH_*.json`` in the repo root.
+
+The ROADMAP asked for checked-in baselines so re-anchors can see the
+speed trajectory, not just benchmark prose.  This regenerator runs the
+benchmark workloads in-process and writes one JSON file per benchmark:
+
+* ``BENCH_E12.json``  — the PTAAS guarantees (per-instance widths,
+  gaps, iteration counts) and the engine-cache LP-solve reduction;
+* ``BENCH_E19b.json`` — batched serving vs one-at-a-time (answer
+  parity, scheduler counters, speedup);
+* ``BENCH_E21.json``  — the solver-portfolio race (per-mode wall
+  clocks and the portfolio-vs-best-pure speedup), when
+  ``--only e21`` is requested (slower; not in the default set).
+
+Each file separates ``metrics`` (deterministic counters — meaningful to
+diff across commits) from ``timings`` (wall-clock — machine-dependent,
+informational).  Regenerate after perf-relevant changes::
+
+    python tools/record_bench.py            # E12 + E19b
+    python tools/record_bench.py --only e21 # the portfolio race
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+sys.path.insert(0, str(ROOT / "benchmarks"))
+
+
+def record_e12() -> dict:
+    """The E12 PTAAS rows and cache stats, counters only."""
+    import time
+
+    from bench_e12_ptaas import engine_cache_stats, ptaas_rows
+
+    t0 = time.perf_counter()
+    rows = ptaas_rows(K=3.0, eps=0.5)
+    ptaas_seconds = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    cache = engine_cache_stats()
+    cache_seconds = time.perf_counter() - t0
+    solves = lambda s: s["lp_solves"] + s["set_cover_solves"]  # noqa: E731
+    return {
+        "benchmark": "E12",
+        "title": "PTAAS guarantees and engine-cache LP reduction",
+        "metrics": {
+            "instances": [
+                {
+                    "instance": label,
+                    "fhw": exact,
+                    "ptaas_width": width,
+                    "gap": gap,
+                    "iterations": iters,
+                    "iteration_bound": bound,
+                }
+                for label, exact, width, gap, iters, bound in rows
+            ],
+            "cache": {
+                "cover_solves_cached": solves(cache["cached"]),
+                "cover_solves_uncached": solves(cache["uncached"]),
+                "hit_rate_cached": round(cache["cached"]["hit_rate"], 4),
+            },
+        },
+        "timings": {
+            "ptaas_seconds": round(ptaas_seconds, 4),
+            "cache_comparison_seconds": round(cache_seconds, 4),
+        },
+    }
+
+
+def record_e19b(jobs: int = 2) -> dict:
+    """The E19b serving comparison: counters plus the headline speedup."""
+    from bench_e19_batch_serving import compare
+
+    requests, (seq_seconds, seq_engine), (batch_seconds, stats) = compare(
+        jobs=jobs
+    )
+    return {
+        "benchmark": "E19b",
+        "title": "batched multi-instance serving vs one-at-a-time",
+        "metrics": {
+            "requests": len(requests),
+            "kinds": sorted({r.kind for r in requests}),
+            "blocks": stats.blocks,
+            "tasks_run": stats.tasks_run,
+            "speculative_checks": stats.speculative_checks,
+            "tasks_cancelled": stats.tasks_cancelled,
+            "failures": stats.failures,
+            "batched_lp_solves": stats.lp_solves,
+            "sequential_lp_solves": seq_engine["lp_solves"],
+            "batched_hit_rate": round(stats.hit_rate, 4),
+            "jobs": jobs,
+        },
+        "timings": {
+            "sequential_seconds": round(seq_seconds, 4),
+            "batched_seconds": round(batch_seconds, 4),
+            "speedup": round(seq_seconds / batch_seconds, 2),
+        },
+    }
+
+
+def record_e21() -> dict:
+    """The E21 portfolio race: per-mode timing and answer parity."""
+    from bench_e21_portfolio import race
+
+    report = race()
+    return {
+        "benchmark": "E21",
+        "title": "solver portfolio racing SAT vs branch-and-bound",
+        "metrics": report["metrics"],
+        "timings": report["timings"],
+    }
+
+
+RECORDERS = {
+    "e12": ("BENCH_E12.json", record_e12),
+    "e19b": ("BENCH_E19b.json", record_e19b),
+    "e21": ("BENCH_E21.json", record_e21),
+}
+
+#: E21 runs a full three-mode race, so it is opt-in.
+DEFAULT = ("e12", "e19b")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--only",
+        choices=sorted(RECORDERS),
+        action="append",
+        help="record just these benchmarks (repeatable; default: e12 e19b)",
+    )
+    args = parser.parse_args(argv)
+    for key in args.only or DEFAULT:
+        path, recorder = RECORDERS[key]
+        payload = recorder()
+        target = ROOT / path
+        target.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {target.relative_to(ROOT)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

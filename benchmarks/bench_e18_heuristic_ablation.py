@@ -86,6 +86,57 @@ def test_e18_beyond_exact_range(benchmark):
     )
 
 
+def bounds_pruning_rows() -> list[tuple]:
+    """The same heuristics wired in as the solver's bounds pre-pass.
+
+    For each instance: exact ghw Check tasks run with the portfolio
+    pre-pass (the default) vs ``bounds="none"``, plus the number of
+    blocks the pre-pass decided outright.  Widths must match — the
+    pre-pass witnesses are re-validated, so it never changes answers.
+    """
+    from repro.pipeline import WidthSolver
+
+    instances = [
+        ("C7", cycle(7)),
+        ("K5", clique(5)),
+        ("grid(3,3)", grid(3, 3)),
+        ("triangles(3)", triangle_cascade(3)),
+        ("Example4.3-H0", example_4_3_hypergraph()),
+    ]
+    rows = []
+    for label, h in instances:
+        on = WidthSolver(h)
+        width_on, _d = on.generalized_hypertree_width()
+        off = WidthSolver(h, bounds="none")
+        width_off, _d = off.generalized_hypertree_width()
+        assert width_on == width_off, label
+        rows.append(
+            (
+                label,
+                width_on,
+                off.last_stats.tasks_run,
+                on.last_stats.tasks_run,
+                on.last_stats.bounds_blocks_decided,
+            )
+        )
+    return rows
+
+
+def test_e18_bounds_pruning(benchmark):
+    """The ablation's practical payoff: the sandwich, used as a
+    pre-pass, removes exact Check tasks without changing any width."""
+    rows = benchmark(bounds_pruning_rows)
+    total_off = sum(row[2] for row in rows)
+    total_on = sum(row[3] for row in rows)
+    assert total_on < total_off
+    assert any(decided > 0 for *_rest, decided in rows)
+    emit(
+        "E18 / heuristics as bounds pre-pass: exact ghw tasks removed",
+        ["instance", "ghw", "tasks (no bounds)", "tasks (portfolio)", "blocks decided"],
+        rows,
+    )
+
+
 def test_e18_engine_stats_on_sandwich(benchmark):
     """The exact-vs-heuristic sandwich shares one CoverOracle per
     instance, so the heuristic pass re-reads bags the exact DP already
@@ -106,4 +157,9 @@ if __name__ == "__main__":
     emit_engine_stats(
         "E18 engine stats (sandwich workload)",
         {"cached": measure_engine(sandwich_rows)},
+    )
+    emit(
+        "E18 bounds pre-pass pruning",
+        ["inst", "ghw", "tasks off", "tasks on", "decided"],
+        bounds_pruning_rows(),
     )

@@ -74,10 +74,16 @@ def build_requests(corpus: str = "dense") -> list[BatchRequest]:
 
 
 def run_mode(requests, mode: str, jobs: int):
-    """One timed ``solve_many`` pass from cold caches."""
+    """One timed ``solve_many`` pass from cold caches.
+
+    The bounds pre-pass is pinned off: E21 measures the engine race
+    itself, which needs the exact Check tasks to actually run (the
+    pre-pass would decide most of this corpus without a single race —
+    that effect is E22's subject, bench_e22_bounds_collapse.py).
+    """
     engine.clear_context_registry()
     start = time.perf_counter()
-    results = solve_many(requests, jobs=jobs, solver=mode)
+    results = solve_many(requests, jobs=jobs, solver=mode, bounds="none")
     elapsed = time.perf_counter() - start
     widths = []
     for request, handle in zip(requests, results):

@@ -79,7 +79,7 @@ from .pipeline import (
     solve_width,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",

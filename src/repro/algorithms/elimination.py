@@ -213,6 +213,7 @@ def generalized_hypertree_width_exact(
     vertex_limit: int = DEFAULT_VERTEX_LIMIT,
     preprocess: str = "full",
     jobs: int | None = None,
+    bounds: str | None = None,
 ) -> tuple[int, Decomposition]:
     """Exact ``ghw(H)`` with a witness GHD (exponential-time oracle).
 
@@ -228,6 +229,7 @@ def generalized_hypertree_width_exact(
         preprocess,
         jobs,
         vertex_limit,
+        bounds=bounds,
     )
 
 
@@ -261,6 +263,7 @@ def fractional_hypertree_width_exact(
     vertex_limit: int = DEFAULT_VERTEX_LIMIT,
     preprocess: str = "full",
     jobs: int | None = None,
+    bounds: str | None = None,
 ) -> tuple[float, Decomposition]:
     """Exact ``fhw(H)`` with a witness FHD (exponential-time oracle).
 
@@ -276,6 +279,7 @@ def fractional_hypertree_width_exact(
         preprocess,
         jobs,
         vertex_limit,
+        bounds=bounds,
     )
 
 

@@ -129,6 +129,7 @@ def fractional_hypertree_decomposition_bounded_degree(
     d: int | None = None,
     preprocess: str = "full",
     jobs: int | None = None,
+    bounds: str | None = None,
     **caps,
 ) -> Decomposition | None:
     """Solve Check(FHD,k) under the BDP (Theorem 5.2): an FHD of width
@@ -151,6 +152,7 @@ def fractional_hypertree_decomposition_bounded_degree(
         preprocess,
         jobs,
         k,
+        bounds=bounds,
         d=d,
         **caps,
     )

@@ -85,6 +85,7 @@ def generalized_hypertree_decomposition(
     preprocess: str = "full",
     jobs: int | None = None,
     solver: str | None = None,
+    bounds: str | None = None,
     **caps,
 ) -> Decomposition | None:
     """Solve Check(GHD,k): a GHD of H of width <= k, or None.
@@ -114,6 +115,7 @@ def generalized_hypertree_decomposition(
         jobs,
         k,
         solver=solver,
+        bounds=bounds,
         method=method,
         **caps,
     )
@@ -136,6 +138,7 @@ def generalized_hypertree_width(
     preprocess: str = "full",
     jobs: int | None = None,
     solver: str | None = None,
+    bounds: str | None = None,
     **caps,
 ) -> tuple[int, Decomposition]:
     """``ghw(H)`` with a witness, iterating Check(GHD,k) for k = 1, 2, ...
@@ -155,6 +158,7 @@ def generalized_hypertree_width(
         jobs,
         kmax,
         solver=solver,
+        bounds=bounds,
         method=method,
         **caps,
     )

@@ -67,6 +67,7 @@ def hypertree_decomposition(
     preprocess: str = "full",
     jobs: int | None = None,
     solver: str | None = None,
+    bounds: str | None = None,
 ) -> Decomposition | None:
     """Solve Check(HD,k): an HD of width <= k, or None.
 
@@ -90,6 +91,7 @@ def hypertree_decomposition(
         jobs,
         k,
         solver=solver,
+        bounds=bounds,
     )
 
 
@@ -116,6 +118,7 @@ def hypertree_width(
     preprocess: str = "full",
     jobs: int | None = None,
     solver: str | None = None,
+    bounds: str | None = None,
 ) -> tuple[int, Decomposition]:
     """``hw(H)`` with a witness, by iterating Check(HD,k) for k = 1, 2, ...
 
@@ -136,4 +139,5 @@ def hypertree_width(
         jobs,
         kmax,
         solver=solver,
+        bounds=bounds,
     )

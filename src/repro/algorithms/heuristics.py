@@ -7,7 +7,14 @@ paper's own experiments in [23]) pair exact methods with elimination
 *heuristics*.  This module provides:
 
 * :func:`min_degree_ordering` / :func:`min_fill_ordering` — the two
-  classic elimination heuristics on the primal graph;
+  classic elimination heuristics on the primal graph (``min_degree``
+  optionally with a seeded random tiebreak, the cheap restart knob the
+  bounds pre-pass portfolio in :mod:`repro.pipeline.bounds` turns);
+* :func:`portfolio_orderings` — the ordering portfolio: both classics
+  plus deterministic randomized-tiebreak restarts;
+* :func:`evaluate_ordering` — one ordering turned into a decomposition
+  with measure-specific covers through a shared
+  :class:`~repro.engine.oracle.CoverOracle`;
 * :func:`heuristic_decomposition` — a valid GHD/FHD built from a
   heuristic ordering (an *upper* bound on ghw/fhw, always re-validated);
 * :func:`clique_lower_bound` — Lemma 2.8 turned into a *lower* bound:
@@ -20,11 +27,12 @@ paper's own experiments in [23]) pair exact methods with elimination
 
 from __future__ import annotations
 
-from collections.abc import Callable
+import random
+from collections.abc import Callable, Iterator
 
 from ..covers import FractionalCover
 from ..decomposition import Decomposition, validate
-from ..engine import oracle_for
+from ..engine import CoverOracle, oracle_for
 from ..hypergraph import Hypergraph, Vertex
 from ._pipeline import via_pipeline
 from .elimination import decomposition_from_ordering
@@ -32,10 +40,18 @@ from .elimination import decomposition_from_ordering
 __all__ = [
     "min_degree_ordering",
     "min_fill_ordering",
+    "portfolio_orderings",
+    "evaluate_ordering",
     "heuristic_decomposition",
     "clique_lower_bound",
     "width_bounds",
+    "DEFAULT_RESTARTS",
 ]
+
+#: Randomized-tiebreak restarts the ordering portfolio runs on top of
+#: the two deterministic classics (seeds are fixed, so the portfolio
+#: stays reproducible).
+DEFAULT_RESTARTS = 2
 
 
 def _eliminate(adjacency: dict[Vertex, set], vertex: Vertex) -> None:
@@ -49,14 +65,26 @@ def _eliminate(adjacency: dict[Vertex, set], vertex: Vertex) -> None:
                 adjacency[u].add(w)
 
 
-def min_degree_ordering(hypergraph: Hypergraph) -> list[Vertex]:
-    """Eliminate a minimum-degree vertex of the fill graph at each step."""
+def min_degree_ordering(
+    hypergraph: Hypergraph, rng: random.Random | None = None
+) -> list[Vertex]:
+    """Eliminate a minimum-degree vertex of the fill graph at each step.
+
+    With ``rng`` the tie between equal-degree vertices is broken
+    randomly instead of lexicographically — the restart knob of the
+    ordering portfolio (a seeded ``random.Random`` keeps the ordering
+    reproducible).
+    """
     adjacency = {
         v: set(nbrs) for v, nbrs in hypergraph.primal_graph().items()
     }
     order: list[Vertex] = []
+    if rng is None:
+        tiebreak = lambda u: (len(adjacency[u]), str(u))  # noqa: E731
+    else:
+        tiebreak = lambda u: (len(adjacency[u]), rng.random(), str(u))  # noqa: E731
     while adjacency:
-        v = min(adjacency, key=lambda u: (len(adjacency[u]), str(u)))
+        v = min(adjacency, key=tiebreak)
         order.append(v)
         _eliminate(adjacency, v)
     return order
@@ -91,18 +119,47 @@ _ORDERINGS: dict[str, Callable[[Hypergraph], list[Vertex]]] = {
 }
 
 
-def _heuristic_decomposition_direct(
+def portfolio_orderings(
     hypergraph: Hypergraph,
+    restarts: int = DEFAULT_RESTARTS,
+    seed: int = 0,
+) -> Iterator[tuple[str, list[Vertex]]]:
+    """The ordering portfolio: classics first, then seeded restarts.
+
+    Yields ``(name, ordering)`` pairs — ``min-degree`` and ``min-fill``
+    followed by ``restarts`` randomized-tiebreak min-degree orderings.
+    The restarts draw from ``random.Random`` seeded deterministically
+    from ``seed``, so the portfolio (and everything built on it, like
+    the bounds pre-pass) is reproducible run to run.
+    """
+    yield "min-degree", min_degree_ordering(hypergraph)
+    yield "min-fill", min_fill_ordering(hypergraph)
+    for restart in range(max(0, int(restarts))):
+        rng = random.Random(f"{seed}:{restart}")
+        yield f"min-degree-r{restart}", min_degree_ordering(hypergraph, rng)
+
+
+def evaluate_ordering(
+    hypergraph: Hypergraph,
+    order: list[Vertex],
     cost: str = "fractional",
-    ordering: str = "min-fill",
+    oracle: CoverOracle | None = None,
 ) -> tuple[float, Decomposition]:
-    """Heuristic decomposition on the raw hypergraph (no pipeline)."""
-    if ordering not in _ORDERINGS:
-        raise ValueError(f"ordering must be one of {sorted(_ORDERINGS)}")
+    """Finish one elimination ordering with measure-specific covers.
+
+    Builds the clique-tree decomposition induced by ``order`` and
+    covers every bag through ``oracle`` (the hypergraph's shared
+    :class:`~repro.engine.oracle.CoverOracle` when not given, so
+    repeated bags — across orderings, across the exact search that
+    follows — hit one cache domain instead of re-deriving covers).
+    ``cost`` selects the measure: ``"fractional"`` (fhw) or
+    ``"integral"`` (ghw/hw).  The result is *not* validated here;
+    callers pick the validation kind.
+    """
     if cost not in ("fractional", "integral"):
         raise ValueError("cost must be 'fractional' or 'integral'")
-    order = _ORDERINGS[ordering](hypergraph)
-    oracle = oracle_for(hypergraph)
+    if oracle is None:
+        oracle = oracle_for(hypergraph)
 
     def cover_for_bag(bag: frozenset) -> FractionalCover:
         if cost == "fractional":
@@ -115,8 +172,25 @@ def _heuristic_decomposition_direct(
     decomposition = decomposition_from_ordering(
         hypergraph, order, cover_for_bag
     )
+    return decomposition.width(), decomposition
+
+
+def _heuristic_decomposition_direct(
+    hypergraph: Hypergraph,
+    cost: str = "fractional",
+    ordering: str = "min-fill",
+    oracle: CoverOracle | None = None,
+) -> tuple[float, Decomposition]:
+    """Heuristic decomposition on the raw hypergraph (no pipeline)."""
+    if ordering not in _ORDERINGS:
+        raise ValueError(f"ordering must be one of {sorted(_ORDERINGS)}")
+    if cost not in ("fractional", "integral"):
+        raise ValueError("cost must be 'fractional' or 'integral'")
+    order = _ORDERINGS[ordering](hypergraph)
+    width, decomposition = evaluate_ordering(
+        hypergraph, order, cost=cost, oracle=oracle
+    )
     kind = "fhd" if cost == "fractional" else "ghd"
-    width = decomposition.width()
     validate(hypergraph, decomposition, kind=kind, width=width + 1e-9)
     return width, decomposition
 
@@ -153,7 +227,10 @@ def heuristic_decomposition(
 
 
 def clique_lower_bound(
-    hypergraph: Hypergraph, cost: str = "fractional", attempts: int = 8
+    hypergraph: Hypergraph,
+    cost: str = "fractional",
+    attempts: int = 8,
+    oracle: CoverOracle | None = None,
 ) -> float:
     """A sound lower bound on fhw (or ghw) from primal-graph cliques.
 
@@ -162,11 +239,14 @@ def clique_lower_bound(
     grown greedily from several seed vertices; the best value is
     returned.  Always <= the true width; equals it on cliques and the
     hardness gadgets (where forced cliques drive the construction).
+    Cover queries go through ``oracle`` (the hypergraph's shared oracle
+    when not given).
     """
     if cost not in ("fractional", "integral"):
         raise ValueError("cost must be 'fractional' or 'integral'")
     adjacency = hypergraph.primal_graph()
-    oracle = oracle_for(hypergraph)
+    if oracle is None:
+        oracle = oracle_for(hypergraph)
     seeds = sorted(
         hypergraph.vertices, key=lambda v: (-len(adjacency[v]), str(v))
     )[:attempts]
@@ -193,13 +273,20 @@ def clique_lower_bound(
 def _width_bounds_direct(
     hypergraph: Hypergraph, cost: str = "fractional"
 ) -> tuple[float, float, Decomposition]:
-    """Heuristic sandwich on the raw hypergraph (no pipeline)."""
-    lower = clique_lower_bound(hypergraph, cost=cost)
+    """Heuristic sandwich on the raw hypergraph (no pipeline).
+
+    One shared oracle answers every cover query of the sandwich — the
+    clique lower bound and both ordering finishes — so bags the two
+    orderings agree on (and bags a later exact search re-asks) are
+    derived once per cache domain.
+    """
+    oracle = oracle_for(hypergraph)
+    lower = clique_lower_bound(hypergraph, cost=cost, oracle=oracle)
     best_width = float("inf")
     best_decomposition: Decomposition | None = None
     for ordering in _ORDERINGS:
         width, decomposition = _heuristic_decomposition_direct(
-            hypergraph, cost=cost, ordering=ordering
+            hypergraph, cost=cost, ordering=ordering, oracle=oracle
         )
         if width < best_width:
             best_width, best_decomposition = width, decomposition

@@ -18,8 +18,11 @@ also accept pipeline options: ``--preprocess`` selects the reduce/split
 stages (default ``full``; ``none`` solves the raw instance), ``--jobs``
 parallelizes across biconnected blocks and candidate widths,
 ``--solver`` picks the per-block engine mode (``bb`` branch-and-bound,
-``sat`` for the CNF engine, ``portfolio`` to race both per task), and
-``--pipeline-stats`` prints per-stage counters and wall-clock.
+``sat`` for the CNF engine, ``portfolio`` to race both per task),
+``--bounds`` controls the heuristic bounds pre-pass that seeds the
+k-search (``portfolio`` orderings + clique lower bound by default;
+``clique`` / ``none``), and ``--pipeline-stats`` prints per-stage
+counters and wall-clock.
 
 Hypergraphs are read in the HyperBench text format
 (``e1(a,b,c), e2(b,d).``); formulas in DIMACS CNF.
@@ -54,7 +57,12 @@ from .hypergraph import (
     vc_dimension,
 )
 from .hypergraph.acyclicity import is_alpha_acyclic
-from .pipeline import BATCH_KINDS, PREPROCESS_MODES, SOLVER_MODES
+from .pipeline import (
+    BATCH_KINDS,
+    BOUNDS_MODES,
+    PREPROCESS_MODES,
+    SOLVER_MODES,
+)
 from .hypergraph.generators import (
     clique,
     cycle,
@@ -105,6 +113,7 @@ def _pipeline_options_of(args: argparse.Namespace) -> dict:
     return {
         "preprocess": getattr(args, "preprocess", None) or "full",
         "jobs": getattr(args, "jobs", None),
+        "bounds": getattr(args, "bounds", None),
     }
 
 
@@ -187,9 +196,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def _cmd_bounds(args: argparse.Namespace) -> int:
     h = _load(args.file)
-    lower, upper, _witness = width_bounds(
-        h, cost=args.cost, **_pipeline_options_of(args)
-    )
+    options = _pipeline_options_of(args)
+    # The bounds command *is* the heuristic pre-pass: --bounds would be
+    # circular here, so the flag is ignored for this command.
+    options.pop("bounds", None)
+    lower, upper, _witness = width_bounds(h, cost=args.cost, **options)
     label = "fhw" if args.cost == "fractional" else "ghw"
     print(f"{lower:.4f} <= {label}({h.name or args.file}) <= {upper:.4f}")
     return 0
@@ -328,6 +339,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         preprocess=args.preprocess or "full",
         executor=args.executor,
         solver=getattr(args, "solver", None) or "bb",
+        bounds=getattr(args, "bounds", None) or "portfolio",
     )
     stats = last_batch_stats()
     failed = [r for r in results if not r.ok]
@@ -431,6 +443,19 @@ def _engine_options() -> argparse.ArgumentParser:
         ),
     )
     pipeline_group.add_argument(
+        "--bounds",
+        # Single source of truth for the bounds modes; docs/api.md and
+        # docs/architecture.md quote this flag and tests/test_docs.py
+        # pins the agreement.
+        choices=list(BOUNDS_MODES),
+        default=None,
+        help=(
+            "heuristic bounds pre-pass before the exact k-search: "
+            "portfolio (ordering portfolio + clique lower bound, the "
+            "default), clique (lower bound only), or none"
+        ),
+    )
+    pipeline_group.add_argument(
         "--pipeline-stats",
         action="store_true",
         help="print per-stage pipeline counters and wall-clock times",
@@ -468,6 +493,11 @@ def _print_batch_stats() -> None:
         "executor",
         "preprocess",
         "blocks",
+        "bounds",
+        "bounds_ks_pruned",
+        "bounds_checks_avoided",
+        "bounds_blocks_decided",
+        "anytime_answers",
         "tasks_run",
         "speculative_checks",
         "tasks_cancelled",
@@ -477,7 +507,7 @@ def _print_batch_stats() -> None:
         "hit_rate",
     ):
         print(f"  {key:>18}: {summary[key]}")
-    for stage in ("prepare", "solve", "stitch", "total"):
+    for stage in ("prepare", "bounds", "solve", "stitch", "total"):
         print(f"  {stage + '_seconds':>18}: {summary[stage + '_seconds']:.4f}")
 
 
@@ -511,12 +541,17 @@ def _print_pipeline_stats(args: argparse.Namespace) -> None:
         "rule_counts",
         "blocks",
         "block_sizes",
+        "bounds",
+        "bounds_ks_pruned",
+        "bounds_checks_avoided",
+        "bounds_blocks_decided",
+        "anytime_width",
         "tasks_run",
         "speculative_checks",
         "tasks_cancelled",
     ):
         print(f"  {key:>18}: {summary[key]}")
-    for stage in ("reduce", "split", "solve", "stitch"):
+    for stage in ("reduce", "split", "bounds", "solve", "stitch"):
         print(f"  {stage + '_seconds':>18}: {summary[stage + '_seconds']:.4f}")
 
 

@@ -7,6 +7,10 @@ Every width query in the library runs through this package by default:
   vertices, twin-vertex contraction);
 * :mod:`repro.pipeline.split` — articulation points and biconnected
   blocks of the cached primal graph;
+* :mod:`repro.pipeline.bounds` — the bounds pre-pass: per-block
+  ordering-portfolio upper bounds + clique lower bounds
+  (:data:`BOUNDS_MODES`) that seed every exact k-search and provide an
+  anytime answer before the first exact check;
 * :mod:`repro.pipeline.solve` — per-block solver registry (both the
   branch-and-bound engines and their SAT twins from :mod:`repro.sat`,
   selected per :data:`SOLVER_MODES` and raced in ``"portfolio"`` mode)
@@ -24,6 +28,12 @@ The stitch stage lives in :mod:`repro.decomposition.stitch`, next to the
 other decomposition transformations.
 """
 
+from .bounds import (
+    BOUNDS_MODES,
+    BlockBounds,
+    compute_block_bounds,
+    seeded_block_state,
+)
 from .batch import (
     BATCH_KINDS,
     BatchRequest,
@@ -99,4 +109,8 @@ __all__ = [
     "SOLVERS",
     "SOLVER_MODES",
     "engines_for",
+    "BOUNDS_MODES",
+    "BlockBounds",
+    "compute_block_bounds",
+    "seeded_block_state",
 ]

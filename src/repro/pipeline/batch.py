@@ -46,6 +46,7 @@ from concurrent.futures import FIRST_COMPLETED, wait
 from dataclasses import dataclass, field
 
 from ..hypergraph import Hypergraph
+from .bounds import BOUNDS_MODES, compute_block_bounds, seeded_block_state
 from .solve import (
     _ABORTABLE,
     CAP_MESSAGES,
@@ -285,6 +286,22 @@ class BatchStats:
         Tasks avoided by early rejection or settling: pool futures
         cancelled before starting plus check-mode blocks never
         submitted once a sibling block rejected.
+    bounds : str
+        The batch-wide bounds pre-pass mode.
+    bounds_seconds : float
+        Wall-clock of the pre-pass over every instance (part of
+        ``prepare_seconds``).
+    bounds_ks_pruned : int
+        Candidate k values the pre-pass settled without an exact check.
+    bounds_checks_avoided : int
+        Exact block solves the pre-pass made unnecessary.
+    bounds_blocks_decided : int
+        Blocks whose clique lower bound met a validated portfolio
+        witness (the exact engine never ran for them).
+    anytime_answers : int
+        Requests for which the pre-pass held a full witness set — a
+        valid (if possibly non-optimal) answer — before any exact
+        check ran.
     prepare_seconds, solve_seconds, stitch_seconds, total_seconds : float
         Wall-clock per stage; ``solve_seconds`` is the drive loop
         (stitching happens inside it on the driver thread and is also
@@ -305,6 +322,12 @@ class BatchStats:
     tasks_run: int = 0
     speculative_checks: int = 0
     tasks_cancelled: int = 0
+    bounds: str = "none"
+    bounds_seconds: float = 0.0
+    bounds_ks_pruned: int = 0
+    bounds_checks_avoided: int = 0
+    bounds_blocks_decided: int = 0
+    anytime_answers: int = 0
     prepare_seconds: float = 0.0
     solve_seconds: float = 0.0
     stitch_seconds: float = 0.0
@@ -340,6 +363,12 @@ class BatchStats:
             "tasks_run": self.tasks_run,
             "speculative_checks": self.speculative_checks,
             "tasks_cancelled": self.tasks_cancelled,
+            "bounds": self.bounds,
+            "bounds_seconds": self.bounds_seconds,
+            "bounds_ks_pruned": self.bounds_ks_pruned,
+            "bounds_checks_avoided": self.bounds_checks_avoided,
+            "bounds_blocks_decided": self.bounds_blocks_decided,
+            "anytime_answers": self.anytime_answers,
             "prepare_seconds": self.prepare_seconds,
             "solve_seconds": self.solve_seconds,
             "stitch_seconds": self.stitch_seconds,
@@ -376,6 +405,11 @@ class _Instance:
         "in_flight",
         "rejected",
         "finalized",
+        "bounds_seconds",
+        "bounds_ks_pruned",
+        "bounds_checks_avoided",
+        "bounds_blocks_decided",
+        "anytime",
     )
 
     def __init__(self, index: int, request: BatchRequest) -> None:
@@ -386,6 +420,11 @@ class _Instance:
         self.in_flight = set()
         self.rejected = False
         self.finalized = False
+        self.bounds_seconds = 0.0
+        self.bounds_ks_pruned = 0
+        self.bounds_checks_avoided = 0
+        self.bounds_blocks_decided = 0
+        self.anytime = False
 
     # -- lifecycle -----------------------------------------------------
     @property
@@ -402,8 +441,13 @@ class _Instance:
             self.result._resolve(error=error)
         self.finalized = True
 
-    def prepare(self, preprocess: str, solver_mode: str = "bb") -> None:
-        """Validate the request and run its reduce + split stages."""
+    def prepare(
+        self,
+        preprocess: str,
+        solver_mode: str = "bb",
+        bounds: str = "portfolio",
+    ) -> None:
+        """Validate the request and run its reduce + split + bounds stages."""
         request = self.request
         if request.kind not in _KIND_TABLE:
             raise ValueError(
@@ -449,6 +493,62 @@ class _Instance:
         else:
             self.block_results = [_PENDING] * n
             self.submitted = [False] * n
+        self._seed_from_bounds(bounds)
+
+    def _seed_from_bounds(self, bounds: str) -> None:
+        """Run the bounds pre-pass and fold its verdicts into the state.
+
+        Mirrors :class:`~.solver.WidthSolver` exactly: iterative kinds
+        get pre-seeded :class:`~.solve.BlockState` (lower-bound start,
+        witness-capped speculation, instant settling when decided);
+        oneshot exact oracles pre-fill decided blocks; check kinds
+        reject outright when a block's lower bound exceeds k and accept
+        blocks whose validated witness already fits (complete hd/ghd
+        checks without enumeration caps only).  ``"bounds"`` requests
+        skip the pass — they *are* the heuristic.
+        """
+        if bounds == "none" or self.request.kind == "bounds":
+            return
+        t0 = time.perf_counter()
+        bounds_list = [
+            compute_block_bounds(b.hypergraph, self.dkind, mode=bounds)
+            for b in self.blocks
+        ]
+        self.bounds_seconds = time.perf_counter() - t0
+        if bounds_list and all(b.witness is not None for b in bounds_list):
+            self.anytime = True
+        if self.mode == "iterative":
+            self.states = [
+                seeded_block_state(b, cap)
+                for b, cap in zip(bounds_list, self.caps)
+            ]
+            for b, cap, state in zip(bounds_list, self.caps, self.states):
+                below = min(b.lower_k - 1, cap)
+                self.bounds_ks_pruned += max(0, below)
+                self.bounds_checks_avoided += max(0, below)
+                if b.upper_k is not None and b.upper_k <= cap:
+                    self.bounds_ks_pruned += cap - b.upper_k + 1
+                if state.width is not None:
+                    self.bounds_blocks_decided += 1
+                    self.bounds_checks_avoided += 1
+        elif self.mode == "oneshot":
+            for i, b in enumerate(bounds_list):
+                if b.decided:
+                    self.block_results[i] = (b.upper, b.witness)
+                    self.submitted[i] = True
+                    self.bounds_blocks_decided += 1
+                    self.bounds_checks_avoided += 1
+        else:  # check
+            if any(b.lower > self.k + _EPS for b in bounds_list):
+                self.rejected = True
+                self.bounds_checks_avoided += len(self.blocks)
+                return
+            if self.dkind in ("hd", "ghd") and set(self.params) <= {"method"}:
+                for i, b in enumerate(bounds_list):
+                    if b.witness is not None and b.upper <= self.k + _EPS:
+                        self.block_results[i] = b.witness
+                        self.submitted[i] = True
+                        self.bounds_checks_avoided += 1
 
     # -- task generation ----------------------------------------------
     def task_params(self, k: int | None) -> dict:
@@ -639,6 +739,14 @@ class BatchScheduler:
         thread executor) — exactly one cancellation is counted per
         raced task that produced an answer.  Requests can override the
         mode individually via :attr:`BatchRequest.solver`.
+    bounds : str, optional
+        Batch-wide bounds pre-pass mode — one of
+        :data:`~repro.pipeline.bounds.BOUNDS_MODES` (default
+        ``"portfolio"``).  Every instance's blocks are bounded during
+        the prepare stage; the seeds start each k-search at the block
+        lower bound, cap speculation at the portfolio witness, and skip
+        the exact engine outright for decided blocks.  Answers are
+        identical in every mode.
     """
 
     def __init__(
@@ -647,6 +755,7 @@ class BatchScheduler:
         preprocess: str = "full",
         executor: str = "thread",
         solver: str = "bb",
+        bounds: str = "portfolio",
     ) -> None:
         if preprocess not in PREPROCESS_MODES:
             raise ValueError(
@@ -656,10 +765,13 @@ class BatchScheduler:
             raise ValueError("executor must be 'thread' or 'process'")
         if solver not in SOLVER_MODES:
             raise ValueError(f"solver must be one of {SOLVER_MODES}")
+        if bounds not in BOUNDS_MODES:
+            raise ValueError(f"bounds must be one of {BOUNDS_MODES}")
         self.jobs = max(1, int(jobs or 1))
         self.preprocess = preprocess
         self.executor = executor
         self.solver = solver
+        self.bounds = bounds
         self.instances: list[_Instance] = []
         self.last_stats: BatchStats | None = None
 
@@ -908,6 +1020,7 @@ class BatchScheduler:
             jobs=self.jobs,
             executor=self.executor,
             preprocess=self.preprocess,
+            bounds=self.bounds,
         )
         baseline = engine.stats()
         t_start = time.perf_counter()
@@ -917,7 +1030,7 @@ class BatchScheduler:
             kind = instance.request.kind
             stats.kinds[kind] = stats.kinds.get(kind, 0) + 1
             try:
-                instance.prepare(self.preprocess, self.solver)
+                instance.prepare(self.preprocess, self.solver, self.bounds)
             except Exception as exc:
                 instance.fail(exc)
         stats.blocks = sum(
@@ -925,6 +1038,12 @@ class BatchScheduler:
             for inst in self.instances
             if inst.blocks is not None
         )
+        for inst in self.instances:
+            stats.bounds_seconds += inst.bounds_seconds
+            stats.bounds_ks_pruned += inst.bounds_ks_pruned
+            stats.bounds_checks_avoided += inst.bounds_checks_avoided
+            stats.bounds_blocks_decided += inst.bounds_blocks_decided
+            stats.anytime_answers += 1 if inst.anytime else 0
         stats.prepare_seconds = time.perf_counter() - t_start
         t_solve = time.perf_counter()
         self._drive(stats)
@@ -952,6 +1071,7 @@ def solve_many(
     executor: str = "thread",
     backend: str | None = None,
     solver: str = "bb",
+    bounds: str = "portfolio",
 ) -> list[BatchResult]:
     """Solve a batch of width queries on one shared scheduler.
 
@@ -985,6 +1105,11 @@ def solve_many(
         ``(block, k)`` task, first answer wins).  Individual requests
         override it via :attr:`BatchRequest.solver`; answers are the
         same whatever the mode, both engines being exact.
+    bounds : str, optional
+        Bounds pre-pass mode for every instance — ``"portfolio"``
+        (default), ``"clique"`` or ``"none"``; see
+        :data:`~repro.pipeline.bounds.BOUNDS_MODES`.  Only affects
+        which exact checks run, never the answers.
 
     Returns
     -------
@@ -996,15 +1121,19 @@ def solve_many(
     Raises
     ------
     ValueError
-        If ``preprocess``, ``executor``, ``backend`` or ``solver`` is
-        invalid — batch-level configuration errors raise; per-request
-        problems (including an unknown per-request solver override) do
-        not.
+        If ``preprocess``, ``executor``, ``backend``, ``solver`` or
+        ``bounds`` is invalid — batch-level configuration errors raise;
+        per-request problems (including an unknown per-request solver
+        override) do not.
     """
     from .. import engine  # lazy: keeps the pipeline package cycle-free
 
     scheduler = BatchScheduler(
-        jobs=jobs, preprocess=preprocess, executor=executor, solver=solver
+        jobs=jobs,
+        preprocess=preprocess,
+        executor=executor,
+        solver=solver,
+        bounds=bounds,
     )
     results = [scheduler.submit(request) for request in requests]
     if backend is not None:

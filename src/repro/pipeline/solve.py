@@ -583,12 +583,16 @@ def iterative_width_search(
     params: dict | None = None,
     cap_message: str = "no decomposition of width <= {cap} found (cap too small?)",
     engines: tuple[str, ...] | None = None,
+    states: list[BlockState] | None = None,
 ) -> list[tuple[int, Decomposition]]:
     """Smallest accepted k per block, via a check-style solver.
 
     Serial when the scheduler is (the classic k = 1, 2, ... loop per
     block); otherwise a single flat pool interleaves cross-block and
-    speculative cross-k checks.
+    speculative cross-k checks.  Both paths honour pre-seeded
+    ``states`` identically: the k-loop starts at the first unconfirmed
+    k, never runs a k the seed already settled, and skips the exact
+    engine entirely for states the seed decided.
 
     Parameters
     ----------
@@ -609,6 +613,13 @@ def iterative_width_search(
         Override from :func:`engines_for`; more than one engine races
         every ``(block, k)`` task and counts one cancelled loser per
         settled task (``solver="portfolio"``).
+    states : list of BlockState, optional
+        Pre-seeded per-block search states (one per block, from
+        :func:`repro.pipeline.bounds.seeded_block_state`); fresh states
+        when omitted.  Seeded rejections below a lower bound are never
+        re-checked, a seeded witness caps speculation via
+        ``BlockState.ceiling``, and already-settled states run zero
+        exact checks.
 
     Returns
     -------
@@ -628,12 +639,16 @@ def iterative_width_search(
     racing = len(engines) > 1
     if not racing:
         solver = engines[0]
+    if states is None:
+        states = [BlockState() for _ in hypergraphs]
 
     if not scheduler.parallel:
-        out = []
-        for hypergraph, cap in zip(hypergraphs, caps):
-            found = None
-            for k in range(1, cap + 1):
+        for state, hypergraph, cap in zip(states, hypergraphs, caps):
+            state.settle()
+            while state.width is None:
+                k = state.next_k_unconfirmed()
+                if k > state.ceiling(cap):
+                    raise ValueError(cap_message.format(cap=cap))
                 scheduler.tasks_run += len(engines)
                 if racing:
                     witness = race_block_task(
@@ -644,15 +659,10 @@ def iterative_width_search(
                     witness = run_block_task(
                         solver, hypergraph, {"k": k, **params}
                     )
-                if witness is not None:
-                    found = (k, witness)
-                    break
-            if found is None:
-                raise ValueError(cap_message.format(cap=cap))
-            out.append(found)
-        return out
+                state.results[k] = witness
+                state.settle()
+        return [(state.width, state.witness) for state in states]
 
-    states = [BlockState() for _ in hypergraphs]
     with scheduler._pool() as pool:
         in_flight: dict = {}  # future -> (block, k, engine)
         aborts: dict = {}

@@ -34,6 +34,7 @@ from ..decomposition import (
     validate,
 )
 from ..hypergraph import Hypergraph
+from .bounds import BOUNDS_MODES, BlockBounds, compute_block_bounds, seeded_block_state
 from .reduce import ReducedInstance, reduce_instance
 from .solve import (
     CAP_MESSAGES,
@@ -217,13 +218,20 @@ class PipelineStats:
     tasks_run: int = 0
     speculative_checks: int = 0
     tasks_cancelled: int = 0
+    bounds: str = "none"
+    bounds_seconds: float = 0.0
+    bounds_ks_pruned: int = 0
+    bounds_checks_avoided: int = 0
+    bounds_blocks_decided: int = 0
+    anytime_width: float | None = None
 
     @property
     def total_seconds(self) -> float:
-        """Wall-clock summed over the four pipeline stages."""
+        """Wall-clock summed over the pipeline stages (incl. bounds)."""
         return (
             self.reduce_seconds
             + self.split_seconds
+            + self.bounds_seconds
             + self.solve_seconds
             + self.stitch_seconds
         )
@@ -242,8 +250,14 @@ class PipelineStats:
             "tasks_run": self.tasks_run,
             "speculative_checks": self.speculative_checks,
             "tasks_cancelled": self.tasks_cancelled,
+            "bounds": self.bounds,
+            "bounds_ks_pruned": self.bounds_ks_pruned,
+            "bounds_checks_avoided": self.bounds_checks_avoided,
+            "bounds_blocks_decided": self.bounds_blocks_decided,
+            "anytime_width": self.anytime_width,
             "reduce_seconds": self.reduce_seconds,
             "split_seconds": self.split_seconds,
+            "bounds_seconds": self.bounds_seconds,
             "solve_seconds": self.solve_seconds,
             "stitch_seconds": self.stitch_seconds,
             "total_seconds": self.total_seconds,
@@ -275,6 +289,14 @@ class WidthSolver:
         ``(block, k)`` task; the loser is cancelled and counted in
         ``last_stats.tasks_cancelled``).  Oracle/heuristic queries are
         unaffected.
+    bounds:
+        Bounds pre-pass mode, one of
+        :data:`repro.pipeline.bounds.BOUNDS_MODES`: ``"portfolio"``
+        (default; per-block ordering-portfolio upper bound + clique
+        lower bound, seeding every exact search), ``"clique"`` (lower
+        bound only), or ``"none"`` (no pre-pass — the pre-bounds
+        behaviour).  The pre-pass only prunes which exact checks run;
+        answers are identical in every mode.
     """
 
     def __init__(
@@ -284,16 +306,20 @@ class WidthSolver:
         jobs: int | None = None,
         executor: str = "thread",
         solver: str = "bb",
+        bounds: str = "portfolio",
     ) -> None:
         if preprocess not in PREPROCESS_MODES:
             raise ValueError(f"preprocess must be one of {PREPROCESS_MODES}")
         if solver not in SOLVER_MODES:
             raise ValueError(f"solver must be one of {SOLVER_MODES}")
+        if bounds not in BOUNDS_MODES:
+            raise ValueError(f"bounds must be one of {BOUNDS_MODES}")
         self.hypergraph = hypergraph
         self.preprocess = preprocess
         self.jobs = max(1, int(jobs or 1))
         self.executor = executor
         self.solver = solver
+        self.bounds = bounds
         self.last_stats: PipelineStats | None = None
 
     # ------------------------------------------------------------------
@@ -371,8 +397,31 @@ class WidthSolver:
             stop_on_none=stop_on_none,
             engines=engines,
         )
-        stats.solve_seconds = time.perf_counter() - t0
+        stats.solve_seconds += time.perf_counter() - t0
         return results
+
+    def _bounds_pass(
+        self, kind: str, blocks: list[Block], stats: PipelineStats
+    ) -> list[BlockBounds] | None:
+        """Bound every block before the exact stage; None in mode "none".
+
+        Fills the bounds fields of ``stats``, including the **anytime
+        answer**: when every block produced a portfolio witness, their
+        stitched width (``max(1, max block uppers)``) is available as
+        ``stats.anytime_width`` before any exact check runs.
+        """
+        stats.bounds = self.bounds
+        if self.bounds == "none":
+            return None
+        t0 = time.perf_counter()
+        bounds_list = [
+            compute_block_bounds(block.hypergraph, kind, mode=self.bounds)
+            for block in blocks
+        ]
+        stats.bounds_seconds = time.perf_counter() - t0
+        if bounds_list and all(b.witness is not None for b in bounds_list):
+            stats.anytime_width = max(1.0, *(b.upper for b in bounds_list))
+        return bounds_list
 
     # ------------------------------------------------------------------
     # Check(X, k) queries
@@ -381,15 +430,42 @@ class WidthSolver:
         self, kind: str, solver: str, k, params: dict
     ) -> Decomposition | None:
         reduced, blocks, scheduler, stats = self._prepare(kind)
-        witnesses = self._solve_each(
-            solver,
-            blocks,
-            scheduler,
-            stats,
-            {"k": k, **params},
-            stop_on_none=True,  # one rejecting block decides the answer
-            engines=engines_for(solver, self.solver),
-        )
+        bounds_list = self._bounds_pass(kind, blocks, stats)
+        witnesses: list = [None] * len(blocks)
+        pending = list(range(len(blocks)))
+        if bounds_list is not None:
+            if any(b.lower > k + _EPS for b in bounds_list):
+                # Some block's width provably exceeds k: reject without
+                # a single exact solve.
+                stats.bounds_checks_avoided += len(blocks)
+                self._finish(stats, scheduler)
+                return None
+            # A validated portfolio witness at width <= k answers a
+            # block's check outright.  Restricted to the complete
+            # checks (hd/ghd without enumeration caps): the capped and
+            # bounded-degree variants may *intentionally* reject
+            # instances a better witness would accept, and the pre-pass
+            # must never change an answer.
+            if kind in ("hd", "ghd") and set(params) <= {"method"}:
+                pending = []
+                for i, b in enumerate(bounds_list):
+                    if b.witness is not None and b.upper <= k + _EPS:
+                        witnesses[i] = b.witness
+                        stats.bounds_checks_avoided += 1
+                    else:
+                        pending.append(i)
+        if pending:
+            solved = self._solve_each(
+                solver,
+                [blocks[i] for i in pending],
+                scheduler,
+                stats,
+                {"k": k, **params},
+                stop_on_none=True,  # one rejecting block decides the answer
+                engines=engines_for(solver, self.solver),
+            )
+            for i, witness in zip(pending, solved):
+                witnesses[i] = witness
         if any(w is None for w in witnesses):
             self._finish(stats, scheduler)
             return None
@@ -444,6 +520,22 @@ class WidthSolver:
             block.hypergraph.num_edges if kmax is None else kmax
             for block in blocks
         ]
+        bounds_list = self._bounds_pass(kind, blocks, stats)
+        states = None
+        if bounds_list is not None:
+            states = [
+                seeded_block_state(b, cap)
+                for b, cap in zip(bounds_list, caps)
+            ]
+            for b, cap, state in zip(bounds_list, caps, states):
+                below = min(b.lower_k - 1, cap)
+                stats.bounds_ks_pruned += max(0, below)
+                stats.bounds_checks_avoided += max(0, below)
+                if b.upper_k is not None and b.upper_k <= cap:
+                    stats.bounds_ks_pruned += cap - b.upper_k + 1
+                if state.width is not None:
+                    stats.bounds_blocks_decided += 1
+                    stats.bounds_checks_avoided += 1
         t0 = time.perf_counter()
         results = iterative_width_search(
             solver,
@@ -453,6 +545,7 @@ class WidthSolver:
             params=params,
             cap_message=cap_message,
             engines=engines_for(solver, self.solver),
+            states=states,
         )
         stats.solve_seconds = time.perf_counter() - t0
         width = max(1, *(k for k, _w in results)) if results else 1
@@ -488,43 +581,58 @@ class WidthSolver:
     # ------------------------------------------------------------------
     # Exact elimination oracles (per-block 2^n DP)
     # ------------------------------------------------------------------
-    def generalized_hypertree_width_exact(
-        self, vertex_limit: int | None = None
-    ) -> tuple[int, Decomposition]:
-        """Exact ``ghw(H)``; the 2^n limit applies *per block*."""
+    def _exact_width(
+        self, kind: str, solver: str, cast, vertex_limit: int | None
+    ) -> tuple[int | float, Decomposition]:
+        """Shared driver of the per-block exact elimination oracles.
+
+        Blocks the bounds pre-pass *decided* (clique lower bound meets
+        a validated portfolio witness) skip the 2^n DP entirely — the
+        witness is already optimal for that block.
+        """
         params = {} if vertex_limit is None else {"vertex_limit": vertex_limit}
-        reduced, blocks, scheduler, stats = self._prepare("ghd")
-        results = self._solve_each("ghw-exact", blocks, scheduler, stats, params)
-        width = max(1, *(int(k) for k, _w in results)) if results else 1
+        reduced, blocks, scheduler, stats = self._prepare(kind)
+        bounds_list = self._bounds_pass(kind, blocks, stats)
+        results: list = [None] * len(blocks)
+        pending = list(range(len(blocks)))
+        if bounds_list is not None:
+            pending = []
+            for i, b in enumerate(bounds_list):
+                if b.decided:
+                    results[i] = (b.upper, b.witness)
+                    stats.bounds_blocks_decided += 1
+                    stats.bounds_checks_avoided += 1
+                else:
+                    pending.append(i)
+        if pending:
+            solved = self._solve_each(
+                solver, [blocks[i] for i in pending], scheduler, stats, params
+            )
+            for i, result in zip(pending, solved):
+                results[i] = result
+        width = max(cast(1), *(cast(k) for k, _w in results)) if results else cast(1)
         final = self._stitch(
             reduced,
             blocks,
             [w for _k, w in results],
             stats,
-            "ghd",
+            kind,
             width=width + _EPS,
         )
         self._finish(stats, scheduler)
         return width, final
 
+    def generalized_hypertree_width_exact(
+        self, vertex_limit: int | None = None
+    ) -> tuple[int, Decomposition]:
+        """Exact ``ghw(H)``; the 2^n limit applies *per block*."""
+        return self._exact_width("ghd", "ghw-exact", int, vertex_limit)
+
     def fractional_hypertree_width_exact(
         self, vertex_limit: int | None = None
     ) -> tuple[float, Decomposition]:
         """Exact ``fhw(H)``; the 2^n limit applies *per block*."""
-        params = {} if vertex_limit is None else {"vertex_limit": vertex_limit}
-        reduced, blocks, scheduler, stats = self._prepare("fhd")
-        results = self._solve_each("fhw-exact", blocks, scheduler, stats, params)
-        width = max(1.0, *(float(k) for k, _w in results)) if results else 1.0
-        final = self._stitch(
-            reduced,
-            blocks,
-            [w for _k, w in results],
-            stats,
-            "fhd",
-            width=width + _EPS,
-        )
-        self._finish(stats, scheduler)
-        return width, final
+        return self._exact_width("fhd", "fhw-exact", float, vertex_limit)
 
     # ------------------------------------------------------------------
     # Heuristic and approximation drivers
@@ -632,6 +740,7 @@ def solve_width(
     jobs: int | None = None,
     executor: str = "thread",
     solver: str = "bb",
+    bounds: str = "portfolio",
     **params,
 ):
     """One-call pipeline width query.
@@ -640,7 +749,8 @@ def solve_width(
     (the exact oracle), or ``"bounds"`` (heuristic sandwich); extra
     keyword arguments go to the underlying solver method.  ``solver``
     selects the check engine (``"bb"``, ``"sat"`` or ``"portfolio"``)
-    for the iterative kinds.
+    for the iterative kinds; ``bounds`` the pre-pass mode (one of
+    :data:`repro.pipeline.bounds.BOUNDS_MODES`).
     """
     solver = WidthSolver(
         hypergraph,
@@ -648,6 +758,7 @@ def solve_width(
         jobs=jobs,
         executor=executor,
         solver=solver,
+        bounds=bounds,
     )
     dispatch = {
         "hw": solver.hypertree_width,

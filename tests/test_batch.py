@@ -200,7 +200,9 @@ class TestFailureIsolation:
 class TestSchedulerBehaviour:
     def test_stats_counters(self):
         h = triangle_cascade(3)
-        results = solve_many([(h, "ghw"), (cycle(6), "ghw")], jobs=2)
+        results = solve_many(
+            [(h, "ghw"), (cycle(6), "ghw")], jobs=2, bounds="none"
+        )
         assert all(r.ok for r in results)
         stats = last_batch_stats()
         assert stats.requests == 2
@@ -221,7 +223,9 @@ class TestSchedulerBehaviour:
         # tasks completed.  For a pure check batch, executed + avoided
         # tasks can never exceed one per block.
         h = triangle_cascade(6)
-        (result,) = solve_many([(h, "check-ghd", {"k": 1})], jobs=2)
+        (result,) = solve_many(
+            [(h, "check-ghd", {"k": 1})], jobs=2, bounds="none"
+        )
         assert result.ok and result.value is None
         stats = last_batch_stats()
         assert stats.blocks == 6
@@ -250,7 +254,7 @@ class TestSchedulerBehaviour:
         # triangles(3) splits into 3 blocks, each of hw 2: a k=1 check
         # rejects on the first block and skips/cancels the rest.
         h = triangle_cascade(3)
-        (result,) = solve_many([(h, "check-ghd", {"k": 1})])
+        (result,) = solve_many([(h, "check-ghd", {"k": 1})], bounds="none")
         assert result.ok and result.value is None
         stats = last_batch_stats()
         assert stats.tasks_cancelled >= 1

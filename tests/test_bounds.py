@@ -1,0 +1,241 @@
+"""Tests for the bounds pre-pass (repro.pipeline.bounds).
+
+The headline invariants (pinned property-based below): the pre-pass
+never changes an answer — bounds-on and bounds-off agree on hw / ghw /
+fhw and on every check verdict — and decided blocks run **zero** exact
+Check(X, k) tasks.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms import (
+    fractional_hypertree_width_exact,
+    generalized_hypertree_width,
+    hypertree_width,
+)
+from repro.covers import EPS
+from repro.decomposition import is_fhd, is_ghd, is_hd
+from repro.hypergraph import Hypergraph
+from repro.hypergraph.generators import (
+    clique,
+    cycle,
+    grid,
+    triangle_cascade,
+)
+from repro.pipeline import (
+    BOUNDS_MODES,
+    BlockBounds,
+    WidthSolver,
+    compute_block_bounds,
+    seeded_block_state,
+    solve_many,
+)
+from repro.pipeline.batch import last_batch_stats
+
+from .strategies import hypergraphs
+
+
+class TestBlockBounds:
+    def test_lower_k_rounds_up(self):
+        b = BlockBounds(kind="fhd", lower=1.5)
+        assert b.lower_k == 2
+        assert BlockBounds(kind="ghd", lower=3.0).lower_k == 3
+        assert BlockBounds(kind="ghd").lower_k == 1
+
+    def test_upper_k_requires_witness(self):
+        assert BlockBounds(kind="ghd", upper=2.0).upper_k is None
+        b = compute_block_bounds(triangle_cascade(1), "ghd")
+        assert b.upper_k == 2
+
+    def test_decided_needs_meeting_bounds_and_witness(self):
+        assert not BlockBounds(kind="ghd", lower=2.0, upper=2.0).decided
+        b = compute_block_bounds(triangle_cascade(1), "ghd")
+        assert b.decided
+        assert b.lower == pytest.approx(b.upper)
+
+    def test_mode_none_is_trivial(self):
+        b = compute_block_bounds(clique(4), "ghd", mode="none")
+        assert (b.lower, b.upper, b.witness) == (1.0, math.inf, None)
+
+    def test_mode_clique_lower_only(self):
+        b = compute_block_bounds(clique(4), "ghd", mode="clique")
+        assert b.lower >= 2.0
+        assert b.witness is None and b.upper == math.inf
+
+    def test_bad_mode_and_kind(self):
+        with pytest.raises(ValueError, match="bounds"):
+            compute_block_bounds(clique(3), "ghd", mode="zzz")
+        with pytest.raises(ValueError, match="kind"):
+            compute_block_bounds(clique(3), "zzz")
+
+    def test_hd_candidates_validated_for_special_condition(self):
+        # Elimination-ordering witnesses need not satisfy the HD special
+        # condition; any surviving witness must re-validate as an hd.
+        b = compute_block_bounds(clique(5), "hd")
+        assert b.lower >= 2.0
+        if b.witness is not None:
+            assert is_hd(clique(5), b.witness, width=b.upper)
+
+    def test_fhd_uses_fractional_covers(self):
+        b = compute_block_bounds(cycle(4), "fhd")
+        assert b.witness is not None
+        assert is_fhd(cycle(4), b.witness, width=b.upper + EPS)
+
+    def test_modes_tuple_pinned(self):
+        assert BOUNDS_MODES == ("portfolio", "clique", "none")
+
+
+class TestSeededBlockState:
+    def test_none_bounds_gives_fresh_state(self):
+        state = seeded_block_state(None, cap=5)
+        assert state.next_k == 1 and state.width is None
+
+    def test_lower_bound_seeds_rejections(self):
+        b = BlockBounds(kind="ghd", lower=3.0)
+        state = seeded_block_state(b, cap=6)
+        assert state.next_k == 3
+        assert state.results[1] is None and state.results[2] is None
+        assert state.width is None
+
+    def test_decided_bounds_settle_instantly(self):
+        b = compute_block_bounds(triangle_cascade(1), "ghd")
+        assert b.decided
+        state = seeded_block_state(b, cap=3)
+        assert state.width == 2
+        assert state.witness is b.witness
+
+    def test_upper_beyond_cap_not_seeded(self):
+        b = compute_block_bounds(triangle_cascade(1), "ghd")
+        state = seeded_block_state(b, cap=1)
+        # upper_k = 2 exceeds the cap: only the k <= cap part is usable.
+        assert state.width is None
+
+
+class TestNoExactChecksWhenDecided:
+    """Regression (the tentpole's point): ``lower == upper`` blocks run
+    zero exact Check(X, k) tasks; the heuristic witness is stitched."""
+
+    def test_widthsolver_decided_runs_zero_tasks(self):
+        h = triangle_cascade(3)
+        solver = WidthSolver(h)
+        width, d = solver.generalized_hypertree_width()
+        assert width == 2 and is_ghd(h, d, width=2)
+        stats = solver.last_stats
+        assert stats.tasks_run == 0
+        assert stats.bounds_blocks_decided == 3
+        assert stats.anytime_width == 2.0
+
+    def test_serial_and_parallel_prune_identically(self):
+        # Satellite: the --jobs 1 path honours the same seeding as the
+        # parallel path.  C9 has bounds [1, 2], so exactly one exact
+        # check (the k = 1 reject) remains in both.
+        for jobs in (1, 3):
+            solver = WidthSolver(cycle(9), jobs=jobs)
+            width, _d = solver.generalized_hypertree_width()
+            assert width == 2
+            assert solver.last_stats.tasks_run == 1
+
+    def test_exact_oneshot_skips_decided_blocks(self):
+        h = triangle_cascade(2)
+        solver = WidthSolver(h)
+        width, d = solver.generalized_hypertree_width_exact()
+        assert width == 2 and is_ghd(h, d, width=2)
+        assert solver.last_stats.tasks_run == 0
+        assert solver.last_stats.bounds_blocks_decided == 2
+
+    def test_check_prerejects_below_lower_bound(self):
+        solver = WidthSolver(clique(5))
+        assert solver.generalized_hypertree_decomposition(2) is None
+        stats = solver.last_stats
+        assert stats.tasks_run == 0
+        assert stats.bounds_checks_avoided >= 1
+
+    def test_check_preaccepts_with_witness(self):
+        h = triangle_cascade(2)
+        solver = WidthSolver(h)
+        d = solver.generalized_hypertree_decomposition(2)
+        assert is_ghd(h, d, width=2)
+        assert solver.last_stats.tasks_run == 0
+
+    def test_capped_checks_never_preaccept(self):
+        # Bounded-degree fhd checks may intentionally reject instances a
+        # better witness would accept: the pre-pass must not answer them.
+        h = cycle(4)
+        solver = WidthSolver(h)
+        d = solver.fractional_hypertree_decomposition_bounded_degree(2.0)
+        off = WidthSolver(h, bounds="none")
+        d_off = off.fractional_hypertree_decomposition_bounded_degree(2.0)
+        assert (d is None) == (d_off is None)
+
+    def test_batch_decided_instances_and_anytime(self):
+        requests = [
+            (triangle_cascade(3), "ghw"),
+            (clique(4), "ghw"),
+            (clique(5), "check-ghd", {"k": 2}),
+        ]
+        results = solve_many(requests)
+        assert [r.ok for r in results] == [True, True, True]
+        assert results[0].value[0] == 2
+        assert results[1].value[0] == 2
+        assert results[2].value is None  # lower bound 3 > 2
+        stats = last_batch_stats()
+        assert stats.tasks_run == 0
+        assert stats.bounds_blocks_decided >= 4
+        assert stats.anytime_answers >= 2
+
+
+class TestBoundsModesAgree:
+    def test_clique_mode_agrees(self):
+        h = grid(3, 3)
+        on = WidthSolver(h, bounds="clique")
+        width, d = on.generalized_hypertree_width()
+        off = WidthSolver(h, bounds="none")
+        width_off, _ = off.generalized_hypertree_width()
+        assert width == width_off and is_ghd(h, d, width=width)
+        assert on.last_stats.bounds == "clique"
+
+    def test_bad_bounds_mode(self):
+        with pytest.raises(ValueError, match="bounds"):
+            WidthSolver(cycle(4), bounds="zzz")
+        with pytest.raises(ValueError, match="bounds"):
+            solve_many([(cycle(4), "ghw")], bounds="zzz")
+
+
+class TestBoundsOnOffProperty:
+    """Bounds-on and bounds-off agree on every width measure, and the
+    bounds-on witnesses validate on the original hypergraph."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(hypergraphs(max_vertices=7, max_edges=6))
+    def test_hw_agrees(self, h):
+        w_on, d_on = hypertree_width(h)
+        w_off, _ = hypertree_width(h, bounds="none")
+        assert w_on == w_off
+        assert is_hd(h, d_on, width=w_on)
+
+    @settings(max_examples=25, deadline=None)
+    @given(hypergraphs(max_vertices=7, max_edges=6))
+    def test_ghw_agrees(self, h):
+        w_on, d_on = generalized_hypertree_width(h)
+        w_off, _ = generalized_hypertree_width(h, bounds="none")
+        assert w_on == w_off
+        assert is_ghd(h, d_on, width=w_on)
+
+    @settings(max_examples=25, deadline=None)
+    @given(hypergraphs(max_vertices=7, max_edges=6))
+    def test_fhw_agrees(self, h):
+        w_on, d_on = fractional_hypertree_width_exact(h)
+        w_off, _ = fractional_hypertree_width_exact(h, bounds="none")
+        assert w_on == pytest.approx(w_off, abs=1e-6)
+        assert is_fhd(h, d_on, width=w_on + EPS)
+
+    @settings(max_examples=15, deadline=None)
+    @given(hypergraphs(max_vertices=6, max_edges=5))
+    def test_batch_agrees_with_bounds_off(self, h):
+        (on,) = solve_many([(h, "ghw")])
+        (off,) = solve_many([(h, "ghw")], bounds="none")
+        assert on.value[0] == off.value[0]
+        assert is_ghd(h, on.value[1], width=on.value[0])

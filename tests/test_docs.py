@@ -24,7 +24,7 @@ import pytest
 
 import repro
 from repro.cli import build_parser
-from repro.pipeline import PREPROCESS_MODES, SOLVER_MODES
+from repro.pipeline import BOUNDS_MODES, PREPROCESS_MODES, SOLVER_MODES
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -149,6 +149,36 @@ def test_markdown_solver_choices_match_cli_help(markdown):
         assert tuple(group.split(",")) == _cli_solver_choices(), (
             f"{markdown} documents --solver {{{group}}} but the CLI "
             f"help says {{{','.join(_cli_solver_choices())}}}"
+        )
+
+
+def _cli_bounds_choices() -> tuple:
+    """The --bounds choices straight from the argument parser."""
+    parser = build_parser()
+    subparsers = next(
+        action
+        for action in parser._actions
+        if isinstance(action, type(parser._subparsers._group_actions[0]))
+    )
+    width = subparsers.choices["width"]
+    action = next(a for a in width._actions if a.dest == "bounds")
+    return tuple(action.choices)
+
+
+def test_cli_bounds_choices_single_sourced():
+    assert _cli_bounds_choices() == BOUNDS_MODES
+
+
+@pytest.mark.parametrize("markdown", ["docs/api.md", "docs/architecture.md"])
+def test_markdown_bounds_choices_match_cli_help(markdown):
+    """The docs quote the CLI's --bounds choices verbatim."""
+    text = (REPO_ROOT / markdown).read_text()
+    quoted = re.findall(r"--bounds\s*\{([a-z,]+)\}", text)
+    assert quoted, f"{markdown} must document the --bounds choices"
+    for group in quoted:
+        assert tuple(group.split(",")) == _cli_bounds_choices(), (
+            f"{markdown} documents --bounds {{{group}}} but the CLI "
+            f"help says {{{','.join(_cli_bounds_choices())}}}"
         )
 
 

@@ -303,7 +303,7 @@ class TestPortfolio:
 
     def test_serial_portfolio_counts_deterministic(self):
         h = triangle_cascade(3)
-        solver = WidthSolver(h, solver="portfolio")
+        solver = WidthSolver(h, solver="portfolio", bounds="none")
         width, d = solver.generalized_hypertree_width()
         assert width == 2
         assert is_ghd(h, d, width=2)
@@ -315,8 +315,10 @@ class TestPortfolio:
         assert stats.tasks_cancelled == stats.tasks_run // 2
 
     def test_parallel_portfolio_loser_cancelled_once_per_task(self):
+        # bounds="none" so the full k = 1..3 climb actually races (the
+        # clique lower bound would otherwise prune k < 3).
         h = clique(5)
-        solver = WidthSolver(h, jobs=3, solver="portfolio")
+        solver = WidthSolver(h, jobs=3, solver="portfolio", bounds="none")
         width, d = solver.hypertree_width()
         assert width == 3
         assert is_hd(h, d, width=3)
@@ -350,10 +352,10 @@ class TestPortfolio:
         whatever the budget (monotonicity of Check(X, k))."""
         from repro.pipeline.batch import BatchRequest, BatchScheduler
 
-        scheduler = BatchScheduler(solver="portfolio")
+        scheduler = BatchScheduler(solver="portfolio", bounds="none")
         scheduler.submit(BatchRequest(clique(4), "ghw"))
         instance = scheduler.instances[0]
-        instance.prepare("full", "portfolio")
+        instance.prepare("full", "portfolio", "none")
         assert instance.engines == ("check-ghd", "sat-check-ghd")
         instance.record(0, 3, object())  # accepted at k=3, k<3 unknown
         tasks = instance.next_tasks(100)
@@ -390,7 +392,7 @@ class TestPortfolio:
         from repro.pipeline.batch import last_batch_stats
 
         results = solve_many(
-            [(triangle_cascade(3), "ghw")], solver="portfolio"
+            [(triangle_cascade(3), "ghw")], solver="portfolio", bounds="none"
         )
         assert results[0].unwrap()[0] == 2
         stats = last_batch_stats()

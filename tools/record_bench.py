@@ -11,7 +11,10 @@ benchmark workloads in-process and writes one JSON file per benchmark:
   parity, scheduler counters, speedup);
 * ``BENCH_E21.json``  — the solver-portfolio race (per-mode wall
   clocks and the portfolio-vs-best-pure speedup), when
-  ``--only e21`` is requested (slower; not in the default set).
+  ``--only e21`` is requested (slower; not in the default set);
+* ``BENCH_E22.json``  — the bounds pre-pass collapse (exact Check
+  tasks with vs without the pre-pass, identical widths), when
+  ``--only e22`` is requested.
 
 Each file separates ``metrics`` (deterministic counters — meaningful to
 diff across commits) from ``timings`` (wall-clock — machine-dependent,
@@ -19,6 +22,7 @@ informational).  Regenerate after perf-relevant changes::
 
     python tools/record_bench.py            # E12 + E19b
     python tools/record_bench.py --only e21 # the portfolio race
+    python tools/record_bench.py --only e22 # the bounds collapse
 """
 
 from __future__ import annotations
@@ -118,13 +122,27 @@ def record_e21() -> dict:
     }
 
 
+def record_e22() -> dict:
+    """The E22 bounds collapse: exact tasks with vs without the pass."""
+    from bench_e22_bounds_collapse import collapse
+
+    report = collapse()
+    return {
+        "benchmark": "E22",
+        "title": "bounds pre-pass collapsing the exact k-search",
+        "metrics": report["metrics"],
+        "timings": report["timings"],
+    }
+
+
 RECORDERS = {
     "e12": ("BENCH_E12.json", record_e12),
     "e19b": ("BENCH_E19b.json", record_e19b),
     "e21": ("BENCH_E21.json", record_e21),
+    "e22": ("BENCH_E22.json", record_e22),
 }
 
-#: E21 runs a full three-mode race, so it is opt-in.
+#: E21 and E22 run multi-mode comparisons, so they are opt-in.
 DEFAULT = ("e12", "e19b")
 
 

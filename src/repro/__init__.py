@@ -13,6 +13,10 @@ A complete reproduction of the paper's systems:
 * the reduce → split → solve → stitch instance pipeline
   behind every width query (:class:`WidthSolver`), plus
   batched multi-instance serving (:func:`solve_many`)    — :mod:`repro.pipeline`
+* a crash-tolerant persistent result store (settled
+  verdicts, witnesses and oracle caches survive restarts) — :mod:`repro.store`
+* the always-on ``repro serve`` daemon: HTTP front-end
+  with admission control and request coalescing           — :mod:`repro.serve`
 * a second exact engine: CNF-encoded width checks with a
   bundled CDCL core, raced against branch-and-bound in
   ``solver="portfolio"`` mode                            — :mod:`repro.sat`
@@ -78,8 +82,13 @@ from .pipeline import (
     solve_many,
     solve_width,
 )
+from .store import ResultStore
 
-__version__ = "1.4.0"
+#: Single source of truth for the package version: ``pyproject.toml``
+#: reads this attribute at build time (``[tool.setuptools.dynamic]``)
+#: and ``tests/test_docs.py`` pins the agreement, so the version can
+#: never fork between the package, the build metadata and the docs.
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",
@@ -91,6 +100,7 @@ __all__ = [
     "BatchResult",
     "BatchScheduler",
     "BatchStats",
+    "ResultStore",
     "Hypergraph",
     "degree",
     "intersection_width",

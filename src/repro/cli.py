@@ -7,6 +7,9 @@ Usage (also ``python -m repro``)::
     repro decompose queries.hg -k 2 --json  # decomposition as JSON
     repro bounds big.hg                     # heuristic sandwich for fhw
     repro batch manifest.json --jobs 4      # batched multi-instance solve
+    repro serve --store cache/ --port 8765  # always-on solving daemon
+    repro warm cache/ manifest.json         # pre-populate a result store
+    repro store stats cache/                # inspect a result store
     repro reduce formula.cnf                # Theorem 3.2 reduction report
     repro generate cycle 8                  # emit a family instance
 
@@ -340,6 +343,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         executor=args.executor,
         solver=getattr(args, "solver", None) or "bb",
         bounds=getattr(args, "bounds", None) or "portfolio",
+        store=getattr(args, "store", None),
     )
     stats = last_batch_stats()
     failed = [r for r in results if not r.ok]
@@ -359,6 +363,126 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             f"({stats.requests_per_second:.1f} req/s)"
         )
     return 1 if failed else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the always-on decomposition daemon until interrupted."""
+    import asyncio
+
+    from .serve import DecompositionServer
+
+    server = DecompositionServer(
+        host=args.host,
+        port=args.port,
+        store=args.store,
+        fsync=args.fsync,
+        jobs=args.jobs,
+        solver=getattr(args, "solver", None) or "bb",
+        bounds=getattr(args, "bounds", None) or "portfolio",
+        preprocess=getattr(args, "preprocess", None) or "full",
+        max_in_flight=args.max_in_flight,
+        max_queue=args.max_queue,
+    )
+
+    async def _run() -> None:
+        await server.start()
+        where = (
+            f"store: {server.store.path}"
+            if server.store is not None
+            else "no store"
+        )
+        print(
+            f"repro serve: http://{server.host}:{server.port} ({where})",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            # Drain before the loop dies so admitted solves still land
+            # in the store — Ctrl-C loses queued work, never answers.
+            await server.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("repro serve: drained and stopped", file=sys.stderr)
+    return 0
+
+
+def _cmd_warm(args: argparse.Namespace) -> int:
+    """Pre-populate a result store from a manifest (offline warm-up)."""
+    from .pipeline import last_batch_stats, solve_many
+    from .store import ResultStore
+
+    try:
+        requests = _load_manifest(args.manifest)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    with ResultStore(args.store_dir, fsync=args.fsync) as store:
+        results = solve_many(
+            requests,
+            jobs=args.jobs,
+            preprocess=args.preprocess or "full",
+            solver=getattr(args, "solver", None) or "bb",
+            bounds=getattr(args, "bounds", None) or "portfolio",
+            store=store,
+        )
+        stats = last_batch_stats()
+        failed = [r for r in results if not r.ok]
+        summary = {
+            "requests": stats.requests,
+            "failures": len(failed),
+            "already_stored": stats.store_instance_hits,
+            "records_appended": stats.store_records_appended,
+            "store_entries": len(store),
+            "seconds": round(stats.total_seconds, 3),
+        }
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        for result in results:
+            print(_format_batch_result(result))
+        print(
+            f"warm: {summary['requests']} requests "
+            f"({summary['already_stored']} already stored), "
+            f"{summary['records_appended']} records appended, "
+            f"{summary['store_entries']} entries total, "
+            f"{summary['seconds']}s"
+        )
+    return 1 if failed else 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    """Inspect a result store (currently: ``repro store stats DIR``)."""
+    from .store import STORE_FILENAME, ResultStore
+
+    path = Path(args.store_dir)
+    if not (path / STORE_FILENAME).exists():
+        print(
+            f"no result store at {path} (missing {STORE_FILENAME})",
+            file=sys.stderr,
+        )
+        return 1
+    with ResultStore(path) as store:
+        info = store.stats.as_dict()
+        info["path"] = str(path)
+        info["records_by_type"] = store.type_counts()
+    if args.json:
+        print(json.dumps(info, indent=2))
+    else:
+        for key in (
+            "path",
+            "entries",
+            "records_loaded",
+            "records_skipped",
+            "bytes_valid",
+            "bytes_skipped",
+        ):
+            print(f"{key:>16}: {info[key]}")
+        for tag, count in info["records_by_type"].items():
+            print(f"{tag:>16}: {count}")
+    return 0
 
 
 def _cmd_reduce(args: argparse.Namespace) -> int:
@@ -498,6 +622,9 @@ def _print_batch_stats() -> None:
         "bounds_checks_avoided",
         "bounds_blocks_decided",
         "anytime_answers",
+        "store_instance_hits",
+        "store_blocks_seeded",
+        "store_records_appended",
         "tasks_run",
         "speculative_checks",
         "tasks_cancelled",
@@ -642,7 +769,91 @@ def build_parser() -> argparse.ArgumentParser:
         default="thread",
         help="worker pool type (thread shares warm engine caches)",
     )
+    p_batch.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help=(
+            "persistent result store directory: stored answers are "
+            "served without solving, new verdicts are written back"
+        ),
+    )
     p_batch.set_defaults(func=_cmd_batch)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="always-on solving daemon over HTTP with a persistent store",
+        description=(
+            "Serve width queries over HTTP (POST /solve, GET /stats, "
+            "GET /healthz).  Identical concurrent requests coalesce "
+            "into one scheduler run; admission control bounds in-flight "
+            "work (HTTP 429 beyond it, 503 while draining); with "
+            "--store, every settled verdict persists and a restarted "
+            "daemon answers repeats without solving."
+        ),
+        parents=[engine_options],
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8765)
+    p_serve.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="persistent result store directory (omit for memory-only)",
+    )
+    p_serve.add_argument(
+        "--fsync",
+        action="store_true",
+        help="fsync every appended store record (safest, slowest)",
+    )
+    p_serve.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=4,
+        metavar="N",
+        help="concurrent solves (thread-pool width, default 4)",
+    )
+    p_serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=32,
+        metavar="N",
+        help="waiting computations beyond which requests get 429",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_warm = sub.add_parser(
+        "warm",
+        help="pre-populate a result store from a batch manifest",
+        description=(
+            "Solve a manifest of width queries with a persistent store "
+            "attached, so a later `repro serve --store` answers them "
+            "instantly.  Already-stored answers are skipped; the run "
+            "is idempotent."
+        ),
+        parents=[engine_options],
+    )
+    p_warm.add_argument("store_dir", help="result store directory")
+    p_warm.add_argument("manifest", help="JSON manifest of width queries")
+    p_warm.add_argument("--json", action="store_true")
+    p_warm.add_argument(
+        "--fsync",
+        action="store_true",
+        help="fsync every appended store record",
+    )
+    p_warm.set_defaults(func=_cmd_warm)
+
+    p_store = sub.add_parser(
+        "store",
+        help="inspect a persistent result store",
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+    p_store_stats = store_sub.add_parser(
+        "stats", help="record counts and log health of a store"
+    )
+    p_store_stats.add_argument("store_dir", help="result store directory")
+    p_store_stats.add_argument("--json", action="store_true")
+    p_store_stats.set_defaults(func=_cmd_store)
 
     p_red = sub.add_parser("reduce", help="Theorem 3.2 reduction report")
     p_red.add_argument("file", help="DIMACS CNF file")

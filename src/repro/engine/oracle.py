@@ -247,6 +247,122 @@ class CoverOracle:
         )
 
     # ------------------------------------------------------------------
+    # Persistence (the result store spills/reloads these entries)
+    # ------------------------------------------------------------------
+    def export_entries(self, limit: int | None = None) -> list:
+        """The cached LP answers as plain JSON-ready entries.
+
+        Only the LP-backed kinds (``"frac"``, ``"capped"``) are
+        exported — they are the expensive solves worth persisting —
+        and only entries whose bag/allowed elements are JSON scalars
+        (strings or ints), so the export round-trips losslessly.
+        Entries are newest-first; ``limit`` bounds the export size.
+
+        Each entry is ``[kind, bag, allowed, weights]`` with ``bag`` a
+        sorted list, ``allowed`` a sorted list or None, and ``weights``
+        the cover's edge-weight mapping or None for an infeasible bag.
+        """
+        out: list = []
+        for key, value in reversed(self._cache.items()):
+            kind, bag, allowed = key
+            if kind not in ("frac", "capped"):
+                continue
+            if not all(isinstance(v, (str, int)) for v in bag):
+                continue
+            if allowed is not None and not all(
+                isinstance(e, str) for e in allowed
+            ):
+                continue
+            cover = value[0]
+            out.append(
+                [
+                    kind,
+                    sorted(bag, key=repr),
+                    None if allowed is None else sorted(allowed),
+                    None if cover is None else dict(cover.weights),
+                ]
+            )
+            if limit is not None and len(out) >= limit:
+                break
+        return out
+
+    def import_entries(self, entries: list) -> int:
+        """Seed the cache from an export; returns entries accepted.
+
+        Imported data is untrusted (it may come from a store log), so
+        every entry is checked before it can influence answers:
+        feasible covers must actually cover their bag within the
+        allowed edges using existing edges, and *infeasible* verdicts
+        are re-derived exactly (a fractional cover is infeasible iff
+        some bag vertex lies in no allowed edge).  Rejected entries
+        are skipped silently — a bad record is a cache miss, never a
+        wrong answer.  Counters are untouched: importing is neither a
+        hit nor a miss.
+        """
+        accepted = 0
+        for entry in entries:
+            if not (isinstance(entry, (list, tuple)) and len(entry) == 4):
+                continue
+            kind, bag_list, allowed_list, weights = entry
+            if kind not in ("frac", "capped"):
+                continue
+            if not isinstance(bag_list, (list, tuple)):
+                continue
+            bag = self.context.intern(frozenset(bag_list))
+            if not bag or not bag <= self.hypergraph.vertices:
+                continue
+            if allowed_list is None:
+                allowed = None
+                usable = set(self.hypergraph.edges)
+            else:
+                if not isinstance(allowed_list, (list, tuple)):
+                    continue
+                allowed = frozenset(allowed_list)
+                if not allowed <= set(self.hypergraph.edges):
+                    continue
+                usable = set(allowed)
+            if weights is None:
+                # Exact re-derivation of the infeasibility verdict.
+                covered: set = set()
+                for name in usable:
+                    covered |= self.hypergraph.edge(name)
+                if bag <= covered:
+                    continue
+                cover = None
+            else:
+                if not isinstance(weights, dict):
+                    continue
+                try:
+                    cover = FractionalCover(
+                        {str(e): float(w) for e, w in weights.items()}
+                    )
+                except (TypeError, ValueError):
+                    continue
+                if not set(cover.weights) <= usable:
+                    continue
+                feasible = all(
+                    sum(
+                        w
+                        for e, w in cover.weights.items()
+                        if v in self.hypergraph.edge(e)
+                    )
+                    >= 1.0 - EPS
+                    for v in bag
+                )
+                if not feasible:
+                    continue
+            key = self._key(kind, bag, allowed)
+            if self.cache_size and key not in self._cache:
+                self._cache[key] = (cover,)
+                while len(self._cache) > self.cache_size:
+                    try:
+                        self._cache.popitem(last=False)
+                    except KeyError:  # pragma: no cover - concurrent clear
+                        break
+                accepted += 1
+        return accepted
+
+    # ------------------------------------------------------------------
     # Integral covers
     # ------------------------------------------------------------------
     def integral_cover(

@@ -71,6 +71,7 @@ class Hypergraph:
         "_incidence",
         "_primal",
         "_hash",
+        "_canonical",
         "name",
     )
 
@@ -95,6 +96,7 @@ class Hypergraph:
         self._edges_view: Mapping[str, frozenset] = MappingProxyType(self._edges)
         self._primal: dict[Vertex, frozenset] | None = None
         self._hash: int | None = None
+        self._canonical: str | None = None
         self.name = name
 
     # ------------------------------------------------------------------
@@ -149,6 +151,41 @@ class Hypergraph:
         if self._hash is None:
             self._hash = hash((self._vertices, frozenset(self._edges.items())))
         return self._hash
+
+    def canonical_hash(self) -> str:
+        """A process-stable content hash of the hypergraph (hex digest).
+
+        Unlike ``hash()`` (salted per process for strings), this digest
+        is identical across interpreter runs for equal hypergraphs, so
+        it can key persistent artifacts — the result store and the
+        serve layer's request coalescing both use it.  The digest
+        covers the edge names, edge contents and declared isolated
+        vertices (not the display ``name``); vertices are tagged with
+        their type so ``"1"`` and ``1`` never collide.  Computed once
+        and cached (the hypergraph is immutable).
+        """
+        if self._canonical is None:
+            import hashlib
+
+            def token(v: Vertex) -> str:
+                if isinstance(v, str):
+                    return "s:" + v
+                if isinstance(v, int):
+                    return "i:" + str(v)
+                return "r:" + repr(v)
+
+            parts = []
+            for name in sorted(self._edges):
+                vs = ",".join(sorted(token(v) for v in self._edges[name]))
+                parts.append(f"{name}({vs})")
+            isolated = self._vertices - frozenset().union(
+                *self._edges.values()
+            )
+            if isolated:
+                parts.append("|" + ",".join(sorted(map(token, isolated))))
+            digest = hashlib.sha256(";".join(parts).encode("utf-8"))
+            self._canonical = digest.hexdigest()
+        return self._canonical
 
     def __repr__(self) -> str:
         label = f" {self.name!r}" if self.name else ""

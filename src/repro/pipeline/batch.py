@@ -46,6 +46,7 @@ from concurrent.futures import FIRST_COMPLETED, wait
 from dataclasses import dataclass, field
 
 from ..hypergraph import Hypergraph
+from ..store import ResultStore, checked_witness
 from .bounds import BOUNDS_MODES, compute_block_bounds, seeded_block_state
 from .solve import (
     _ABORTABLE,
@@ -302,6 +303,14 @@ class BatchStats:
         Requests for which the pre-pass held a full witness set — a
         valid (if possibly non-optimal) answer — before any exact
         check ran.
+    store_instance_hits : int
+        Requests answered entirely from the persistent result store
+        (the instance fast path: no prepare, no bounds, no tasks).
+    store_blocks_seeded : int
+        Blocks whose verdict was seeded from the store, skipping both
+        the bounds pre-pass and the exact engine for them.
+    store_records_appended : int
+        Records the batch wrote back to the store during this run.
     prepare_seconds, solve_seconds, stitch_seconds, total_seconds : float
         Wall-clock per stage; ``solve_seconds`` is the drive loop
         (stitching happens inside it on the driver thread and is also
@@ -328,6 +337,9 @@ class BatchStats:
     bounds_checks_avoided: int = 0
     bounds_blocks_decided: int = 0
     anytime_answers: int = 0
+    store_instance_hits: int = 0
+    store_blocks_seeded: int = 0
+    store_records_appended: int = 0
     prepare_seconds: float = 0.0
     solve_seconds: float = 0.0
     stitch_seconds: float = 0.0
@@ -369,6 +381,9 @@ class BatchStats:
             "bounds_checks_avoided": self.bounds_checks_avoided,
             "bounds_blocks_decided": self.bounds_blocks_decided,
             "anytime_answers": self.anytime_answers,
+            "store_instance_hits": self.store_instance_hits,
+            "store_blocks_seeded": self.store_blocks_seeded,
+            "store_records_appended": self.store_records_appended,
             "prepare_seconds": self.prepare_seconds,
             "solve_seconds": self.solve_seconds,
             "stitch_seconds": self.stitch_seconds,
@@ -391,6 +406,7 @@ class _Instance:
         "result",
         "dkind",
         "solver",
+        "solver_mode",
         "engines",
         "mode",
         "params",
@@ -410,6 +426,9 @@ class _Instance:
         "bounds_checks_avoided",
         "bounds_blocks_decided",
         "anytime",
+        "store",
+        "store_hit",
+        "store_seeded",
     )
 
     def __init__(self, index: int, request: BatchRequest) -> None:
@@ -425,6 +444,9 @@ class _Instance:
         self.bounds_checks_avoided = 0
         self.bounds_blocks_decided = 0
         self.anytime = False
+        self.store = None
+        self.store_hit = False
+        self.store_seeded = set()
 
     # -- lifecycle -----------------------------------------------------
     @property
@@ -446,8 +468,17 @@ class _Instance:
         preprocess: str,
         solver_mode: str = "bb",
         bounds: str = "portfolio",
+        store: ResultStore | None = None,
     ) -> None:
-        """Validate the request and run its reduce + split + bounds stages."""
+        """Validate the request and run its reduce + split + bounds stages.
+
+        With a ``store``, a persisted full answer short-circuits the
+        whole pipeline (the instance fast path: no reduce, no bounds,
+        no tasks), and persisted per-block verdicts seed the scheduler
+        state so only genuinely new blocks reach the bounds pass and
+        the exact engines.
+        """
+        self.store = store
         request = self.request
         if request.kind not in _KIND_TABLE:
             raise ValueError(
@@ -464,6 +495,7 @@ class _Instance:
                 f"solver must be one of {SOLVER_MODES}; got {mode!r}"
             )
         self.dkind, self.solver, self.mode = _KIND_TABLE[request.kind]
+        self.solver_mode = mode
         self.engines = engines_for(self.solver, mode)
         params = dict(request.params or {})
         if request.kind == "bounds":
@@ -480,6 +512,8 @@ class _Instance:
             if self.k < 1:
                 raise ValueError("width bound k must be >= 1")
         self.params = params
+        if self._load_from_store():
+            return
         self.reduced, self.blocks = prepare_instance(
             request.hypergraph, self.dkind, preprocess
         )
@@ -493,7 +527,133 @@ class _Instance:
         else:
             self.block_results = [_PENDING] * n
             self.submitted = [False] * n
+        self._seed_from_store()
         self._seed_from_bounds(bounds)
+
+    def _load_from_store(self) -> bool:
+        """Serve the whole request from a persisted instance record.
+
+        The stored answer only counts when its witness re-validates
+        against this request's hypergraph, kind and width — a corrupt
+        or mismatched record is a miss, and the instance proceeds to
+        solve normally.  A hit resolves the result before any reduce,
+        bounds or engine work happens (and therefore with zero LP
+        solves and zero check tasks — the property benchmark E23
+        asserts for a restarted ``repro serve``).
+        """
+        store = self.store
+        if store is None:
+            return False
+        request = self.request
+        value = store.get_instance(
+            request.hypergraph, request.kind, self.solver_mode, request.params
+        )
+        if not isinstance(value, dict):
+            return False
+        h = request.hypergraph
+        answer = None
+        if self.mode == "check":
+            if not value.get("accepted"):
+                answer = (None,)  # a trusted, CRC-protected rejection
+            else:
+                witness = checked_witness(
+                    h, value.get("witness"), self.dkind,
+                    width=float(self.k) + _EPS,
+                )
+                if witness is not None:
+                    answer = (witness,)
+        elif request.kind == "bounds":
+            lower, width = value.get("lower"), value.get("width")
+            if isinstance(lower, (int, float)) and isinstance(
+                width, (int, float)
+            ):
+                witness = checked_witness(
+                    h, value.get("witness"), self.dkind,
+                    width=float(width) + _EPS,
+                )
+                if witness is not None:
+                    answer = ((float(lower), witness.width(), witness),)
+        else:
+            width = value.get("width")
+            if isinstance(width, (int, float)) and width >= 1 - _EPS:
+                witness = checked_witness(
+                    h, value.get("witness"), self.dkind,
+                    width=float(width) + _EPS,
+                )
+                if witness is not None:
+                    if request.kind in ("hw", "ghw", "ghw-exact"):
+                        width = int(width)
+                    answer = ((width, witness),)
+        if answer is None:
+            return False
+        self.result._resolve(answer[0])
+        self.finalized = True
+        self.store_hit = True
+        return True
+
+    def _seed_from_store(self) -> None:
+        """Seed per-block state from persisted verdicts and oracle entries.
+
+        Store-decided blocks are excluded from the bounds pre-pass
+        (which runs LP solves) and from task generation; persisted
+        cover-oracle exports warm each block's oracle cache before any
+        engine runs.  ``"bounds"`` requests only use instance records —
+        their 3-tuple block results have no store encoding.
+        """
+        store = self.store
+        if store is None or self.request.kind == "bounds":
+            return
+        for block in self.blocks:
+            entries = store.get_oracle_entries(block.hypergraph)
+            if entries:
+                from ..engine.oracle import oracle_for  # lazy: no cycles
+
+                oracle_for(block.hypergraph).import_entries(entries)
+        if self.mode == "iterative":
+            for b, block in enumerate(self.blocks):
+                hit = store.get_block(
+                    block.hypergraph, self.dkind, self.solver_mode,
+                    self.params,
+                )
+                if hit is None:
+                    continue
+                width, witness = hit
+                cap = self.caps[b]
+                state = BlockState()
+                # One record seeds the whole k-search: every k below
+                # the stored width is a rejection by monotonicity.
+                for k in range(1, min(width, cap + 1)):
+                    state.results[k] = None
+                if width <= cap:
+                    state.results[width] = witness
+                state.settle()
+                self.states[b] = state
+                self.store_seeded.add(b)
+        elif self.mode == "oneshot":
+            for b, block in enumerate(self.blocks):
+                hit = store.get_block_exact(
+                    block.hypergraph, self.dkind, self.solver_mode,
+                    self.params,
+                )
+                if hit is not None:
+                    self.block_results[b] = hit
+                    self.submitted[b] = True
+                    self.store_seeded.add(b)
+        else:  # check
+            for b, block in enumerate(self.blocks):
+                hit = store.get_check(
+                    block.hypergraph, self.dkind, self.k,
+                    self.solver_mode, self.params,
+                )
+                if hit is None:
+                    continue
+                accepted, witness = hit
+                self.store_seeded.add(b)
+                if not accepted:
+                    self.rejected = True
+                    break
+                self.block_results[b] = witness
+                self.submitted[b] = True
 
     def _seed_from_bounds(self, bounds: str) -> None:
         """Run the bounds pre-pass and fold its verdicts into the state.
@@ -505,50 +665,148 @@ class _Instance:
         reject outright when a block's lower bound exceeds k and accept
         blocks whose validated witness already fits (complete hd/ghd
         checks without enumeration caps only).  ``"bounds"`` requests
-        skip the pass — they *are* the heuristic.
+        skip the pass — they *are* the heuristic.  Blocks already
+        decided by the store are excluded: their verdicts stand, and
+        bounding them again would spend LP solves for nothing.
         """
         if bounds == "none" or self.request.kind == "bounds":
             return
+        if self.rejected:
+            return  # store-seeded check rejection: nothing left to bound
         t0 = time.perf_counter()
-        bounds_list = [
-            compute_block_bounds(b.hypergraph, self.dkind, mode=bounds)
-            for b in self.blocks
-        ]
+        bounds_map = {
+            b: compute_block_bounds(
+                block.hypergraph, self.dkind, mode=bounds
+            )
+            for b, block in enumerate(self.blocks)
+            if b not in self.store_seeded
+        }
         self.bounds_seconds = time.perf_counter() - t0
-        if bounds_list and all(b.witness is not None for b in bounds_list):
+        if self.blocks and all(
+            bounds_map[b].witness is not None
+            if b in bounds_map
+            else self._seeded_witness(b)
+            for b in range(len(self.blocks))
+        ):
             self.anytime = True
         if self.mode == "iterative":
-            self.states = [
-                seeded_block_state(b, cap)
-                for b, cap in zip(bounds_list, self.caps)
-            ]
-            for b, cap, state in zip(bounds_list, self.caps, self.states):
-                below = min(b.lower_k - 1, cap)
+            for b, bound in bounds_map.items():
+                cap = self.caps[b]
+                state = seeded_block_state(bound, cap)
+                self.states[b] = state
+                below = min(bound.lower_k - 1, cap)
                 self.bounds_ks_pruned += max(0, below)
                 self.bounds_checks_avoided += max(0, below)
-                if b.upper_k is not None and b.upper_k <= cap:
-                    self.bounds_ks_pruned += cap - b.upper_k + 1
+                if bound.upper_k is not None and bound.upper_k <= cap:
+                    self.bounds_ks_pruned += cap - bound.upper_k + 1
                 if state.width is not None:
                     self.bounds_blocks_decided += 1
                     self.bounds_checks_avoided += 1
+                    self._persist_block(b)
         elif self.mode == "oneshot":
-            for i, b in enumerate(bounds_list):
-                if b.decided:
-                    self.block_results[i] = (b.upper, b.witness)
+            for i, bound in bounds_map.items():
+                if bound.decided:
+                    self.block_results[i] = (bound.upper, bound.witness)
                     self.submitted[i] = True
                     self.bounds_blocks_decided += 1
                     self.bounds_checks_avoided += 1
+                    self._persist_block(i)
         else:  # check
-            if any(b.lower > self.k + _EPS for b in bounds_list):
+            if any(b.lower > self.k + _EPS for b in bounds_map.values()):
                 self.rejected = True
                 self.bounds_checks_avoided += len(self.blocks)
                 return
             if self.dkind in ("hd", "ghd") and set(self.params) <= {"method"}:
-                for i, b in enumerate(bounds_list):
-                    if b.witness is not None and b.upper <= self.k + _EPS:
-                        self.block_results[i] = b.witness
+                for i, bound in bounds_map.items():
+                    if bound.witness is not None and (
+                        bound.upper <= self.k + _EPS
+                    ):
+                        self.block_results[i] = bound.witness
                         self.submitted[i] = True
                         self.bounds_checks_avoided += 1
+                        self._persist_block(i)
+
+    def _seeded_witness(self, b: int) -> bool:
+        """Whether store-seeded block ``b`` carries a usable witness."""
+        if self.mode == "iterative":
+            return self.states[b].witness is not None
+        value = self.block_results[b]
+        if value is _PENDING or value is None:
+            return False
+        return True
+
+    def _persist_block(self, b: int) -> None:
+        """Write one decided block's verdict back to the store.
+
+        Idempotent (the store skips existing keys) and best-effort: a
+        full disk must not fail the request that just solved.
+        """
+        store = self.store
+        if store is None or self.request.kind == "bounds":
+            return
+        block_h = self.blocks[b].hypergraph
+        try:
+            if self.mode == "iterative":
+                state = self.states[b]
+                if state.width is not None and state.witness is not None:
+                    store.put_block(
+                        block_h, self.dkind, self.solver_mode, self.params,
+                        state.width, state.witness,
+                    )
+            elif self.mode == "oneshot":
+                value = self.block_results[b]
+                if value is not _PENDING:
+                    width, witness = value
+                    store.put_block_exact(
+                        block_h, self.dkind, self.solver_mode, self.params,
+                        float(width), witness,
+                    )
+            else:
+                value = self.block_results[b]
+                if value is not _PENDING:
+                    store.put_check(
+                        block_h, self.dkind, self.k, self.solver_mode,
+                        self.params, value,
+                    )
+        except OSError:  # pragma: no cover - disk trouble is best-effort
+            pass
+
+    def _persist_instance(self, value) -> None:
+        """Write the stitched full answer (and oracle exports) back."""
+        store = self.store
+        if store is None:
+            return
+        request = self.request
+        try:
+            if self.mode == "check":
+                payload = {
+                    "accepted": value is not None,
+                    "witness": None if value is None else value.as_dict(),
+                }
+            elif request.kind == "bounds":
+                lower, width, witness = value
+                payload = {
+                    "lower": float(lower),
+                    "width": float(width),
+                    "witness": witness.as_dict(),
+                }
+            else:
+                width, witness = value
+                payload = {"width": width, "witness": witness.as_dict()}
+            store.put_instance(
+                request.hypergraph, request.kind, self.solver_mode,
+                request.params, payload,
+            )
+            from ..engine.oracle import oracle_for  # lazy: no cycles
+
+            for block in self.blocks or ():
+                entries = oracle_for(block.hypergraph).export_entries(
+                    limit=512
+                )
+                if entries:
+                    store.put_oracle_entries(block.hypergraph, entries)
+        except OSError:  # pragma: no cover - disk trouble is best-effort
+            pass
 
     # -- task generation ----------------------------------------------
     def task_params(self, k: int | None) -> dict:
@@ -592,15 +850,23 @@ class _Instance:
 
     # -- completion ----------------------------------------------------
     def record(self, b: int, k: int | None, value) -> None:
-        """Fold one finished task back into the instance state."""
+        """Fold one finished task back into the instance state.
+
+        Settled verdicts are spilled to the result store (when one is
+        attached) right here, on the settle *transition* — a crash
+        later in the batch still keeps every verdict paid for so far.
+        """
         if self.mode == "iterative":
             state = self.states[b]
             state.results[k] = value
             state.settle()
+            if state.width is not None:
+                self._persist_block(b)
         else:
             self.block_results[b] = value
             if self.mode == "check" and value is None:
                 self.rejected = True
+            self._persist_block(b)
 
     def has_result(self, b: int, k: int | None) -> bool:
         """Whether task ``(b, k)`` already recorded an answer.
@@ -662,10 +928,14 @@ class _Instance:
     def finalize(self) -> None:
         """Stitch the block witnesses deterministically and resolve."""
         try:
-            self.result._resolve(self._assemble())
+            value = self._assemble()
         except Exception as exc:  # validation failures stay per-request
             self.result._resolve(error=exc)
+            self.finalized = True
+            return
+        self.result._resolve(value)
         self.finalized = True
+        self._persist_instance(value)
 
     def _stitch(self, witnesses, width):
         return stitch_instance(
@@ -747,6 +1017,14 @@ class BatchScheduler:
         lower bound, cap speculation at the portfolio witness, and skip
         the exact engine outright for decided blocks.  Answers are
         identical in every mode.
+    store : ResultStore or str, optional
+        Persistent result store to seed from and write back to.  A
+        path opens a :class:`~repro.store.ResultStore` at that
+        directory for the scheduler's lifetime.  Persisted answers
+        short-circuit whole requests (the instance fast path) or
+        single blocks (skipping their bounds pre-pass and exact
+        engine); every settled verdict is appended back, so a
+        restarted process answers repeats without solving anything.
     """
 
     def __init__(
@@ -756,6 +1034,7 @@ class BatchScheduler:
         executor: str = "thread",
         solver: str = "bb",
         bounds: str = "portfolio",
+        store: ResultStore | str | None = None,
     ) -> None:
         if preprocess not in PREPROCESS_MODES:
             raise ValueError(
@@ -772,6 +1051,10 @@ class BatchScheduler:
         self.executor = executor
         self.solver = solver
         self.bounds = bounds
+        if store is None or isinstance(store, ResultStore):
+            self.store = store
+        else:
+            self.store = ResultStore(store)
         self.instances: list[_Instance] = []
         self.last_stats: BatchStats | None = None
 
@@ -1023,6 +1306,11 @@ class BatchScheduler:
             bounds=self.bounds,
         )
         baseline = engine.stats()
+        store_baseline = (
+            self.store.stats.records_appended
+            if self.store is not None
+            else 0
+        )
         t_start = time.perf_counter()
         for instance in self.instances:
             if not instance.active:
@@ -1030,7 +1318,9 @@ class BatchScheduler:
             kind = instance.request.kind
             stats.kinds[kind] = stats.kinds.get(kind, 0) + 1
             try:
-                instance.prepare(self.preprocess, self.solver, self.bounds)
+                instance.prepare(
+                    self.preprocess, self.solver, self.bounds, self.store
+                )
             except Exception as exc:
                 instance.fail(exc)
         stats.blocks = sum(
@@ -1044,12 +1334,18 @@ class BatchScheduler:
             stats.bounds_checks_avoided += inst.bounds_checks_avoided
             stats.bounds_blocks_decided += inst.bounds_blocks_decided
             stats.anytime_answers += 1 if inst.anytime else 0
+            stats.store_instance_hits += 1 if inst.store_hit else 0
+            stats.store_blocks_seeded += len(inst.store_seeded)
         stats.prepare_seconds = time.perf_counter() - t_start
         t_solve = time.perf_counter()
         self._drive(stats)
         stats.solve_seconds = time.perf_counter() - t_solve
         stats.total_seconds = time.perf_counter() - t_start
         stats.failures = sum(1 for inst in self.instances if inst.failed)
+        if self.store is not None:
+            stats.store_records_appended = (
+                self.store.stats.records_appended - store_baseline
+            )
         current = engine.stats()
         for key, attr in (
             ("lp_solves", "lp_solves"),
@@ -1072,6 +1368,7 @@ def solve_many(
     backend: str | None = None,
     solver: str = "bb",
     bounds: str = "portfolio",
+    store: ResultStore | str | None = None,
 ) -> list[BatchResult]:
     """Solve a batch of width queries on one shared scheduler.
 
@@ -1110,6 +1407,12 @@ def solve_many(
         (default), ``"clique"`` or ``"none"``; see
         :data:`~repro.pipeline.bounds.BOUNDS_MODES`.  Only affects
         which exact checks run, never the answers.
+    store : ResultStore or str, optional
+        Persistent result store (or its directory path).  Persisted
+        answers are served without solving; settled verdicts are
+        written back.  A path passed here is opened for the call and
+        closed afterwards; pass an open
+        :class:`~repro.store.ResultStore` to keep it across calls.
 
     Returns
     -------
@@ -1128,22 +1431,28 @@ def solve_many(
     """
     from .. import engine  # lazy: keeps the pipeline package cycle-free
 
+    owned_store = store is not None and not isinstance(store, ResultStore)
     scheduler = BatchScheduler(
         jobs=jobs,
         preprocess=preprocess,
         executor=executor,
         solver=solver,
         bounds=bounds,
+        store=store,
     )
     results = [scheduler.submit(request) for request in requests]
-    if backend is not None:
-        config = engine.engine_config()
-        previous = config.backend
-        engine.configure(backend=backend)
-        try:
+    try:
+        if backend is not None:
+            config = engine.engine_config()
+            previous = config.backend
+            engine.configure(backend=backend)
+            try:
+                scheduler.run()
+            finally:
+                config.backend = previous
+        else:
             scheduler.run()
-        finally:
-            config.backend = previous
-    else:
-        scheduler.run()
+    finally:
+        if owned_store:
+            scheduler.store.close()
     return results

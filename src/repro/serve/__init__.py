@@ -1,0 +1,52 @@
+"""Always-on serving: the ``repro serve`` daemon and its client.
+
+The batch layer (:mod:`repro.pipeline.batch`) amortizes work within
+one process invocation; this package keeps that process *alive*.  An
+asyncio HTTP front-end (standard library only) accepts width queries,
+admission-controls them (bounded in-flight work, fast 429/503
+rejections), coalesces identical concurrent requests into one
+scheduler run, and persists every settled verdict through
+:mod:`repro.store` — so a restarted daemon answers a repeat-heavy
+workload with zero LP solves and zero exact check tasks (benchmark
+E23, ``benchmarks/bench_e23_warm_restart.py``).
+
+Quickstart (server)::
+
+    repro serve --store /var/lib/repro --port 8765
+
+Quickstart (client)::
+
+    from repro.serve import ServeClient
+    client = ServeClient(port=8765)
+    answer = client.solve(h, kind="ghw")["answer"]
+
+See :mod:`repro.serve.protocol` for the wire format,
+:mod:`repro.serve.server` for admission/coalescing semantics, and
+``docs/architecture.md`` for how the pieces fit the pipeline.
+"""
+
+from .client import ServeClient, ServeError
+from .protocol import (
+    ProtocolError,
+    answer_payload,
+    hypergraph_from_payload,
+    hypergraph_to_payload,
+    request_from_payload,
+    request_key,
+    request_to_payload,
+)
+from .server import DecompositionServer, ServerStats
+
+__all__ = [
+    "DecompositionServer",
+    "ServerStats",
+    "ServeClient",
+    "ServeError",
+    "ProtocolError",
+    "answer_payload",
+    "hypergraph_from_payload",
+    "hypergraph_to_payload",
+    "request_from_payload",
+    "request_key",
+    "request_to_payload",
+]

@@ -1,0 +1,174 @@
+"""Wire protocol of the ``repro serve`` daemon.
+
+Everything on the wire is JSON over HTTP/1.1 — no dependency beyond
+the standard library on either side.  A solve request posts::
+
+    {"hypergraph": {"edges": {"ab": ["a", "b"], ...},
+                    "vertices": [...],          # optional isolated ones
+                    "name": "query-17"},        # optional
+     "kind": "ghw",                             # any BATCH_KINDS entry
+     "params": {"k": 2, ...},                   # optional solver params
+     "solver": "sat",                           # optional mode override
+     "label": "q17"}                            # optional display name
+
+and receives the same answer encoding the persistent store uses for
+instance records (:mod:`repro.store`): ``{"width", "witness"}`` for
+width kinds, ``{"accepted", "witness"}`` for check kinds and
+``{"lower", "width", "witness"}`` for bounds — so a response can be
+re-validated client-side with
+:func:`repro.store.checked_witness` if desired.
+
+:func:`request_key` is the coalescing identity: two requests with the
+same canonical hypergraph hash, kind, effective solver mode and
+parameter fingerprint are *the same computation* and share one
+scheduler run server-side.
+"""
+
+from __future__ import annotations
+
+from ..hypergraph import Hypergraph
+from ..pipeline.batch import _KIND_TABLE, BATCH_KINDS, BatchRequest
+from ..pipeline.solve import SOLVER_MODES
+from ..store import params_fingerprint
+
+__all__ = [
+    "ProtocolError",
+    "hypergraph_to_payload",
+    "hypergraph_from_payload",
+    "request_from_payload",
+    "request_to_payload",
+    "request_key",
+    "answer_payload",
+]
+
+
+class ProtocolError(ValueError):
+    """A malformed request payload (mapped to HTTP 400)."""
+
+
+def hypergraph_to_payload(hypergraph: Hypergraph) -> dict:
+    """Encode a hypergraph as the wire's plain-JSON shape."""
+    payload: dict = {
+        "edges": {
+            name: sorted(map(str, vs))
+            for name, vs in hypergraph.edges.items()
+        }
+    }
+    isolated = hypergraph.isolated_vertices()
+    if isolated:
+        payload["vertices"] = sorted(map(str, isolated))
+    if hypergraph.name:
+        payload["name"] = hypergraph.name
+    return payload
+
+
+def hypergraph_from_payload(obj) -> Hypergraph:
+    """Decode the wire shape back into a :class:`Hypergraph`.
+
+    Raises
+    ------
+    ProtocolError
+        On any malformed shape — wrong types, empty edges, missing
+        keys.  Vertices arrive as strings (the wire is JSON), which is
+        also what keeps store keys and witnesses round-trippable.
+    """
+    if not isinstance(obj, dict):
+        raise ProtocolError("hypergraph must be a JSON object")
+    edges = obj.get("edges")
+    if not isinstance(edges, dict) or not edges:
+        raise ProtocolError("hypergraph needs a non-empty 'edges' object")
+    for name, vs in edges.items():
+        if not isinstance(vs, (list, tuple)) or not vs:
+            raise ProtocolError(f"edge {name!r} must be a non-empty list")
+        if not all(isinstance(v, str) for v in vs):
+            raise ProtocolError(f"edge {name!r} has non-string vertices")
+    declared = obj.get("vertices", [])
+    if not isinstance(declared, (list, tuple)) or not all(
+        isinstance(v, str) for v in declared
+    ):
+        raise ProtocolError("'vertices' must be a list of strings")
+    name = obj.get("name")
+    if name is not None and not isinstance(name, str):
+        raise ProtocolError("'name' must be a string")
+    try:
+        return Hypergraph(edges, vertices=declared, name=name)
+    except ValueError as exc:
+        raise ProtocolError(str(exc)) from exc
+
+
+def request_from_payload(obj) -> BatchRequest:
+    """Decode one solve request; raises :class:`ProtocolError`."""
+    if not isinstance(obj, dict):
+        raise ProtocolError("request body must be a JSON object")
+    unknown = set(obj) - {"hypergraph", "kind", "params", "solver", "label"}
+    if unknown:
+        raise ProtocolError(f"unknown request fields: {sorted(unknown)}")
+    hypergraph = hypergraph_from_payload(obj.get("hypergraph"))
+    kind = obj.get("kind", "ghw")
+    if kind not in BATCH_KINDS:
+        raise ProtocolError(f"kind must be one of {BATCH_KINDS}; got {kind!r}")
+    params = obj.get("params") or {}
+    if not isinstance(params, dict):
+        raise ProtocolError("'params' must be an object")
+    solver = obj.get("solver")
+    if solver is not None and solver not in SOLVER_MODES:
+        raise ProtocolError(
+            f"solver must be one of {SOLVER_MODES}; got {solver!r}"
+        )
+    label = obj.get("label")
+    if label is not None and not isinstance(label, str):
+        raise ProtocolError("'label' must be a string")
+    return BatchRequest(
+        hypergraph, kind=kind, params=params, label=label, solver=solver
+    )
+
+
+def request_to_payload(request: BatchRequest) -> dict:
+    """Encode a :class:`~repro.pipeline.batch.BatchRequest` for the wire."""
+    payload: dict = {
+        "hypergraph": hypergraph_to_payload(request.hypergraph),
+        "kind": request.kind,
+    }
+    if request.params:
+        payload["params"] = dict(request.params)
+    if request.solver is not None:
+        payload["solver"] = request.solver
+    if request.label is not None:
+        payload["label"] = request.label
+    return payload
+
+
+def request_key(request: BatchRequest, default_solver: str) -> tuple:
+    """The coalescing identity of a request.
+
+    Built from the canonical (process-stable) hypergraph hash, the
+    request kind, the *effective* solver mode and the parameter
+    fingerprint — exactly the dimensions the result store keys on, so
+    coalesced requests are also the ones that would share a store
+    record.
+    """
+    return (
+        request.hypergraph.canonical_hash(),
+        request.kind,
+        request.solver if request.solver is not None else default_solver,
+        params_fingerprint(request.params),
+    )
+
+
+def answer_payload(kind: str, value) -> dict:
+    """Encode a resolved batch value in the store's instance schema."""
+    mode = _KIND_TABLE[kind][2]
+    if mode == "check":
+        return {
+            "accepted": value is not None,
+            "witness": None if value is None else value.as_dict(),
+        }
+    if kind == "bounds":
+        lower, width, witness = value
+        return {
+            "lower": float(lower),
+            "width": float(width),
+            "witness": witness.as_dict(),
+        }
+    width, witness = value
+    return {"width": width, "witness": witness.as_dict()}

@@ -1,0 +1,396 @@
+"""The always-on decomposition daemon behind ``repro serve``.
+
+One asyncio event loop accepts HTTP/1.1 connections (hand-rolled over
+``asyncio.start_server`` — the standard library's ``http.server`` is
+thread-per-request and its asyncio story needs third-party packages,
+which this repo does not take).  Solves run on a bounded thread pool;
+the event loop itself never blocks on a solve.
+
+Three serving policies live here, each load-bearing for the test
+harness in ``tests/test_serve.py`` and benchmark E23:
+
+* **Admission control** — at most ``max_in_flight`` solves run
+  concurrently and at most ``max_queue`` more distinct computations
+  may wait.  Beyond that, new work is refused with HTTP 429
+  immediately (cheap rejection beats unbounded queueing); once
+  :meth:`DecompositionServer.stop` begins draining, new work gets 503
+  while admitted solves finish.
+* **Request coalescing** — requests are identified by
+  :func:`~.protocol.request_key` (canonical hypergraph hash, kind,
+  solver mode, parameter fingerprint).  N concurrent identical
+  requests share ONE scheduler run and all N receive its answer; the
+  ``coalesced`` counter and the single ``solves`` increment prove it.
+* **Persistent store** — every solve runs through
+  :class:`~repro.pipeline.batch.BatchScheduler` with the server's
+  :class:`~repro.store.ResultStore`, so verdicts survive restarts and
+  a restarted daemon answers a repeat-heavy workload with zero LP
+  solves and zero exact check tasks (``lp_solves`` / ``tasks_run`` in
+  ``GET /stats`` stay flat — asserted by E23).
+
+Failure isolation is per computation: a request whose solve raises
+resolves to HTTP 422 for its callers (including coalesced ones —
+they asked for the same computation) and disturbs nothing else.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from ..pipeline.batch import BatchScheduler
+from ..store import ResultStore
+from .protocol import (
+    ProtocolError,
+    answer_payload,
+    request_from_payload,
+    request_key,
+)
+
+__all__ = ["DecompositionServer", "ServerStats"]
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass
+class ServerStats:
+    """Lifetime counters of one :class:`DecompositionServer`.
+
+    Attributes
+    ----------
+    requests : int
+        Solve requests received (including rejected ones).
+    answers : int
+        Requests answered with a solve result (HTTP 200).
+    errors : int
+        Requests whose computation failed (HTTP 422).
+    coalesced : int
+        Requests that joined an already-in-flight identical
+        computation instead of starting their own.
+    rejected_busy : int
+        Requests refused with 429 (admission control full).
+    rejected_draining : int
+        Requests refused with 503 (server shutting down).
+    solves : int
+        Scheduler runs actually executed — with K identical
+        concurrent requests this increments once, not K times.
+    store_instance_hits, store_blocks_seeded : int
+        Store activity summed over all scheduler runs.
+    lp_solves, tasks_run : int
+        Engine LP solves and exact check tasks summed over all runs;
+        both stay at 0 when a warm store answers everything (E23).
+    """
+
+    requests: int = 0
+    answers: int = 0
+    errors: int = 0
+    coalesced: int = 0
+    rejected_busy: int = 0
+    rejected_draining: int = 0
+    solves: int = 0
+    store_instance_hits: int = 0
+    store_blocks_seeded: int = 0
+    lp_solves: int = 0
+    tasks_run: int = 0
+
+    def as_dict(self) -> dict:
+        """The counters as a JSON-ready dictionary."""
+        return {
+            "requests": self.requests,
+            "answers": self.answers,
+            "errors": self.errors,
+            "coalesced": self.coalesced,
+            "rejected_busy": self.rejected_busy,
+            "rejected_draining": self.rejected_draining,
+            "solves": self.solves,
+            "store_instance_hits": self.store_instance_hits,
+            "store_blocks_seeded": self.store_blocks_seeded,
+            "lp_solves": self.lp_solves,
+            "tasks_run": self.tasks_run,
+        }
+
+
+class DecompositionServer:
+    """Asyncio HTTP front-end over the batch scheduler.
+
+    Parameters
+    ----------
+    host, port : str, int
+        Listen address.  ``port=0`` (the default) picks a free port;
+        read :attr:`port` after :meth:`start`.
+    store : ResultStore or str or None
+        Persistent result store (or its directory).  ``None`` serves
+        from memoryless schedulers — coalescing still works, restarts
+        start cold.
+    fsync : bool
+        Passed to the store when opened from a path: fsync every
+        appended record.
+    jobs : int
+        Worker count *inside* each scheduler run (per-solve
+        parallelism; across-solve parallelism is ``max_in_flight``).
+    solver, bounds, preprocess : str
+        Scheduler configuration applied to every request (requests may
+        still override ``solver`` individually).
+    max_in_flight : int
+        Concurrent scheduler runs (thread-pool width).
+    max_queue : int
+        Additional distinct computations allowed to wait; beyond
+        ``max_in_flight + max_queue`` new computations get HTTP 429.
+
+    Endpoints: ``POST /solve``, ``GET /stats``, ``GET /healthz``.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        store: ResultStore | str | None = None,
+        fsync: bool = False,
+        jobs: int | None = None,
+        solver: str = "bb",
+        bounds: str = "portfolio",
+        preprocess: str = "full",
+        max_in_flight: int = 4,
+        max_queue: int = 32,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._owns_store = store is not None and not isinstance(
+            store, ResultStore
+        )
+        self.store = (
+            ResultStore(store, fsync=fsync) if self._owns_store else store
+        )
+        self.jobs = jobs
+        self.solver = solver
+        self.bounds = bounds
+        self.preprocess = preprocess
+        self.max_in_flight = max(1, int(max_in_flight))
+        self.max_queue = max(0, int(max_queue))
+        self.stats = ServerStats()
+        self._pending: dict[tuple, asyncio.Future] = {}
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.max_in_flight, thread_name_prefix="repro-serve"
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting connections (idempotent)."""
+        if self._server is not None:
+            return
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Drain and shut down: finish admitted solves, refuse new ones."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._pending:
+            await asyncio.gather(
+                *self._pending.values(), return_exceptions=True
+            )
+        self._executor.shutdown(wait=True)
+        if self._owns_store and self.store is not None:
+            self.store.close()
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and serve until cancelled."""
+        await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            status, payload = await self._handle_request(reader)
+            body = json.dumps(payload).encode("utf-8")
+            head = (
+                f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("ascii")
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - racing close
+                pass
+
+    async def _handle_request(self, reader) -> tuple[int, dict]:
+        request_line = await reader.readline()
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            return 400, {"error": "malformed request line"}
+        method, path = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            return 400, {"error": "bad Content-Length"}
+        body = await reader.readexactly(length) if length > 0 else b""
+        return await self._route(method, path, body)
+
+    async def _route(self, method: str, path: str, body: bytes):
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": "GET only"}
+            return 200, {"ok": True, "draining": self._draining}
+        if path == "/stats":
+            if method != "GET":
+                return 405, {"error": "GET only"}
+            return 200, self._stats_payload()
+        if path == "/solve":
+            if method != "POST":
+                return 405, {"error": "POST only"}
+            try:
+                payload = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                return 400, {"error": f"request body is not JSON: {exc}"}
+            return await self._solve(payload)
+        return 404, {"error": f"unknown path {path!r}"}
+
+    def _stats_payload(self) -> dict:
+        return {
+            "server": self.stats.as_dict(),
+            "store": (
+                None if self.store is None else self.store.stats.as_dict()
+            ),
+            "config": {
+                "jobs": self.jobs,
+                "solver": self.solver,
+                "bounds": self.bounds,
+                "preprocess": self.preprocess,
+                "max_in_flight": self.max_in_flight,
+                "max_queue": self.max_queue,
+                "store": (
+                    None if self.store is None else str(self.store.path)
+                ),
+            },
+            "pending": len(self._pending),
+        }
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    async def _solve(self, payload) -> tuple[int, dict]:
+        self.stats.requests += 1
+        try:
+            request = request_from_payload(payload)
+        except ProtocolError as exc:
+            return 400, {"error": str(exc)}
+        key = request_key(request, self.solver)
+        future = self._pending.get(key)
+        coalesced = future is not None
+        if coalesced:
+            self.stats.coalesced += 1
+        else:
+            if self._draining:
+                self.stats.rejected_draining += 1
+                return 503, {"error": "server is draining"}
+            if len(self._pending) >= self.max_in_flight + self.max_queue:
+                self.stats.rejected_busy += 1
+                return 429, {"error": "too many computations in flight"}
+            future = asyncio.get_running_loop().create_future()
+            self._pending[key] = future
+            asyncio.get_running_loop().create_task(
+                self._run_pending(key, request, future)
+            )
+        try:
+            answer, from_store = await asyncio.shield(future)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self.stats.errors += 1
+            return 422, {
+                "error": f"{type(exc).__name__}: {exc}",
+                "kind": request.kind,
+                "label": request.name,
+                "coalesced": coalesced,
+            }
+        self.stats.answers += 1
+        return 200, {
+            "ok": True,
+            "kind": request.kind,
+            "label": request.name,
+            "answer": answer,
+            "coalesced": coalesced,
+            "from_store": from_store,
+        }
+
+    async def _run_pending(self, key, request, future) -> None:
+        """Execute one admitted computation and resolve its future."""
+        loop = asyncio.get_running_loop()
+        try:
+            answer, stats = await loop.run_in_executor(
+                self._executor, self._run_batch, request
+            )
+        except Exception as exc:
+            if not future.cancelled():
+                future.set_exception(exc)
+                future.exception()  # consumed here; waiters re-raise a copy
+        else:
+            self.stats.solves += 1
+            self.stats.store_instance_hits += stats.store_instance_hits
+            self.stats.store_blocks_seeded += stats.store_blocks_seeded
+            self.stats.lp_solves += stats.lp_solves
+            self.stats.tasks_run += stats.tasks_run
+            if not future.cancelled():
+                future.set_result(
+                    (answer, stats.store_instance_hits > 0)
+                )
+        finally:
+            self._pending.pop(key, None)
+
+    def _run_batch(self, request):
+        """One scheduler run for one computation (worker thread).
+
+        A method (not a closure) so the test harness can wrap it — the
+        concurrency tests gate it on an event to make coalescing
+        windows deterministic.
+        """
+        scheduler = BatchScheduler(
+            jobs=self.jobs,
+            preprocess=self.preprocess,
+            solver=self.solver,
+            bounds=self.bounds,
+            store=self.store,
+        )
+        result = scheduler.submit(request)
+        stats = scheduler.run()
+        if result.error is not None:
+            raise result.error
+        return answer_payload(request.kind, result.value), stats

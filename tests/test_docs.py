@@ -46,6 +46,12 @@ DOCUMENTED_MODULES = (
     "repro.sat.checks",
     "repro.sat.encoding",
     "repro.sat.solver",
+    "repro.store",
+    "repro.store.log",
+    "repro.serve",
+    "repro.serve.protocol",
+    "repro.serve.server",
+    "repro.serve.client",
 )
 
 MARKDOWN_FILES = ("README.md", "docs/api.md", "docs/architecture.md", "docs/benchmarks.md")
@@ -224,3 +230,49 @@ def test_batch_kinds_documented_in_api_reference():
     text = (REPO_ROOT / "docs/api.md").read_text()
     missing = [kind for kind in BATCH_KINDS if f'"{kind}"' not in text]
     assert not missing, f"docs/api.md does not document kinds: {missing}"
+
+
+def _subcommands():
+    parser = build_parser()
+    subparsers = next(
+        action
+        for action in parser._actions
+        if isinstance(action, type(parser._subparsers._group_actions[0]))
+    )
+    return subparsers.choices
+
+
+def test_every_subcommand_documented_in_api_reference():
+    """`docs/api.md` shows a `repro <cmd>` snippet for every command."""
+    text = (REPO_ROOT / "docs/api.md").read_text()
+    missing = [
+        command
+        for command in _subcommands()
+        if not re.search(rf"\brepro {re.escape(command)}\b", text)
+    ]
+    assert not missing, f"docs/api.md does not mention: {missing}"
+
+
+def test_serve_admission_flags_documented():
+    """The serve subcommand's admission knobs exist and are documented."""
+    serve = _subcommands()["serve"]
+    flags = {s for action in serve._actions for s in action.option_strings}
+    for flag in ("--host", "--port", "--store", "--fsync",
+                 "--max-in-flight", "--max-queue"):
+        assert flag in flags, f"repro serve lost its {flag} flag"
+    api = (REPO_ROOT / "docs/api.md").read_text()
+    assert "--max-in-flight" in api and "--max-queue" in api
+
+
+def test_version_single_sourced():
+    """pyproject.toml builds its version from ``repro.__version__``."""
+    import tomllib
+
+    data = tomllib.loads((REPO_ROOT / "pyproject.toml").read_text())
+    assert "version" not in data["project"], (
+        "pyproject.toml hardcodes a version; it must stay dynamic"
+    )
+    assert "version" in data["project"]["dynamic"]
+    wiring = data["tool"]["setuptools"]["dynamic"]["version"]
+    assert wiring == {"attr": "repro.__version__"}
+    assert re.fullmatch(r"\d+\.\d+\.\d+", repro.__version__)

@@ -1,0 +1,478 @@
+"""Concurrency harness for the ``repro serve`` daemon.
+
+The daemon's three serving policies, proven under real concurrency
+(a live asyncio server in a background thread, hammered by client
+threads over actual sockets):
+
+* **coalescing** — K concurrent identical requests share exactly one
+  scheduler run (``solves`` increments once, ``coalesced`` K-1 times)
+  while distinct requests each get their own;
+* **admission control** — beyond ``max_in_flight + max_queue`` distinct
+  computations, new work is refused with 429 (coalesced joins are
+  never refused), and a draining server refuses new work with 503
+  while finishing admitted solves;
+* **failure isolation** — a request whose computation raises maps to
+  422 for its callers and disturbs no sibling request.
+
+Determinism comes from gating :meth:`DecompositionServer._run_batch`
+on a :class:`threading.Event` — solves block *inside* the worker pool
+until the test has observed the in-flight state it wants to assert.
+"""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.hypergraph import Hypergraph
+from repro.serve import DecompositionServer, ServeClient, ServeError
+from repro.store import checked_witness
+
+_EPS = 1e-9
+
+
+def triangle(name=None):
+    return Hypergraph(
+        {"r": ["x", "y"], "s": ["y", "z"], "t": ["z", "x"]}, name=name
+    )
+
+
+def cycle(n):
+    return Hypergraph(
+        {f"e{i}": [f"v{i}", f"v{(i + 1) % n}"] for i in range(n)}
+    )
+
+
+def wait_until(predicate, timeout=20.0):
+    """Poll a cross-thread predicate until true (or fail the test)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.01)
+    pytest.fail("condition not reached within timeout")
+
+
+class Gate:
+    """Blocks every solve inside the worker pool until released."""
+
+    def __init__(self, server):
+        self.release = threading.Event()
+        self.entered = 0
+        self._original = server._run_batch
+
+        def gated(request):
+            self.entered += 1
+            if not self.release.wait(timeout=60):
+                raise TimeoutError("test gate never released")
+            return self._original(request)
+
+        server._run_batch = gated
+
+
+class ServerHarness:
+    """A live server on its own event loop in a background thread."""
+
+    def __init__(self, **kwargs):
+        self.server = DecompositionServer(**kwargs)
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(
+            target=self.loop.run_forever, daemon=True
+        )
+        self.gates = []
+        self._stopped = False
+
+    def start(self) -> ServeClient:
+        self.thread.start()
+        asyncio.run_coroutine_threadsafe(
+            self.server.start(), self.loop
+        ).result(timeout=15)
+        return ServeClient(
+            self.server.host, self.server.port, timeout=120.0
+        )
+
+    def gate(self) -> Gate:
+        gate = Gate(self.server)
+        self.gates.append(gate)
+        return gate
+
+    def shutdown(self):
+        if self._stopped:
+            return
+        self._stopped = True
+        for gate in self.gates:
+            gate.release.set()  # never leave solves stuck in the pool
+        asyncio.run_coroutine_threadsafe(
+            self.server.stop(), self.loop
+        ).result(timeout=120)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=15)
+        self.loop.close()
+
+
+@pytest.fixture
+def harness():
+    """Factory for live servers; all are drained at teardown."""
+    created = []
+
+    def make(**kwargs):
+        h = ServerHarness(**kwargs)
+        client = h.start()
+        created.append(h)
+        return h, client
+
+    yield make
+    for h in created:
+        h.shutdown()
+
+
+def fire(calls):
+    """Run thunks on one thread each; returns results or exceptions."""
+    results = [None] * len(calls)
+
+    def runner(i, call):
+        try:
+            results[i] = call()
+        except Exception as exc:  # collected, asserted by the caller
+            results[i] = exc
+
+    threads = [
+        threading.Thread(target=runner, args=(i, call), daemon=True)
+        for i, call in enumerate(calls)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=180)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Basics over a real socket
+# ----------------------------------------------------------------------
+class TestEndpoints:
+    def test_solve_health_stats(self, harness):
+        h, client = harness()
+        assert client.health() == {"ok": True, "draining": False}
+        response = client.solve(triangle(), "ghw")
+        assert response["ok"] and response["kind"] == "ghw"
+        assert response["answer"]["width"] == 2
+        assert response["coalesced"] is False
+        # The wire witness re-validates client-side.
+        witness = checked_witness(
+            triangle(), response["answer"]["witness"], "ghd", width=2 + _EPS
+        )
+        assert witness is not None
+        stats = client.stats()
+        assert stats["server"]["answers"] == 1
+        assert stats["server"]["solves"] == 1
+        assert stats["pending"] == 0
+        assert stats["config"]["solver"] == "bb"
+
+    def test_check_kinds_over_the_wire(self, harness):
+        h, client = harness()
+        accept = client.solve(triangle(), "check-ghd", {"k": 2})
+        reject = client.solve(triangle(), "check-ghd", {"k": 1})
+        assert accept["answer"]["accepted"] is True
+        assert reject["answer"]["accepted"] is False
+        assert reject["answer"]["witness"] is None
+
+    def test_protocol_errors_are_400(self, harness):
+        h, client = harness()
+        with pytest.raises(ServeError) as excinfo:
+            client.solve(triangle(), kind="not-a-kind")
+        assert excinfo.value.status == 400
+        with pytest.raises(ServeError) as excinfo:
+            client._call("POST", "/solve", {"hypergraph": {"edges": {}}})
+        assert excinfo.value.status == 400
+        with pytest.raises(ServeError) as excinfo:
+            client._call("POST", "/solve", {"bogus-field": 1})
+        assert excinfo.value.status == 400
+        # Protocol rejections never reach the solve counters.
+        assert h.server.stats.solves == 0
+
+    def test_unknown_path_and_method(self, harness):
+        h, client = harness()
+        with pytest.raises(ServeError) as excinfo:
+            client._call("GET", "/nope")
+        assert excinfo.value.status == 404
+        with pytest.raises(ServeError) as excinfo:
+            client._call("POST", "/healthz", {})
+        assert excinfo.value.status == 405
+
+
+# ----------------------------------------------------------------------
+# Coalescing
+# ----------------------------------------------------------------------
+class TestCoalescing:
+    def test_identical_requests_share_one_solve(self, harness):
+        h, client = harness()
+        gate = h.gate()
+        K = 6
+        results = None
+
+        def workload():
+            nonlocal results
+            results = fire(
+                [lambda: client.solve(triangle(), "ghw")] * K
+            )
+
+        worker = threading.Thread(target=workload, daemon=True)
+        worker.start()
+        # All K must be in flight — on ONE pending computation — before
+        # the solve is allowed to finish.
+        wait_until(
+            lambda: h.server.stats.coalesced == K - 1
+            and len(h.server._pending) == 1
+        )
+        assert gate.entered == 1
+        gate.release.set()
+        worker.join(timeout=120)
+
+        assert all(r["ok"] for r in results)
+        widths = {r["answer"]["width"] for r in results}
+        assert widths == {2}
+        flags = sorted(r["coalesced"] for r in results)
+        assert flags == [False] + [True] * (K - 1)
+        assert h.server.stats.solves == 1
+        assert h.server.stats.coalesced == K - 1
+        assert h.server.stats.answers == K
+
+    def test_distinct_requests_solve_independently(self, harness):
+        h, client = harness(max_in_flight=4)
+        gate = h.gate()
+        instances = [triangle(), cycle(4), cycle(5)]
+        copies = 3
+        calls = [
+            (lambda inst=inst: client.solve(inst, "ghw"))
+            for inst in instances
+            for _ in range(copies)
+        ]
+        results = None
+
+        def workload():
+            nonlocal results
+            results = fire(calls)
+
+        worker = threading.Thread(target=workload, daemon=True)
+        worker.start()
+        wait_until(
+            lambda: len(h.server._pending) == len(instances)
+            and h.server.stats.coalesced
+            == len(instances) * (copies - 1)
+        )
+        gate.release.set()
+        worker.join(timeout=120)
+
+        assert all(r["ok"] for r in results)
+        # One solve per distinct computation, not per request.
+        assert h.server.stats.solves == len(instances)
+        assert h.server.stats.answers == len(instances) * copies
+        for i, inst in enumerate(instances):
+            group = results[i * copies : (i + 1) * copies]
+            assert len({r["answer"]["width"] for r in group}) == 1
+
+    def test_label_does_not_split_coalescing(self, harness):
+        """Coalescing keys on the computation, not display names."""
+        h, client = harness()
+        gate = h.gate()
+        results = None
+
+        def workload():
+            nonlocal results
+            results = fire(
+                [
+                    lambda: client.solve(triangle(), "ghw", label="a"),
+                    lambda: client.solve(triangle(), "ghw", label="b"),
+                ]
+            )
+
+        worker = threading.Thread(target=workload, daemon=True)
+        worker.start()
+        wait_until(lambda: h.server.stats.coalesced == 1)
+        gate.release.set()
+        worker.join(timeout=120)
+        assert h.server.stats.solves == 1
+        assert {r["label"] for r in results} == {"a", "b"}
+
+    def test_solver_and_params_do_split_coalescing(self, harness):
+        h, client = harness()
+        gate = h.gate()
+        results = None
+
+        def workload():
+            nonlocal results
+            results = fire(
+                [
+                    lambda: client.solve(triangle(), "check-ghd", {"k": 1}),
+                    lambda: client.solve(triangle(), "check-ghd", {"k": 2}),
+                ]
+            )
+
+        worker = threading.Thread(target=workload, daemon=True)
+        worker.start()
+        wait_until(lambda: len(h.server._pending) == 2)
+        assert h.server.stats.coalesced == 0
+        gate.release.set()
+        worker.join(timeout=120)
+        assert h.server.stats.solves == 2
+
+
+# ----------------------------------------------------------------------
+# Admission control
+# ----------------------------------------------------------------------
+class TestAdmission:
+    def test_busy_server_rejects_with_429(self, harness):
+        h, client = harness(max_in_flight=1, max_queue=0)
+        gate = h.gate()
+        first = None
+
+        def occupy():
+            nonlocal first
+            first = client.solve(triangle(), "ghw")
+
+        occupier = threading.Thread(target=occupy, daemon=True)
+        occupier.start()
+        wait_until(lambda: len(h.server._pending) == 1)
+
+        # A distinct computation is refused immediately...
+        with pytest.raises(ServeError) as excinfo:
+            client.solve(cycle(4), "ghw")
+        assert excinfo.value.status == 429
+        assert h.server.stats.rejected_busy == 1
+
+        # ... but an identical one coalesces — joins are always free.
+        results = None
+
+        def join_workload():
+            nonlocal results
+            results = fire([lambda: client.solve(triangle(), "ghw")])
+
+        joiner = threading.Thread(target=join_workload, daemon=True)
+        joiner.start()
+        wait_until(lambda: h.server.stats.coalesced == 1)
+        gate.release.set()
+        occupier.join(timeout=120)
+        joiner.join(timeout=120)
+        assert first["ok"]
+        assert results[0]["ok"] and results[0]["coalesced"]
+        assert h.server.stats.solves == 1
+
+    def test_draining_rejects_with_503(self, harness):
+        h, client = harness()
+        gate = h.gate()
+        results = None
+
+        def workload():
+            nonlocal results
+            results = fire([lambda: client.solve(triangle(), "ghw")])
+
+        worker = threading.Thread(target=workload, daemon=True)
+        worker.start()
+        wait_until(lambda: len(h.server._pending) == 1)
+
+        h.server._draining = True
+        try:
+            # New computations are refused while draining...
+            with pytest.raises(ServeError) as excinfo:
+                client.solve(cycle(4), "ghw")
+            assert excinfo.value.status == 503
+            assert h.server.stats.rejected_draining == 1
+            assert client.health()["draining"] is True
+        finally:
+            gate.release.set()
+        # ... but the admitted solve still completes.
+        worker.join(timeout=120)
+        assert results[0]["ok"]
+        h.server._draining = False
+
+
+# ----------------------------------------------------------------------
+# Failure isolation
+# ----------------------------------------------------------------------
+class TestFailureIsolation:
+    def test_failed_computation_is_422_and_local(self, harness):
+        h, client = harness()
+        # check-ghd without k fails inside the scheduler.
+        with pytest.raises(ServeError) as excinfo:
+            client.solve(triangle(), "check-ghd")
+        assert excinfo.value.status == 422
+        assert h.server.stats.errors == 1
+        # The server is fine; siblings are untouched.
+        good = client.solve(triangle(), "ghw")
+        assert good["ok"] and good["answer"]["width"] == 2
+        assert len(h.server._pending) == 0
+
+    def test_mixed_good_and_bad_under_concurrency(self, harness):
+        h, client = harness()
+        calls = [
+            lambda: client.solve(triangle(), "ghw"),
+            lambda: client.solve(triangle(), "check-ghd"),  # fails
+            lambda: client.solve(cycle(4), "hw"),
+            lambda: client.solve(cycle(5), "check-ghd"),  # fails
+            lambda: client.solve(cycle(4), "hw"),
+        ]
+        results = fire(calls)
+        assert results[0]["answer"]["width"] == 2
+        assert isinstance(results[1], ServeError)
+        assert results[1].status == 422
+        assert results[2]["answer"]["width"] == 2
+        assert isinstance(results[3], ServeError)
+        assert results[3].status == 422
+        assert results[4]["answer"]["width"] == 2
+        assert h.server.stats.errors == 2
+        assert len(h.server._pending) == 0
+
+    def test_coalesced_callers_share_the_failure(self, harness):
+        h, client = harness()
+        gate = h.gate()
+        results = None
+
+        def workload():
+            nonlocal results
+            results = fire(
+                [lambda: client.solve(triangle(), "check-ghd")] * 3
+            )
+
+        worker = threading.Thread(target=workload, daemon=True)
+        worker.start()
+        wait_until(lambda: h.server.stats.coalesced == 2)
+        gate.release.set()
+        worker.join(timeout=120)
+        assert all(
+            isinstance(r, ServeError) and r.status == 422 for r in results
+        )
+        assert h.server.stats.errors == 3
+        assert h.server.stats.solves == 0  # the run never succeeded
+
+
+# ----------------------------------------------------------------------
+# The store behind the daemon
+# ----------------------------------------------------------------------
+class TestServeWithStore:
+    def test_repeat_requests_come_from_store(self, harness, tmp_path):
+        h, client = harness(store=tmp_path / "store")
+        cold = client.solve(triangle(), "ghw")
+        assert cold["from_store"] is False
+        tasks_after_cold = h.server.stats.tasks_run
+        warm = client.solve(triangle(), "ghw")
+        assert warm["from_store"] is True
+        assert warm["answer"] == cold["answer"]
+        assert h.server.stats.tasks_run == tasks_after_cold
+
+    def test_restarted_server_answers_without_solving(self, harness, tmp_path):
+        """E23 in miniature: a restart keeps the verdicts."""
+        h1, client1 = harness(store=tmp_path / "store")
+        instances = [triangle(), cycle(4)]
+        cold = [client1.solve(inst, "ghw") for inst in instances]
+        h1.shutdown()
+
+        h2, client2 = harness(store=tmp_path / "store")
+        warm = [client2.solve(inst, "ghw") for inst in instances]
+        assert all(r["from_store"] for r in warm)
+        assert [r["answer"] for r in warm] == [r["answer"] for r in cold]
+        assert h2.server.stats.lp_solves == 0
+        assert h2.server.stats.tasks_run == 0
+        stats = client2.stats()
+        assert stats["server"]["store_instance_hits"] == len(instances)

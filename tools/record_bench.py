@@ -14,7 +14,11 @@ benchmark workloads in-process and writes one JSON file per benchmark:
   ``--only e21`` is requested (slower; not in the default set);
 * ``BENCH_E22.json``  — the bounds pre-pass collapse (exact Check
   tasks with vs without the pre-pass, identical widths), when
-  ``--only e22`` is requested.
+  ``--only e22`` is requested;
+* ``BENCH_E23.json``  — the serve-daemon warm restart (cold vs
+  restarted counters — the warm daemon must report zero LP solves and
+  zero exact tasks — plus the coalescing window), when ``--only e23``
+  is requested.
 
 Each file separates ``metrics`` (deterministic counters — meaningful to
 diff across commits) from ``timings`` (wall-clock — machine-dependent,
@@ -23,6 +27,7 @@ informational).  Regenerate after perf-relevant changes::
     python tools/record_bench.py            # E12 + E19b
     python tools/record_bench.py --only e21 # the portfolio race
     python tools/record_bench.py --only e22 # the bounds collapse
+    python tools/record_bench.py --only e23 # the serve warm restart
 """
 
 from __future__ import annotations
@@ -135,14 +140,28 @@ def record_e22() -> dict:
     }
 
 
+def record_e23() -> dict:
+    """The E23 warm restart: cold vs restarted daemon counters."""
+    from bench_e23_warm_restart import warm_restart
+
+    report = warm_restart()
+    return {
+        "benchmark": "E23",
+        "title": "serve daemon warm restart from the persistent store",
+        "metrics": report["metrics"],
+        "timings": report["timings"],
+    }
+
+
 RECORDERS = {
     "e12": ("BENCH_E12.json", record_e12),
     "e19b": ("BENCH_E19b.json", record_e19b),
     "e21": ("BENCH_E21.json", record_e21),
     "e22": ("BENCH_E22.json", record_e22),
+    "e23": ("BENCH_E23.json", record_e23),
 }
 
-#: E21 and E22 run multi-mode comparisons, so they are opt-in.
+#: E21, E22 and E23 run multi-phase comparisons, so they are opt-in.
 DEFAULT = ("e12", "e19b")
 
 

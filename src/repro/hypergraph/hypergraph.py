@@ -161,11 +161,16 @@ class Hypergraph:
         serve layer's request coalescing both use it.  The digest
         covers the edge names, edge contents and declared isolated
         vertices (not the display ``name``); vertices are tagged with
-        their type so ``"1"`` and ``1`` never collide.  Computed once
-        and cached (the hypergraph is immutable).
+        their type so ``"1"`` and ``1`` never collide.  The hashed
+        encoding is JSON (names and vertex tokens are separate string
+        elements, so every delimiter is escaped inside them): distinct
+        hypergraphs can never produce the same byte stream, no matter
+        what characters their edge names contain.  Computed once and
+        cached (the hypergraph is immutable).
         """
         if self._canonical is None:
             import hashlib
+            import json
 
             def token(v: Vertex) -> str:
                 if isinstance(v, str):
@@ -174,16 +179,20 @@ class Hypergraph:
                     return "i:" + str(v)
                 return "r:" + repr(v)
 
-            parts = []
-            for name in sorted(self._edges):
-                vs = ",".join(sorted(token(v) for v in self._edges[name]))
-                parts.append(f"{name}({vs})")
             isolated = self._vertices - frozenset().union(
                 *self._edges.values()
             )
-            if isolated:
-                parts.append("|" + ",".join(sorted(map(token, isolated))))
-            digest = hashlib.sha256(";".join(parts).encode("utf-8"))
+            payload = [
+                [
+                    [name, sorted(token(v) for v in self._edges[name])]
+                    for name in sorted(self._edges)
+                ],
+                sorted(token(v) for v in isolated),
+            ]
+            encoded = json.dumps(
+                payload, separators=(",", ":"), ensure_ascii=False
+            )
+            digest = hashlib.sha256(encoded.encode("utf-8"))
             self._canonical = digest.hexdigest()
         return self._canonical
 

@@ -554,7 +554,12 @@ class _Instance:
         answer = None
         if self.mode == "check":
             if not value.get("accepted"):
-                answer = (None,)  # a trusted, CRC-protected rejection
+                # Rejections have no witness to re-validate; they are
+                # served as trusted *self-authored* data: CRC-protected
+                # against corruption and keyed by the collision-resistant
+                # canonical hash, but a deliberately tampered log could
+                # forge one (delete the store to recompute from scratch).
+                answer = (None,)
             else:
                 witness = checked_witness(
                     h, value.get("witness"), self.dkind,
@@ -572,7 +577,11 @@ class _Instance:
                     width=float(width) + _EPS,
                 )
                 if witness is not None:
-                    answer = ((float(lower), witness.width(), witness),)
+                    # The witness is re-validated but the stored lower
+                    # bound cannot be; clamp it to the witness width so a
+                    # bad record can never yield lower > upper.
+                    lower = min(float(lower), witness.width())
+                    answer = ((lower, witness.width(), witness),)
         else:
             width = value.get("width")
             if isinstance(width, (int, float)) and width >= 1 - _EPS:

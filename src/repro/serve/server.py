@@ -55,11 +55,29 @@ _STATUS_TEXT = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
     422: "Unprocessable Entity",
     429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
 }
+
+#: Largest accepted request body; a declared Content-Length above this is
+#: refused with 413 before a single body byte is buffered.
+DEFAULT_MAX_BODY = 8 * 1024 * 1024
+
+#: Seconds a client gets to deliver its complete request (line, headers
+#: and body).  Covers only the *read* — solves may run far longer.
+DEFAULT_READ_TIMEOUT = 30.0
+
+
+class _BadRequest(Exception):
+    """A request refused while reading it; carries the HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
 
 
 @dataclass
@@ -146,6 +164,16 @@ class DecompositionServer:
     max_queue : int
         Additional distinct computations allowed to wait; beyond
         ``max_in_flight + max_queue`` new computations get HTTP 429.
+    max_body : int
+        Largest accepted request body in bytes; a Content-Length above
+        it is refused with 413 before any body byte is buffered, so a
+        client cannot make the daemon allocate gigabytes.
+    read_timeout : float or None
+        Seconds a client gets to deliver its complete request; slower
+        clients get 408 and the connection is closed, so held-open
+        sockets cannot pin file descriptors indefinitely.  Only the
+        read is bounded — admitted solves may run arbitrarily long.
+        ``None`` disables the limit (tests only).
 
     Endpoints: ``POST /solve``, ``GET /stats``, ``GET /healthz``.
     """
@@ -163,6 +191,8 @@ class DecompositionServer:
         preprocess: str = "full",
         max_in_flight: int = 4,
         max_queue: int = 32,
+        max_body: int = DEFAULT_MAX_BODY,
+        read_timeout: float | None = DEFAULT_READ_TIMEOUT,
     ) -> None:
         self.host = host
         self.port = port
@@ -178,6 +208,8 @@ class DecompositionServer:
         self.preprocess = preprocess
         self.max_in_flight = max(1, int(max_in_flight))
         self.max_queue = max(0, int(max_queue))
+        self.max_body = max(0, int(max_body))
+        self.read_timeout = read_timeout
         self.stats = ServerStats()
         self._pending: dict[tuple, asyncio.Future] = {}
         self._executor = ThreadPoolExecutor(
@@ -245,10 +277,26 @@ class DecompositionServer:
                 pass
 
     async def _handle_request(self, reader) -> tuple[int, dict]:
+        # Only the *read* is time- and size-bounded here; the solve in
+        # _route may legitimately run far longer than any read timeout.
+        try:
+            read = self._read_request(reader)
+            if self.read_timeout is not None:
+                read = asyncio.wait_for(read, self.read_timeout)
+            method, path, body = await read
+        except asyncio.TimeoutError:
+            return 408, {"error": "timed out reading the request"}
+        except _BadRequest as exc:
+            return exc.status, {"error": str(exc)}
+        except ValueError:  # StreamReader line longer than its limit
+            return 400, {"error": "request line or header too long"}
+        return await self._route(method, path, body)
+
+    async def _read_request(self, reader) -> tuple[str, str, bytes]:
         request_line = await reader.readline()
         parts = request_line.decode("latin-1").split()
         if len(parts) < 2:
-            return 400, {"error": "malformed request line"}
+            raise _BadRequest(400, "malformed request line")
         method, path = parts[0].upper(), parts[1]
         headers: dict[str, str] = {}
         while True:
@@ -260,9 +308,15 @@ class DecompositionServer:
         try:
             length = int(headers.get("content-length", "0"))
         except ValueError:
-            return 400, {"error": "bad Content-Length"}
+            raise _BadRequest(400, "bad Content-Length") from None
+        if length < 0:
+            raise _BadRequest(400, "bad Content-Length")
+        if length > self.max_body:
+            raise _BadRequest(
+                413, f"request body exceeds {self.max_body} bytes"
+            )
         body = await reader.readexactly(length) if length > 0 else b""
-        return await self._route(method, path, body)
+        return method, path, body
 
     async def _route(self, method: str, path: str, body: bytes):
         if path == "/healthz":

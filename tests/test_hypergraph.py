@@ -159,6 +159,61 @@ class TestCaching:
             assert clone.primal_graph() == h.primal_graph()
 
 
+class TestCanonicalHash:
+    def test_equal_hypergraphs_share_a_digest(self):
+        a = Hypergraph({"e": ["a", "b"], "f": ["b", "c"]}, name="left")
+        b = Hypergraph({"f": ["c", "b"], "e": ["b", "a"]}, name="right")
+        assert a == b
+        assert a.canonical_hash() == b.canonical_hash()
+        assert a.canonical_hash() is a.canonical_hash()  # cached
+
+    def test_vertex_types_do_not_collide(self):
+        assert (
+            Hypergraph({"e": ["1"]}).canonical_hash()
+            != Hypergraph({"e": [1]}).canonical_hash()
+        )
+
+    def test_edge_names_cannot_forge_structure(self):
+        """Regression: the digest encoding must be injective.
+
+        A previous ad-hoc join with ';', '(', ')' and ',' let an edge
+        *name* containing those delimiters reproduce another
+        hypergraph's byte stream — these two collided, and the shared
+        digest leaked one instance's store verdicts to the other.
+        """
+        a = Hypergraph({"p": ["a"], "q": ["b"]})
+        b = Hypergraph({"p(s:a);q": ["b"]})
+        assert a != b
+        assert a.canonical_hash() != b.canonical_hash()
+        # More delimiter-injection shapes: commas and parens in names
+        # or string vertices must not re-bracket the encoding.
+        pairs = [
+            (
+                Hypergraph({"e": ["a,b"]}),
+                Hypergraph({"e": ["a", "b"]}),
+            ),
+            (
+                Hypergraph({'e"]],["f': ["a"]}),
+                Hypergraph({"e": ["a"], "f": ["a"]}),
+            ),
+        ]
+        for left, right in pairs:
+            assert left != right
+            assert left.canonical_hash() != right.canonical_hash()
+
+    def test_isolated_vertices_are_covered(self):
+        plain = Hypergraph({"e": ["a"]})
+        declared = Hypergraph({"e": ["a"]}, vertices=["z"])
+        assert plain.canonical_hash() != declared.canonical_hash()
+
+
+@given(hypergraphs(), hypergraphs())
+@settings(max_examples=60, deadline=None)
+def test_canonical_hash_separates_distinct_instances(a, b):
+    """Digest equality must track hypergraph equality both ways."""
+    assert (a == b) == (a.canonical_hash() == b.canonical_hash())
+
+
 @given(hypergraphs())
 @settings(max_examples=40, deadline=None)
 def test_incidence_is_consistent(h: Hypergraph):

@@ -203,6 +203,62 @@ class TestEndpoints:
 
 
 # ----------------------------------------------------------------------
+# Read limits: body cap and slow-client timeout
+# ----------------------------------------------------------------------
+class TestReadLimits:
+    """The reader refuses abuse before it can cost memory or sockets."""
+
+    def _raw(self, server, payload: bytes, timeout=15.0) -> bytes:
+        import socket
+
+        with socket.create_connection(
+            (server.host, server.port), timeout=timeout
+        ) as sock:
+            sock.sendall(payload)
+            sock.settimeout(timeout)
+            chunks = []
+            while True:
+                try:
+                    chunk = sock.recv(65536)
+                except TimeoutError:
+                    break
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        return b"".join(chunks)
+
+    def test_oversized_body_refused_before_buffering(self, harness):
+        h, client = harness(max_body=1024)
+        # Declare a gigabyte; send none of it.  The 413 arrives from
+        # the headers alone — readexactly never runs.
+        response = self._raw(
+            h.server,
+            b"POST /solve HTTP/1.1\r\n"
+            b"Content-Length: 1073741824\r\n\r\n",
+        )
+        assert response.startswith(b"HTTP/1.1 413")
+        # The server survives and still answers well-formed requests.
+        assert client.solve(triangle(), "ghw")["ok"]
+
+    def test_negative_content_length_is_400(self, harness):
+        h, _ = harness()
+        response = self._raw(
+            h.server,
+            b"POST /solve HTTP/1.1\r\nContent-Length: -5\r\n\r\n",
+        )
+        assert response.startswith(b"HTTP/1.1 400")
+
+    def test_slow_client_gets_408(self, harness):
+        h, client = harness(read_timeout=0.3)
+        # A request that never finishes its headers is cut off with
+        # 408 instead of pinning a connection forever.
+        response = self._raw(h.server, b"POST /solve HTTP/1.1\r\n")
+        assert response.startswith(b"HTTP/1.1 408")
+        # Prompt clients are unaffected by the short read window.
+        assert client.solve(triangle(), "ghw")["ok"]
+
+
+# ----------------------------------------------------------------------
 # Coalescing
 # ----------------------------------------------------------------------
 class TestCoalescing:

@@ -339,10 +339,55 @@ class TestOracleImport:
         fresh = CoverOracle(h)
         assert fresh.import_entries(entries) == len(entries)
         before = fresh.stats.lp_solves
+        # Imported covers are upper-bound hints: feasibility questions
+        # they satisfy are answered without an LP solve ...
         for bag in (frozenset("xy"), frozenset("xyz")):
-            cover = fresh.fractional_cover(bag)
-            assert cover is not None and cover.weight <= 1.5 + 1e-9
+            assert fresh.cover_feasible_within(bag, 1.5)
         assert fresh.stats.lp_solves == before  # served from the import
+        # ... but exact ρ* queries never trust them and re-solve.
+        cover = fresh.fractional_cover(frozenset("xyz"))
+        assert cover is not None and cover.weight == pytest.approx(1.5)
+        assert fresh.stats.lp_solves == before + 1
+
+    def test_suboptimal_import_cannot_flip_verdicts(self):
+        """A feasible-but-heavy record must never inflate ρ*.
+
+        Regression: imported covers used to land in the authoritative
+        cache, so a weight-3 cover of the triangle (ρ* = 1.5) made
+        ``cover_feasible_within(bag, 2)`` report False and flipped
+        check verdicts.  As a hint it proves only ρ* <= 3.
+        """
+        h = triangle()
+        bag = ["x", "y", "z"]
+        heavy = [["frac", sorted(bag), None, {"r": 1.0, "s": 1.0, "t": 1.0}]]
+        fresh = CoverOracle(h)
+        assert fresh.import_entries(heavy) == 1
+        # Within the hint's weight: answered hint-only, no LP.
+        assert fresh.cover_feasible_within(bag, 3.0)
+        assert fresh.stats.lp_solves == 0
+        # Below the hint's weight the LP decides — and says feasible.
+        assert fresh.cover_feasible_within(bag, 2.0)
+        assert fresh.stats.lp_solves == 1
+        assert fresh.fractional_weight(bag) == pytest.approx(1.5)
+
+    def test_capped_import_must_be_purely_fractional(self):
+        """'capped' entries with a weight-1 edge are rejected outright."""
+        h = triangle()
+        bag = sorted(["x", "y", "z"])
+        integral = [["capped", bag, None, {"r": 1.0, "s": 1.0, "t": 1.0}]]
+        fractional = [["capped", bag, None, {"r": 0.5, "s": 0.5, "t": 0.5}]]
+        fresh = CoverOracle(h)
+        assert fresh.import_entries(integral) == 0
+        assert fresh.import_entries(fractional) == 1
+        # Budgeted queries the hint satisfies skip the LP; the
+        # unbudgeted (exact-optimum) form always solves.
+        gamma = fresh.fractional_cover_capped(bag, budget=1.5)
+        assert gamma is not None
+        assert gamma.weight == pytest.approx(1.5)
+        assert fresh.stats.lp_solves == 0
+        exact = fresh.fractional_cover_capped(bag)
+        assert exact is not None and exact.weight == pytest.approx(1.5)
+        assert fresh.stats.lp_solves > 0
 
     def test_corrupt_cover_rejected(self):
         h, oracle = self._warm_oracle()

@@ -90,15 +90,56 @@ def run_sequential(requests) -> tuple[list, float, dict]:
     return results, elapsed, delta
 
 
-def run_batched(requests, jobs: int):
+def run_batched(requests, jobs: int, executor: str = "thread"):
     """One ``solve_many`` call over the whole workload."""
     engine.clear_context_registry()
     start = time.perf_counter()
-    results = solve_many(requests, jobs=jobs)
+    results = solve_many(requests, jobs=jobs, executor=executor)
     elapsed = time.perf_counter() - start
     from repro.pipeline import last_batch_stats
 
     return results, elapsed, last_batch_stats()
+
+
+def run_remote(requests, jobs: int, workers: int = 2):
+    """E19r: the same batch through a loopback TCP worker fleet.
+
+    Spawns ``workers`` real ``repro worker`` subprocesses dialing an
+    ephemeral registry, runs ``solve_many(..., executor="remote")``,
+    and tears the fleet down.  Returns the same triple as
+    :func:`run_batched`.
+    """
+    from repro.dist import (
+        WorkerRegistry,
+        close_registry,
+        set_registry,
+        spawn_worker,
+    )
+
+    registry = WorkerRegistry()
+    previous = set_registry(registry)
+    procs = [
+        spawn_worker(registry.address, jobs=2, idle_timeout=300)
+        for _ in range(workers)
+    ]
+    try:
+        if not registry.wait_for_workers(workers, timeout=60.0):
+            raise RuntimeError(
+                f"only {registry.worker_count()}/{workers} workers joined"
+            )
+        engine.clear_context_registry()
+        start = time.perf_counter()
+        results = solve_many(requests, jobs=jobs, executor="remote")
+        elapsed = time.perf_counter() - start
+        from repro.pipeline import last_batch_stats
+
+        return results, elapsed, last_batch_stats()
+    finally:
+        close_registry()
+        set_registry(previous)
+        for proc in procs:
+            proc.kill()
+            proc.wait(timeout=10)
 
 
 def compare(jobs: int = 2):
@@ -121,6 +162,83 @@ def compare(jobs: int = 2):
         requests,
         (seq_seconds, seq_engine),
         (batch_seconds, batch_stats),
+    )
+
+
+def compare_remote(jobs: int = 4, workers: int = 2):
+    """E19r: ``executor="remote"`` vs the local executors, same answers.
+
+    Runs the full E19b workload three ways — thread pool, process pool
+    (the local multi-process baseline a worker fleet must not lose to)
+    and a two-worker loopback fleet — and asserts every width is
+    identical across all three.
+    """
+    requests = build_workload()
+    thread_results, thread_seconds, _ = run_batched(requests, jobs, "thread")
+    process_results, process_seconds, _ = run_batched(
+        requests, jobs, "process"
+    )
+    remote_results, remote_seconds, remote_stats = run_remote(
+        requests, jobs, workers
+    )
+    for request, t, p, r in zip(
+        requests, thread_results, process_results, remote_results
+    ):
+        assert t.ok and p.ok and r.ok, (
+            f"{request.label}: {t.error!r} / {p.error!r} / {r.error!r}"
+        )
+        assert t.value[0] == p.value[0] == r.value[0], (
+            f"{request.label}: thread={t.value[0]} "
+            f"process={p.value[0]} remote={r.value[0]}"
+        )
+    assert remote_stats.tasks_remote > 0, "fleet never received a task"
+    assert remote_stats.requeued_tasks == 0, "no worker died in this run"
+    return (
+        requests,
+        (thread_seconds, process_seconds, remote_seconds),
+        remote_stats,
+    )
+
+
+def emit_remote_report(requests, timings, remote_stats, jobs, workers):
+    thread_seconds, process_seconds, remote_seconds = timings
+    n = len(requests)
+    emit(
+        f"E19r / remote executor: {n} mixed requests, jobs={jobs}, "
+        f"{workers} loopback workers",
+        ["mode", "wall", "req/s", "vs thread"],
+        [
+            (
+                "thread pool",
+                f"{thread_seconds:.3f}s",
+                f"{n / thread_seconds:.1f}",
+                "1.0x",
+            ),
+            (
+                "process pool",
+                f"{process_seconds:.3f}s",
+                f"{n / process_seconds:.1f}",
+                f"{thread_seconds / process_seconds:.1f}x",
+            ),
+            (
+                f"remote fleet ({workers} workers)",
+                f"{remote_seconds:.3f}s",
+                f"{n / remote_seconds:.1f}",
+                f"{thread_seconds / remote_seconds:.1f}x",
+            ),
+        ],
+    )
+    emit(
+        "E19r / fleet counters",
+        ["tasks_remote", "local_fallback", "requeued", "workers_used"],
+        [
+            (
+                remote_stats.tasks_remote,
+                remote_stats.tasks_local_fallback,
+                remote_stats.requeued_tasks,
+                remote_stats.remote_workers,
+            )
+        ],
     )
 
 
@@ -183,15 +301,41 @@ if __name__ == "__main__":
 
     parser = argparse.ArgumentParser()
     parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument(
+        "--executor",
+        choices=["thread", "remote"],
+        default="thread",
+        help='"remote" runs the E19r variant against a loopback fleet',
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="loopback worker subprocesses for --executor remote",
+    )
     args = parser.parse_args()
-    requests, sequential, batched = compare(jobs=args.jobs)
-    emit_report(requests, sequential, batched, jobs=args.jobs)
-    assert batched[0] < sequential[0], (
-        f"batched {batched[0]:.3f}s should beat "
-        f"one-at-a-time {sequential[0]:.3f}s"
-    )
-    print(
-        f"\nOK: solve_many(jobs={args.jobs}) "
-        f"{sequential[0] / batched[0]:.1f}x faster than one-at-a-time, "
-        f"all {len(requests)} answers identical"
-    )
+    if args.executor == "remote":
+        requests, timings, remote_stats = compare_remote(
+            jobs=args.jobs, workers=args.workers
+        )
+        emit_remote_report(
+            requests, timings, remote_stats, args.jobs, args.workers
+        )
+        print(
+            f"\nOK: executor=\"remote\" answered all {len(requests)} "
+            f"requests identically to the local executors "
+            f"({remote_stats.tasks_remote} tasks over "
+            f"{remote_stats.remote_workers} workers)"
+        )
+    else:
+        requests, sequential, batched = compare(jobs=args.jobs)
+        emit_report(requests, sequential, batched, jobs=args.jobs)
+        assert batched[0] < sequential[0], (
+            f"batched {batched[0]:.3f}s should beat "
+            f"one-at-a-time {sequential[0]:.3f}s"
+        )
+        print(
+            f"\nOK: solve_many(jobs={args.jobs}) "
+            f"{sequential[0] / batched[0]:.1f}x faster than one-at-a-time, "
+            f"all {len(requests)} answers identical"
+        )

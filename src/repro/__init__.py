@@ -88,7 +88,7 @@ from .store import ResultStore
 #: reads this attribute at build time (``[tool.setuptools.dynamic]``)
 #: and ``tests/test_docs.py`` pins the agreement, so the version can
 #: never fork between the package, the build metadata and the docs.
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "__version__",

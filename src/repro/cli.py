@@ -8,6 +8,7 @@ Usage (also ``python -m repro``)::
     repro bounds big.hg                     # heuristic sandwich for fhw
     repro batch manifest.json --jobs 4      # batched multi-instance solve
     repro serve --store cache/ --port 8765  # always-on solving daemon
+    repro worker --connect 127.0.0.1:9876   # join a remote worker fleet
     repro warm cache/ manifest.json         # pre-populate a result store
     repro store stats cache/                # inspect a result store
     repro reduce formula.cnf                # Theorem 3.2 reduction report
@@ -63,6 +64,7 @@ from .hypergraph.acyclicity import is_alpha_acyclic
 from .pipeline import (
     BATCH_KINDS,
     BOUNDS_MODES,
+    EXECUTORS,
     PREPROCESS_MODES,
     SOLVER_MODES,
 )
@@ -220,8 +222,15 @@ def _load_manifest(path: str) -> list:
     mode for that entry).  Relative paths resolve against the
     manifest's own directory.
 
+    An ``executor`` key is validated against
+    :data:`~repro.pipeline.solve.EXECUTORS` but otherwise ignored —
+    the worker pool is batch-wide (``--executor``), so per-entry
+    overrides cannot exist; rejecting unknown names keeps a typo a
+    loud configuration error instead of a silently dropped key.
+
     Raises ``ValueError`` on a structurally invalid manifest, an
-    unknown ``solver`` name, or an unreadable/unparseable instance
+    unknown ``solver`` or ``executor`` name, or an
+    unreadable/unparseable instance
     file — configuration errors abort the command; per-request *solve*
     errors (unknown kind, bad params) are reported per request instead.
     """
@@ -271,6 +280,12 @@ def _load_manifest(path: str) -> list:
             raise ValueError(
                 f"manifest entry {i} has unknown solver {solver!r}; "
                 f"choose from {', '.join(SOLVER_MODES)}"
+            )
+        executor = entry.get("executor")
+        if executor is not None and executor not in EXECUTORS:
+            raise ValueError(
+                f"manifest entry {i} has unknown executor {executor!r}; "
+                f"choose from {', '.join(EXECUTORS)}"
             )
         try:
             requests.append(
@@ -336,6 +351,23 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    if args.executor == "remote":
+        from .dist import get_registry
+
+        registry = get_registry(listen=getattr(args, "listen", None))
+        print(
+            f"repro batch: worker registry on {registry.address} "
+            f"({registry.worker_count()} workers connected)",
+            file=sys.stderr,
+        )
+        wanted = getattr(args, "wait_workers", 0) or 0
+        if wanted and not registry.wait_for_workers(wanted):
+            print(
+                f"repro batch: timed out waiting for {wanted} workers "
+                f"({registry.worker_count()} connected)",
+                file=sys.stderr,
+            )
+            return 2
     results = solve_many(
         requests,
         jobs=args.jobs,
@@ -377,6 +409,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         store=args.store,
         fsync=args.fsync,
         jobs=args.jobs,
+        executor=getattr(args, "executor", None) or "thread",
+        listen=getattr(args, "listen", None),
         solver=getattr(args, "solver", None) or "bb",
         bounds=getattr(args, "bounds", None) or "portfolio",
         preprocess=getattr(args, "preprocess", None) or "full",
@@ -391,6 +425,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             if server.store is not None
             else "no store"
         )
+        if server.registry is not None:
+            where += f"; workers: {server.registry.address}"
         print(
             f"repro serve: http://{server.host}:{server.port} ({where})",
             flush=True,
@@ -406,7 +442,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(_run())
     except KeyboardInterrupt:
         print("repro serve: drained and stopped", file=sys.stderr)
+    finally:
+        if server.registry is not None:
+            from .dist import close_registry
+
+            close_registry()
     return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    """Run one remote block-solve worker until shutdown or idle."""
+    from .dist import WorkerClient, parse_endpoint
+
+    try:
+        host, port = parse_endpoint(args.connect)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    worker = WorkerClient(
+        host,
+        port,
+        jobs=args.jobs,
+        idle_timeout=args.idle_timeout,
+    )
+    print(
+        f"repro worker: connecting to {host}:{port} "
+        f"({worker.jobs} jobs, idle timeout "
+        f"{worker.idle_timeout or 'off'})",
+        file=sys.stderr,
+    )
+    return worker.run()
 
 
 def _cmd_warm(args: argparse.Namespace) -> int:
@@ -765,9 +830,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--json", action="store_true")
     p_batch.add_argument(
         "--executor",
-        choices=("thread", "process"),
+        # Single source of truth for the pool types; docs/api.md and
+        # docs/architecture.md quote this flag and tests/test_docs.py
+        # pins the agreement.
+        choices=list(EXECUTORS),
         default="thread",
-        help="worker pool type (thread shares warm engine caches)",
+        help=(
+            "worker pool type: thread (shares warm engine caches), "
+            "process (GIL-free), or remote (dispatch to `repro worker` "
+            "processes; see --listen)"
+        ),
+    )
+    p_batch.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        default=None,
+        help=(
+            "with --executor remote: bind the worker registry here "
+            "(default: $REPRO_WORKER_LISTEN, else an ephemeral "
+            "loopback port, printed to stderr)"
+        ),
+    )
+    p_batch.add_argument(
+        "--wait-workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "with --executor remote: wait for N workers to register "
+            "before solving (default 0: start immediately, degrading "
+            "to a local pool until workers dial in)"
+        ),
     )
     p_batch.add_argument(
         "--store",
@@ -820,7 +913,69 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="waiting computations beyond which requests get 429",
     )
+    p_serve.add_argument(
+        "--executor",
+        # Same single source of truth as `repro batch --executor`.
+        choices=list(EXECUTORS),
+        default="thread",
+        help=(
+            "pool type of every scheduler run; remote makes the "
+            "daemon own a worker registry (see --listen)"
+        ),
+    )
+    p_serve.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        default=None,
+        help=(
+            "with --executor remote: bind the worker registry here "
+            "(default: $REPRO_WORKER_LISTEN, else an ephemeral "
+            "loopback port)"
+        ),
+    )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="remote block-solve worker that dials back to a driver",
+        description=(
+            "Join a worker fleet: connect to the registry of a "
+            "`repro batch --executor remote` or `repro serve "
+            "--executor remote` driver, execute its per-block tasks "
+            "on a local pool, and exit after --idle-timeout seconds "
+            "without work."
+        ),
+    )
+    p_worker.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="the driver registry's endpoint",
+    )
+    p_worker.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="concurrent tasks this worker executes (default 1)",
+    )
+    p_worker.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=300.0,
+        metavar="S",
+        help=(
+            "exit after S seconds without work (default 300; "
+            "0 disables auto-shutdown)"
+        ),
+    )
+    p_worker.add_argument(
+        "--backend",
+        choices=["auto", *engine.available_backends()],
+        default=None,
+        help="LP solver backend for cover computations (default: auto)",
+    )
+    p_worker.set_defaults(func=_cmd_worker)
 
     p_warm = sub.add_parser(
         "warm",

@@ -54,6 +54,7 @@ from .reduce import (
     rules_for,
 )
 from .solve import (
+    EXECUTORS,
     SOLVER_MODES,
     SOLVERS,
     BlockScheduler,
@@ -108,6 +109,7 @@ __all__ = [
     "run_block_task",
     "SOLVERS",
     "SOLVER_MODES",
+    "EXECUTORS",
     "engines_for",
     "BOUNDS_MODES",
     "BlockBounds",

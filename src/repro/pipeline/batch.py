@@ -287,6 +287,17 @@ class BatchStats:
         Tasks avoided by early rejection or settling: pool futures
         cancelled before starting plus check-mode blocks never
         submitted once a sibling block rejected.
+    tasks_remote : int
+        Tasks dispatched to remote workers (``executor="remote"``
+        only; includes re-dispatches of requeued tasks).
+    tasks_local_fallback : int
+        Remote-executor tasks that ran on the driver's local fallback
+        pool because no worker was registered.
+    requeued_tasks : int
+        Tasks requeued onto surviving workers because the worker
+        running them died mid-flight.
+    remote_workers : int
+        Distinct remote workers that executed at least one task.
     bounds : str
         The batch-wide bounds pre-pass mode.
     bounds_seconds : float
@@ -331,6 +342,10 @@ class BatchStats:
     tasks_run: int = 0
     speculative_checks: int = 0
     tasks_cancelled: int = 0
+    tasks_remote: int = 0
+    tasks_local_fallback: int = 0
+    requeued_tasks: int = 0
+    remote_workers: int = 0
     bounds: str = "none"
     bounds_seconds: float = 0.0
     bounds_ks_pruned: int = 0
@@ -375,6 +390,10 @@ class BatchStats:
             "tasks_run": self.tasks_run,
             "speculative_checks": self.speculative_checks,
             "tasks_cancelled": self.tasks_cancelled,
+            "tasks_remote": self.tasks_remote,
+            "tasks_local_fallback": self.tasks_local_fallback,
+            "requeued_tasks": self.requeued_tasks,
+            "remote_workers": self.remote_workers,
             "bounds": self.bounds,
             "bounds_seconds": self.bounds_seconds,
             "bounds_ks_pruned": self.bounds_ks_pruned,
@@ -1005,9 +1024,11 @@ class BatchScheduler:
         ``"full"``).
     executor : str, optional
         ``"thread"`` (default; all workers share the warm
-        SearchContext/CoverOracle caches) or ``"process"`` (GIL-free,
+        SearchContext/CoverOracle caches), ``"process"`` (GIL-free,
         one cache domain per worker process, warmed over the batch's
-        lifetime).
+        lifetime), or ``"remote"`` (dispatch the same task payloads
+        to the :mod:`repro.dist` worker fleet; degrades to a local
+        thread pool while no worker is registered).
     solver : str, optional
         Batch-wide solver mode for check-style tasks — one of
         :data:`~repro.pipeline.solve.SOLVER_MODES`.  ``"bb"`` (default)
@@ -1050,7 +1071,9 @@ class BatchScheduler:
                 f"preprocess must be one of {PREPROCESS_MODES}"
             )
         if executor not in EXECUTORS:
-            raise ValueError("executor must be 'thread' or 'process'")
+            raise ValueError(
+                f"executor must be one of {EXECUTORS}; got {executor!r}"
+            )
         if solver not in SOLVER_MODES:
             raise ValueError(f"solver must be one of {SOLVER_MODES}")
         if bounds not in BOUNDS_MODES:
@@ -1292,6 +1315,13 @@ class BatchScheduler:
                     ):
                         self._cancel_block(inst, b, in_flight, stats, aborts)
                 self._finalize_ready(stats)
+            collect = getattr(pool, "remote_stats", None)
+            if collect is not None:  # executor="remote": fold in fleet counters
+                remote = collect()
+                stats.tasks_remote = remote["tasks_remote"]
+                stats.tasks_local_fallback = remote["tasks_local"]
+                stats.requeued_tasks = remote["requeued_tasks"]
+                stats.remote_workers = remote["workers_used"]
 
     def run(self) -> BatchStats:
         """Drive every submitted request to completion.
@@ -1400,7 +1430,9 @@ def solve_many(
         Pipeline preprocess mode for every instance (default
         ``"full"``).
     executor : str, optional
-        ``"thread"`` (default) or ``"process"``.
+        ``"thread"`` (default), ``"process"``, or ``"remote"`` (the
+        :mod:`repro.dist` worker fleet; see
+        :data:`~repro.pipeline.solve.EXECUTORS`).
     backend : str, optional
         LP backend for the batch (``"auto"``, ``"scipy"``,
         ``"purepython"``); the process-global engine configuration is

@@ -52,7 +52,10 @@ __all__ = [
 ]
 
 #: Valid worker-pool types for every scheduler in the pipeline.
-EXECUTORS = ("thread", "process")
+#: ``"thread"`` shares the in-process engine caches, ``"process"``
+#: sidesteps the GIL, and ``"remote"`` dispatches the same task
+#: payloads to a TCP worker fleet (see :mod:`repro.dist`).
+EXECUTORS = ("thread", "process", "remote")
 
 #: Engine-selection modes for check-style solves: branch-and-bound
 #: only, SAT only, or a per-task race between the two.
@@ -74,8 +77,10 @@ def make_pool(executor: str, jobs: int):
     ----------
     executor : str
         One of :data:`EXECUTORS`: ``"thread"`` (shares in-process
-        engine caches) or ``"process"`` (GIL-free, cold per-worker
-        caches).
+        engine caches), ``"process"`` (GIL-free, cold per-worker
+        caches), or ``"remote"`` (the TCP worker fleet of
+        :mod:`repro.dist`, falling back to a local thread pool while
+        no worker is registered).
     jobs : int
         Worker count (coerced to at least 1).
 
@@ -89,9 +94,18 @@ def make_pool(executor: str, jobs: int):
         If ``executor`` is not one of :data:`EXECUTORS`.
     """
     if executor not in EXECUTORS:
-        raise ValueError("executor must be 'thread' or 'process'")
+        raise ValueError(
+            f"executor must be one of {EXECUTORS}; got {executor!r}"
+        )
+    jobs = max(1, int(jobs or 1))
+    if executor == "remote":
+        # Lazy: repro.dist imports this module, so the import must not
+        # run at module load time.
+        from ..dist import RemoteExecutor, get_registry
+
+        return RemoteExecutor(get_registry(), jobs=jobs)
     cls = ThreadPoolExecutor if executor == "thread" else ProcessPoolExecutor
-    return cls(max_workers=max(1, int(jobs or 1)))
+    return cls(max_workers=jobs)
 
 
 def _check_hd(hypergraph: Hypergraph, k: int, **params):
@@ -358,7 +372,9 @@ class BlockScheduler:
     def __post_init__(self) -> None:
         self.jobs = max(1, int(self.jobs or 1))
         if self.executor not in EXECUTORS:
-            raise ValueError("executor must be 'thread' or 'process'")
+            raise ValueError(
+                f"executor must be one of {EXECUTORS}; got {self.executor!r}"
+            )
 
     @property
     def parallel(self) -> bool:

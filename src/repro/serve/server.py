@@ -40,6 +40,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 from ..pipeline.batch import BatchScheduler
+from ..pipeline.solve import EXECUTORS
 from ..store import ResultStore
 from .protocol import (
     ProtocolError,
@@ -156,6 +157,19 @@ class DecompositionServer:
     jobs : int
         Worker count *inside* each scheduler run (per-solve
         parallelism; across-solve parallelism is ``max_in_flight``).
+    executor : str
+        Pool type of every scheduler run — one of
+        :data:`~repro.pipeline.solve.EXECUTORS`.  ``"remote"`` makes
+        the daemon own a :class:`~repro.dist.registry.WorkerRegistry`
+        (the process-wide default one, bound to ``listen``): block
+        tasks of every admitted solve dispatch to whatever ``repro
+        worker`` processes have dialed in, degrading to a local pool
+        while none have.
+    listen : str or None
+        ``HOST:PORT`` the worker registry binds when
+        ``executor="remote"`` (default: the ``REPRO_WORKER_LISTEN``
+        environment variable, else an ephemeral loopback port); read
+        the resolved endpoint from ``registry.address``.
     solver, bounds, preprocess : str
         Scheduler configuration applied to every request (requests may
         still override ``solver`` individually).
@@ -186,6 +200,8 @@ class DecompositionServer:
         store: ResultStore | str | None = None,
         fsync: bool = False,
         jobs: int | None = None,
+        executor: str = "thread",
+        listen: str | None = None,
         solver: str = "bb",
         bounds: str = "portfolio",
         preprocess: str = "full",
@@ -203,6 +219,19 @@ class DecompositionServer:
             ResultStore(store, fsync=fsync) if self._owns_store else store
         )
         self.jobs = jobs
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {EXECUTORS}; got {executor!r}"
+            )
+        self.executor = executor
+        self.registry = None
+        if executor == "remote":
+            # The daemon owns (the process default) worker registry so
+            # every scheduler run shares one fleet; `repro worker
+            # --connect <registry.address>` joins it at any time.
+            from ..dist import get_registry
+
+            self.registry = get_registry(listen=listen)
         self.solver = solver
         self.bounds = bounds
         self.preprocess = preprocess
@@ -343,8 +372,19 @@ class DecompositionServer:
             "store": (
                 None if self.store is None else self.store.stats.as_dict()
             ),
+            "workers": (
+                None
+                if self.registry is None
+                else {
+                    "address": self.registry.address,
+                    "count": self.registry.worker_count(),
+                    "capacity": self.registry.total_capacity(),
+                    "workers": self.registry.workers(),
+                }
+            ),
             "config": {
                 "jobs": self.jobs,
+                "executor": self.executor,
                 "solver": self.solver,
                 "bounds": self.bounds,
                 "preprocess": self.preprocess,
@@ -439,6 +479,7 @@ class DecompositionServer:
         scheduler = BatchScheduler(
             jobs=self.jobs,
             preprocess=self.preprocess,
+            executor=self.executor,
             solver=self.solver,
             bounds=self.bounds,
             store=self.store,

@@ -288,6 +288,38 @@ class TestBatch:
             main(["batch", str(good), "--solver", "cplex"])
         assert excinfo.value.code == 2
 
+    def test_unknown_executor_key_exits_2(self, tmp_path, capsys):
+        """An unknown per-entry "executor" is a configuration error:
+        exit 2 with a clean message, nothing solved — the same contract
+        as an unknown per-entry "solver"."""
+        (tmp_path / "c4.hg").write_text(to_hyperbench(cycle(4)))
+        badexec = tmp_path / "badexec.json"
+        badexec.write_text(
+            json.dumps([{"file": "c4.hg", "executor": "mpi"}])
+        )
+        assert main(["batch", str(badexec)]) == 2
+        err = capsys.readouterr().err
+        assert "entry 0 has unknown executor 'mpi'" in err
+        assert "thread, process, remote" in err
+        # A known value passes validation (the pool is batch-wide, so
+        # the key is otherwise ignored).
+        okexec = tmp_path / "okexec.json"
+        okexec.write_text(
+            json.dumps([{"file": "c4.hg", "executor": "thread"}])
+        )
+        assert main(["batch", str(okexec)]) == 0
+        assert "ghw(c4) = 2" in capsys.readouterr().out
+        # The batch-wide flag is argparse-validated: same exit code.
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps([{"file": "c4.hg"}]))
+        with pytest.raises(SystemExit) as excinfo:
+            main(["batch", str(good), "--executor", "mpi"])
+        assert excinfo.value.code == 2
+
+    def test_worker_bad_endpoint_exits_2(self, capsys):
+        assert main(["worker", "--connect", "no-port-here"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
     def test_per_entry_solver_modes(self, tmp_path, capsys):
         """Entries may pick their own engine; answers match bb."""
         (tmp_path / "c6.hg").write_text(to_hyperbench(cycle(6)))

@@ -24,7 +24,12 @@ import pytest
 
 import repro
 from repro.cli import build_parser
-from repro.pipeline import BOUNDS_MODES, PREPROCESS_MODES, SOLVER_MODES
+from repro.pipeline import (
+    BOUNDS_MODES,
+    EXECUTORS,
+    PREPROCESS_MODES,
+    SOLVER_MODES,
+)
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -52,6 +57,11 @@ DOCUMENTED_MODULES = (
     "repro.serve.protocol",
     "repro.serve.server",
     "repro.serve.client",
+    "repro.dist",
+    "repro.dist.protocol",
+    "repro.dist.registry",
+    "repro.dist.executor",
+    "repro.dist.worker",
 )
 
 MARKDOWN_FILES = ("README.md", "docs/api.md", "docs/architecture.md", "docs/benchmarks.md")
@@ -186,6 +196,57 @@ def test_markdown_bounds_choices_match_cli_help(markdown):
             f"{markdown} documents --bounds {{{group}}} but the CLI "
             f"help says {{{','.join(_cli_bounds_choices())}}}"
         )
+
+
+def _cli_executor_choices() -> tuple:
+    """The --executor choices straight from the batch subparser."""
+    parser = build_parser()
+    subparsers = next(
+        action
+        for action in parser._actions
+        if isinstance(action, type(parser._subparsers._group_actions[0]))
+    )
+    batch = subparsers.choices["batch"]
+    action = next(a for a in batch._actions if a.dest == "executor")
+    return tuple(action.choices)
+
+
+def test_cli_executor_choices_single_sourced():
+    """``--executor`` on batch *and* serve come from EXECUTORS."""
+    assert _cli_executor_choices() == EXECUTORS
+    parser = build_parser()
+    subparsers = next(
+        action
+        for action in parser._actions
+        if isinstance(action, type(parser._subparsers._group_actions[0]))
+    )
+    serve = subparsers.choices["serve"]
+    action = next(a for a in serve._actions if a.dest == "executor")
+    assert tuple(action.choices) == EXECUTORS
+
+
+@pytest.mark.parametrize("markdown", ["docs/api.md"])
+def test_markdown_executor_choices_match_cli_help(markdown):
+    """The docs quote the CLI's --executor choices verbatim."""
+    text = (REPO_ROOT / markdown).read_text()
+    quoted = re.findall(r"--executor\s*\{([a-z,]+)\}", text)
+    assert quoted, f"{markdown} must document the --executor choices"
+    for group in quoted:
+        assert tuple(group.split(",")) == _cli_executor_choices(), (
+            f"{markdown} documents --executor {{{group}}} but the CLI "
+            f"help says {{{','.join(_cli_executor_choices())}}}"
+        )
+
+
+def test_worker_flags_documented():
+    """The worker subcommand's knobs exist and are documented."""
+    worker = _subcommands()["worker"]
+    flags = {s for action in worker._actions for s in action.option_strings}
+    for flag in ("--connect", "--jobs", "--idle-timeout", "--backend"):
+        assert flag in flags, f"repro worker lost its {flag} flag"
+    api = (REPO_ROOT / "docs/api.md").read_text()
+    assert "--connect" in api and "--idle-timeout" in api
+    assert "--wait-workers" in api and "--listen" in api
 
 
 def test_markdown_cli_snippets_name_real_subcommands():

@@ -532,3 +532,49 @@ class TestServeWithStore:
         assert h2.server.stats.tasks_run == 0
         stats = client2.stats()
         assert stats["server"]["store_instance_hits"] == len(instances)
+
+
+# ----------------------------------------------------------------------
+# The daemon on a remote worker fleet
+# ----------------------------------------------------------------------
+class TestServeWithRemoteExecutor:
+    def test_solves_through_a_worker_and_reports_fleet(self, harness):
+        from repro.dist import (
+            WorkerClient,
+            WorkerRegistry,
+            close_registry,
+            set_registry,
+        )
+
+        registry = WorkerRegistry(ping_interval=0.5)
+        previous = set_registry(registry)
+        client_worker = WorkerClient(
+            registry.host, registry.port, jobs=2, idle_timeout=None,
+            heartbeat_interval=0.3,
+        )
+        worker_thread = threading.Thread(
+            target=client_worker.run, daemon=True
+        )
+        worker_thread.start()
+        try:
+            assert registry.wait_for_workers(1, timeout=10.0)
+            h, client = harness(executor="remote")
+            # cycle(6) survives the bounds pre-pass (a triangle would
+            # collapse to zero block tasks and never touch the fleet).
+            response = client.solve(cycle(6), "hw")
+            assert response["ok"] and response["answer"]["width"] == 2
+            stats = client.stats()
+            assert stats["config"]["executor"] == "remote"
+            workers = stats["workers"]
+            assert workers is not None and workers["count"] == 1
+            assert workers["capacity"] == 2
+            # The executed counter travels on heartbeats; give one a
+            # moment to arrive before asserting the task ran remotely.
+            wait_until(
+                lambda: client.stats()["workers"]["workers"][0]["executed"]
+                >= 1
+            )
+        finally:
+            close_registry()
+            set_registry(previous)
+            worker_thread.join(timeout=5.0)

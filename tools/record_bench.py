@@ -8,7 +8,9 @@ benchmark workloads in-process and writes one JSON file per benchmark:
 * ``BENCH_E12.json``  — the PTAAS guarantees (per-instance widths,
   gaps, iteration counts) and the engine-cache LP-solve reduction;
 * ``BENCH_E19b.json`` — batched serving vs one-at-a-time (answer
-  parity, scheduler counters, speedup);
+  parity, scheduler counters, speedup); ``--only e19r`` rewrites it
+  with an extra ``remote`` section comparing ``executor="remote"``
+  (a two-worker loopback TCP fleet) against the local executors;
 * ``BENCH_E21.json``  — the solver-portfolio race (per-mode wall
   clocks and the portfolio-vs-best-pure speedup), when
   ``--only e21`` is requested (slower; not in the default set);
@@ -114,6 +116,39 @@ def record_e19b(jobs: int = 2) -> dict:
     }
 
 
+def record_e19r(jobs: int = 4, workers: int = 2) -> dict:
+    """E19b plus the E19r remote-executor comparison, one payload.
+
+    Writes the same ``BENCH_E19b.json`` as ``--only e19b`` with an
+    extra ``remote`` section: fleet counters (deterministic up to
+    scheduling) and the thread/process/remote wall-clocks.
+    """
+    from bench_e19_batch_serving import compare_remote
+
+    payload = record_e19b()
+    requests, timings, stats = compare_remote(jobs=jobs, workers=workers)
+    thread_seconds, process_seconds, remote_seconds = timings
+    payload["metrics"]["remote"] = {
+        "requests": len(requests),
+        "jobs": jobs,
+        "workers": workers,
+        "tasks_remote": stats.tasks_remote,
+        "tasks_local_fallback": stats.tasks_local_fallback,
+        "requeued_tasks": stats.requeued_tasks,
+        "remote_workers": stats.remote_workers,
+        "answers_identical": True,  # compare_remote asserts it
+    }
+    payload["timings"]["remote"] = {
+        "thread_seconds": round(thread_seconds, 4),
+        "process_seconds": round(process_seconds, 4),
+        "remote_seconds": round(remote_seconds, 4),
+        "remote_vs_process_speedup": round(
+            process_seconds / remote_seconds, 2
+        ),
+    }
+    return payload
+
+
 def record_e21() -> dict:
     """The E21 portfolio race: per-mode timing and answer parity."""
     from bench_e21_portfolio import race
@@ -156,6 +191,7 @@ def record_e23() -> dict:
 RECORDERS = {
     "e12": ("BENCH_E12.json", record_e12),
     "e19b": ("BENCH_E19b.json", record_e19b),
+    "e19r": ("BENCH_E19b.json", record_e19r),
     "e21": ("BENCH_E21.json", record_e21),
     "e22": ("BENCH_E22.json", record_e22),
     "e23": ("BENCH_E23.json", record_e23),

@@ -56,7 +56,14 @@ from .covers import (
     fractional_edge_cover,
     fractional_edge_cover_number,
 )
-from .cqcsp import CSP, ConjunctiveQuery, Relation, parse_cq
+from .cqcsp import (
+    CSP,
+    ConjunctiveQuery,
+    QueryPlanner,
+    Relation,
+    answer_query,
+    parse_cq,
+)
 from .decomposition import Decomposition, is_fhd, is_ghd, is_hd, validate
 from .hardness import CNF, build_reduction
 from .hypergraph import (
@@ -88,7 +95,7 @@ from .store import ResultStore
 #: reads this attribute at build time (``[tool.setuptools.dynamic]``)
 #: and ``tests/test_docs.py`` pins the agreement, so the version can
 #: never fork between the package, the build metadata and the docs.
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "__version__",
@@ -136,6 +143,8 @@ __all__ = [
     "ConjunctiveQuery",
     "parse_cq",
     "Relation",
+    "QueryPlanner",
+    "answer_query",
     "CSP",
     "example_4_3_hypergraph",
     "figure_5_hd",

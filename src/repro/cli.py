@@ -6,6 +6,8 @@ Usage (also ``python -m repro``)::
     repro width queries.hg --kind ghw       # compute a width + witness
     repro decompose queries.hg -k 2 --json  # decomposition as JSON
     repro bounds big.hg                     # heuristic sandwich for fhw
+    repro query "q(x) :- r(x, y)." --data db.json   # answer a CQ
+    repro query --manifest workload.json --store cache/  # CQ workload
     repro batch manifest.json --jobs 4      # batched multi-instance solve
     repro serve --store cache/ --port 8765  # always-on solving daemon
     repro worker --connect 127.0.0.1:9876   # join a remote worker fleet
@@ -209,6 +211,256 @@ def _cmd_bounds(args: argparse.Namespace) -> int:
     label = "fhw" if args.cost == "fractional" else "ghw"
     print(f"{lower:.4f} <= {label}({h.name or args.file}) <= {upper:.4f}")
     return 0
+
+
+def _load_database(path) -> dict:
+    """Parse a relations JSON file into a name → ``Relation`` mapping.
+
+    The file is ``{"relations": {name: {"attributes": [...], "rows":
+    [[...], ...]}}}`` — the same per-relation encoding the ``POST
+    /query`` wire uses.  Raises ``ValueError`` on anything malformed,
+    with the file path in the message.
+    """
+    from .cqcsp import relation_from_payload
+
+    path = Path(path)
+    try:
+        raw = json.loads(path.read_text())
+    except OSError as exc:
+        raise ValueError(f"cannot read data file: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"data file {path} is not valid JSON: {exc}"
+        ) from exc
+    relations = raw.get("relations") if isinstance(raw, dict) else None
+    if not isinstance(relations, dict) or not relations:
+        raise ValueError(
+            f'data file {path} must be a JSON object with a non-empty '
+            '"relations" object'
+        )
+    database = {}
+    for name, payload in relations.items():
+        try:
+            database[name] = relation_from_payload(name, payload)
+        except ValueError as exc:
+            raise ValueError(f"data file {path}: {exc}") from exc
+    return database
+
+
+_QUERY_MANIFEST_FIELDS = ("data", "file", "label", "query", "solver")
+
+
+def _load_query_manifest(path: str) -> list:
+    """Parse a query-workload manifest into ``(query, database, label,
+    solver)`` tuples.
+
+    The manifest is JSON: either a list of entries or an object with a
+    ``"queries"`` list.  Each entry is ``{"query": "q(x) :- r(x, y).",
+    "data": "db.json", "label": "...", "solver": "sat"}`` — ``data``
+    required, plus exactly one of ``query`` (inline CQ text) or
+    ``file`` (a file containing it).  Relative paths resolve against
+    the manifest's own directory.  Unknown keys are a loud
+    configuration error (exit 2), never a silently dropped field.
+    """
+    from .cqcsp import parse_cq
+
+    manifest_path = Path(path)
+    try:
+        raw = json.loads(manifest_path.read_text())
+    except OSError as exc:
+        raise ValueError(f"cannot read manifest: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"manifest is not valid JSON: {exc}") from exc
+    entries = raw.get("queries") if isinstance(raw, dict) else raw
+    if not isinstance(entries, list):
+        raise ValueError(
+            "manifest must be a JSON list of entries or an object "
+            'with a "queries" list'
+        )
+    jobs = []
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise ValueError(
+                f"manifest entry {i} must be an object; got {entry!r}"
+            )
+        for key in entry:
+            if key not in _QUERY_MANIFEST_FIELDS:
+                raise ValueError(
+                    f"manifest entry {i} has unknown key {key!r}; "
+                    f"valid fields: {', '.join(_QUERY_MANIFEST_FIELDS)}"
+                )
+        has_query = isinstance(entry.get("query"), str)
+        has_file = isinstance(entry.get("file"), str)
+        if has_query == has_file:
+            raise ValueError(
+                f'manifest entry {i} needs exactly one of "query" '
+                '(inline CQ text) or "file" (a file containing it)'
+            )
+        if has_query:
+            text = entry["query"]
+        else:
+            file_path = Path(entry["file"])
+            if not file_path.is_absolute():
+                file_path = manifest_path.parent / file_path
+            try:
+                text = file_path.read_text()
+            except OSError as exc:
+                raise ValueError(
+                    f"manifest entry {i}: cannot read {file_path}: {exc}"
+                ) from exc
+        try:
+            query = parse_cq(text)
+        except ValueError as exc:
+            raise ValueError(
+                f"manifest entry {i}: cannot parse query: {exc}"
+            ) from exc
+        if not isinstance(entry.get("data"), str):
+            raise ValueError(
+                f'manifest entry {i} needs a "data" string '
+                "(relations JSON file)"
+            )
+        data_path = Path(entry["data"])
+        if not data_path.is_absolute():
+            data_path = manifest_path.parent / data_path
+        try:
+            database = _load_database(data_path)
+        except ValueError as exc:
+            raise ValueError(f"manifest entry {i}: {exc}") from exc
+        solver = entry.get("solver")
+        if solver is not None and solver not in SOLVER_MODES:
+            raise ValueError(
+                f"manifest entry {i} has unknown solver {solver!r}; "
+                f"choose from {', '.join(SOLVER_MODES)}"
+            )
+        label = entry.get("label")
+        if label is not None and not isinstance(label, str):
+            raise ValueError(f"manifest entry {i}: label must be a string")
+        jobs.append((query, database, label or query.name, solver))
+    return jobs
+
+
+def _query_result_dict(label, result, info) -> dict:
+    """JSON-ready summary of one answered query."""
+    from .cqcsp import relation_to_payload
+
+    return {
+        "label": label,
+        "ok": True,
+        "width": result.plan.width,
+        "satisfied": result.satisfied,
+        "cost": result.cost,
+        "answers": relation_to_payload(result.answers),
+        "plan_cached": info.cache_hit,
+        "plan_from_store": info.from_store,
+    }
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    """Answer CQs via decomposition plans (single query or manifest)."""
+    from .cqcsp import QueryPlanner, parse_cq
+
+    if args.manifest is not None:
+        if args.query is not None or args.data is not None:
+            print(
+                "repro query: give either QUERY --data FILE or "
+                "--manifest FILE, not both",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            jobs = _load_query_manifest(args.manifest)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    else:
+        if args.query is None or args.data is None:
+            print(
+                "repro query: QUERY and --data FILE are required "
+                "(or use --manifest FILE)",
+                file=sys.stderr,
+            )
+            return 2
+        text = args.query
+        spec = Path(text)
+        try:
+            if spec.is_file():
+                text = spec.read_text()
+            query = parse_cq(text)
+            database = _load_database(args.data)
+        except (OSError, ValueError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        jobs = [(query, database, query.name, None)]
+
+    default_solver = getattr(args, "solver", None) or "bb"
+    options = {
+        "bounds": getattr(args, "bounds", None) or "portfolio",
+        "preprocess": getattr(args, "preprocess", None) or "full",
+        "jobs": getattr(args, "jobs", None),
+    }
+    store = None
+    if args.store is not None:
+        from .store import ResultStore
+
+        store = ResultStore(args.store)
+    # One planner per engine mode (the plan key includes the solver),
+    # all sharing one store so plans persist regardless of mode.
+    planners: dict[str, QueryPlanner] = {}
+    outcomes = []
+    try:
+        for query, database, label, solver in jobs:
+            mode = solver or default_solver
+            planner = planners.get(mode)
+            if planner is None:
+                planner = planners[mode] = QueryPlanner(
+                    store, solver=mode, **options
+                )
+            try:
+                plan, info = planner.plan_detailed(query)
+                result = planner.execute(plan, database)
+            except Exception as exc:  # per-query failure, exit 1
+                outcomes.append(
+                    {"label": label, "ok": False, "error": str(exc)}
+                )
+            else:
+                outcomes.append(_query_result_dict(label, result, info))
+    finally:
+        for planner in planners.values():
+            planner.close()
+        if store is not None:
+            store.close()
+    failed = [o for o in outcomes if not o["ok"]]
+    if args.json:
+        print(json.dumps({"results": outcomes}, indent=2))
+        return 1 if failed else 0
+    for outcome in outcomes:
+        if not outcome["ok"]:
+            print(f"query({outcome['label']}) ERROR: {outcome['error']}")
+            continue
+        answers = outcome["answers"]
+        plan_note = (
+            "plan from store"
+            if outcome["plan_from_store"]
+            else "plan cached"
+            if outcome["plan_cached"]
+            else "plan computed"
+        )
+        if not answers["attributes"]:
+            verdict = "true" if outcome["satisfied"] else "false"
+            print(
+                f"query({outcome['label']}) = {verdict} "
+                f"(boolean, width {outcome['width']}, {plan_note})"
+            )
+            continue
+        print(
+            f"query({outcome['label']}): {len(answers['rows'])} answers "
+            f"(width {outcome['width']}, {plan_note})"
+        )
+        header = ", ".join(answers["attributes"])
+        print(f"  {header}")
+        for row in answers["rows"]:
+            print("  " + ", ".join(str(v) for v in row))
+    return 1 if failed else 0
 
 
 def _load_manifest(path: str) -> list:
@@ -814,6 +1066,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--cost", choices=("fractional", "integral"), default="fractional"
     )
     p_bounds.set_defaults(func=_cmd_bounds)
+
+    p_query = sub.add_parser(
+        "query",
+        help="answer conjunctive queries via decomposition plans",
+        description=(
+            "Plan-then-execute CQ answering: the query's hypergraph is "
+            "decomposed (the plan), the witness join tree drives "
+            "Yannakakis over the relations, and with --store the plan "
+            "persists — repeated query shapes replay it with zero "
+            "solver work.  Single mode takes CQ text (or a file "
+            "containing it) plus --data; --manifest runs a JSON "
+            "workload of {query|file, data, label, solver} entries."
+        ),
+        parents=[engine_options],
+    )
+    p_query.add_argument(
+        "query",
+        nargs="?",
+        default=None,
+        metavar="QUERY",
+        help='CQ text like "q(x) :- r(x, y)." or a file containing it',
+    )
+    p_query.add_argument(
+        "--data",
+        metavar="FILE",
+        default=None,
+        help='relations JSON: {"relations": {name: {"attributes", "rows"}}}',
+    )
+    p_query.add_argument(
+        "--manifest",
+        metavar="FILE",
+        default=None,
+        help="JSON workload of query entries (instead of QUERY --data)",
+    )
+    p_query.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help=(
+            "persistent result store directory: stored plans are "
+            "replayed without solving, new plans are written back"
+        ),
+    )
+    p_query.add_argument("--json", action="store_true")
+    p_query.set_defaults(func=_cmd_query)
 
     p_batch = sub.add_parser(
         "batch",

@@ -1,4 +1,11 @@
-"""Conjunctive queries and CSPs — the motivating applications (Section 1)."""
+"""Conjunctive queries and CSPs — the motivating applications (Section 1).
+
+Beyond the offline demo pieces (relational algebra, Yannakakis, CQ
+parsing, workload generators), :mod:`repro.cqcsp.planner` wires query
+answering into the serving stack: decompositions become cached query
+plans (:class:`QueryPlanner`), persisted in the result store and
+replayed with zero solver work for repeated query shapes.
+"""
 
 from .csp import CSP, Constraint, backtracking_solve
 from .evaluate import (
@@ -9,7 +16,17 @@ from .evaluate import (
     evaluate_with_decomposition,
     node_relations_from_ghd,
 )
-from .query import Atom, ConjunctiveQuery, parse_cq
+from .planner import (
+    PLAN_KIND,
+    PlanInfo,
+    PlannerStats,
+    QueryPlan,
+    QueryPlanner,
+    QueryResult,
+    answer_query,
+    plan_key,
+)
+from .query import Atom, Const, ConjunctiveQuery, parse_cq
 from .workloads import (
     chain_query,
     cycle_query,
@@ -19,15 +36,31 @@ from .workloads import (
     star_query,
     zipf_relation,
 )
-from .relations import Relation, join_all
+from .relations import (
+    Relation,
+    join_all,
+    relation_from_payload,
+    relation_to_payload,
+)
 from .yannakakis import semijoin_reduce, yannakakis
 
 __all__ = [
     "Relation",
     "join_all",
+    "relation_to_payload",
+    "relation_from_payload",
     "Atom",
+    "Const",
     "ConjunctiveQuery",
     "parse_cq",
+    "PLAN_KIND",
+    "plan_key",
+    "QueryPlan",
+    "PlanInfo",
+    "QueryResult",
+    "PlannerStats",
+    "QueryPlanner",
+    "answer_query",
     "yannakakis",
     "semijoin_reduce",
     "atom_relation",

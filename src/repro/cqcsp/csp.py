@@ -60,6 +60,7 @@ class CSP:
 
     @property
     def variables(self) -> tuple[str, ...]:
+        """The CSP's variables, in domain-declaration order."""
         return tuple(self.domains)
 
     def hypergraph(self) -> Hypergraph:

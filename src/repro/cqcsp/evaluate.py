@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 from ..algorithms import generalized_hypertree_decomposition
 from ..decomposition import Decomposition
-from .query import Atom, ConjunctiveQuery
+from .query import Atom, Const, ConjunctiveQuery
 from .relations import Relation, join_all
 from .yannakakis import yannakakis
 
@@ -33,9 +33,15 @@ def atom_relation(database: Mapping[str, Relation], atom: Atom) -> Relation:
     """The relation for one atom, with attributes renamed to variables.
 
     Handles repeated variables (``r(x, x)``) by filtering rows whose
-    corresponding positions agree, then deduplicating columns.
+    corresponding positions agree, then deduplicating columns, and
+    constants (``r(x, 3)``) by selecting rows whose position carries the
+    constant's value before dropping the column.
     """
-    base = database[atom.relation]
+    base = database.get(atom.relation)
+    if base is None:
+        raise ValueError(
+            f"atom {atom} references unknown relation {atom.relation!r}"
+        )
     if len(base.attributes) != len(atom.variables):
         raise ValueError(
             f"atom {atom} has arity {len(atom.variables)}, relation "
@@ -43,16 +49,23 @@ def atom_relation(database: Mapping[str, Relation], atom: Atom) -> Relation:
         )
     first_position: dict[str, int] = {}
     keep_positions: list[int] = []
-    for i, v in enumerate(atom.variables):
-        if v not in first_position:
-            first_position[v] = i
+    constants: list[tuple[int, object]] = []
+    for i, term in enumerate(atom.variables):
+        if isinstance(term, Const):
+            constants.append((i, term.value))
+        elif term not in first_position:
+            first_position[term] = i
             keep_positions.append(i)
+    variable_positions = [
+        (i, first_position[term])
+        for i, term in enumerate(atom.variables)
+        if not isinstance(term, Const)
+    ]
     rows = []
     for row in base.tuples:
-        if all(
-            row[i] == row[first_position[v]]
-            for i, v in enumerate(atom.variables)
-        ):
+        if any(row[i] != value for i, value in constants):
+            continue
+        if all(row[i] == row[first] for i, first in variable_positions):
             rows.append(tuple(row[i] for i in keep_positions))
     attrs = tuple(atom.variables[i] for i in keep_positions)
     return Relation.from_rows(str(atom), attrs, rows)
@@ -79,15 +92,29 @@ def node_relations_from_ghd(
         for edge_name in sorted(decomp.cover(nid).support):
             atom = query.atom_for_edge(edge_name)
             parts.append(atom_relation(database, atom))
-        joined, intermediate = join_all(parts)
+        if parts:
+            joined, intermediate = join_all(parts)
+        else:
+            # An empty λ forces an empty bag; the node's relation is the
+            # 0-ary identity (one empty tuple), neutral under joins.
+            joined, intermediate = Relation.from_rows(nid, (), [()]), 0
         cost += intermediate
+        uncovered = bag - set(joined.attributes)
+        if uncovered:
+            # Condition (3) of a GHD guarantees bag ⊆ B(λ); tripping
+            # this means the witness is invalid and silent projection
+            # would produce wrong answers rather than a loud failure.
+            raise ValueError(
+                f"node {nid}: bag variables {sorted(uncovered)} are not "
+                "covered by the node's λ-atoms (invalid GHD)"
+            )
         keep = [a for a in joined.attributes if a in bag]
         out[nid] = joined.project(keep)
     # Every atom must be *enforced*, not just covered: semijoin each atom
     # into a node whose bag contains its variables (condition (1)
     # guarantees one exists).  Atoms already in some λ are unaffected.
     for atom in query.atoms:
-        scope = frozenset(atom.variables)
+        scope = frozenset(atom.variable_names)
         host = next(
             (nid for nid in decomp.node_ids if scope <= decomp.bag(nid)),
             None,

@@ -4,6 +4,11 @@ A CQ ``ans(x, y) :- r(x, z), s(z, y)`` consists of atoms over variables;
 its hypergraph has the variables as vertices and one edge per atom —
 exactly the translation the paper describes.  CSPs share the same shape
 (Section 1: "Formally, CQs and CSPs are the same problem").
+
+Atom positions may also hold :class:`Const` terms — ``r(x, 3)`` or
+``r(x, 'iron')`` — which select on the relation before it enters the
+join; constants never become hypergraph vertices, so they only ever
+shrink the query hypergraph.
 """
 
 from __future__ import annotations
@@ -14,44 +19,89 @@ from dataclasses import dataclass
 
 from ..hypergraph import Hypergraph
 
-__all__ = ["Atom", "ConjunctiveQuery", "parse_cq"]
+__all__ = ["Atom", "Const", "ConjunctiveQuery", "parse_cq"]
+
+
+@dataclass(frozen=True)
+class Const:
+    """A constant term in an atom position.
+
+    ``value`` is a plain hashable scalar (int or str in the text
+    syntax).  In query text, integers are written bare (``r(x, 3)``)
+    and strings single- or double-quoted (``r(x, 'iron')``).
+    """
+
+    value: object
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return "'" + self.value + "'"
+        return str(self.value)
 
 
 @dataclass(frozen=True)
 class Atom:
-    """One query atom: a relation name and a variable tuple.
+    """One query atom: a relation name and a term tuple.
 
+    Terms are variable names (strings) or :class:`Const` values.
     Repeated variables within an atom are allowed (they express equality
-    selections); constants are not modelled — inline them by selecting on
-    the relation beforehand.
+    selections); constants express selections on the relation.  At least
+    one term must be a variable — an all-constant atom is a membership
+    test the relational layer cannot host on any bag.
     """
 
     relation: str
-    variables: tuple[str, ...]
+    variables: tuple
 
     def __post_init__(self) -> None:
-        if not self.variables:
+        for term in self.variables:
+            if not isinstance(term, (str, Const)):
+                raise ValueError(
+                    f"atom {self.relation} has a term {term!r} that is "
+                    "neither a variable name nor a Const"
+                )
+        if not self.variable_names:
             raise ValueError(f"atom {self.relation} has no variables")
 
+    @property
+    def variable_names(self) -> tuple:
+        """The distinct variable names, in first-occurrence order."""
+        seen = []
+        for term in self.variables:
+            if isinstance(term, str) and term not in seen:
+                seen.append(term)
+        return tuple(seen)
+
     def __str__(self) -> str:
-        return f"{self.relation}({', '.join(self.variables)})"
+        return f"{self.relation}({', '.join(map(str, self.variables))})"
 
 
 @dataclass(frozen=True)
 class ConjunctiveQuery:
     """A conjunctive query: head variables + body atoms.
 
-    An empty head makes the query Boolean.  Head variables must occur in
-    the body (safety).
+    An empty head makes the query Boolean.  Head terms must be distinct
+    variables that occur in the body (safety); constants belong in the
+    body, not the head.
     """
 
-    head: tuple[str, ...]
-    atoms: tuple[Atom, ...]
+    head: tuple
+    atoms: tuple
     name: str = "q"
 
     def __post_init__(self) -> None:
         if not self.atoms:
             raise ValueError("query must have at least one atom")
+        non_vars = [v for v in self.head if not isinstance(v, str)]
+        if non_vars:
+            raise ValueError(
+                f"head terms must be variables, not {non_vars}"
+            )
+        if len(set(self.head)) != len(self.head):
+            duplicated = sorted(
+                {v for v in self.head if self.head.count(v) > 1}
+            )
+            raise ValueError(f"duplicate head variables: {duplicated}")
         body_vars = self.variables
         unsafe = [v for v in self.head if v not in body_vars]
         if unsafe:
@@ -59,13 +109,15 @@ class ConjunctiveQuery:
 
     @property
     def variables(self) -> frozenset:
+        """All variable names occurring in the body (constants excluded)."""
         out: set[str] = set()
         for atom in self.atoms:
-            out.update(atom.variables)
+            out.update(atom.variable_names)
         return frozenset(out)
 
     @property
     def is_boolean(self) -> bool:
+        """True iff the head is empty (a yes/no query)."""
         return not self.head
 
     def hypergraph(self) -> Hypergraph:
@@ -73,10 +125,11 @@ class ConjunctiveQuery:
 
         Atom occurrences are disambiguated by position (``#i`` suffix), so
         self-joins yield distinct edges as the paper requires ("for every
-        atom in Q, E(H) contains a hyperedge").
+        atom in Q, E(H) contains a hyperedge").  Constants contribute no
+        vertices — only the variables of an atom form its edge.
         """
         edges = {
-            f"{atom.relation}#{i}": frozenset(atom.variables)
+            f"{atom.relation}#{i}": frozenset(atom.variable_names)
             for i, atom in enumerate(self.atoms)
         }
         return Hypergraph(edges, name=self.name)
@@ -91,16 +144,71 @@ class ConjunctiveQuery:
         return f"{head} :- {', '.join(map(str, self.atoms))}."
 
 
-_ATOM_RE = re.compile(r"([A-Za-z_][A-Za-z0-9_]*)\s*\(([^)]*)\)")
+_ATOM_RE = re.compile(r"([A-Za-z_][A-Za-z0-9_]*)\s*\(([^()]*)\)")
+_VARIABLE_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_INT_RE = re.compile(r"-?[0-9]+")
+
+
+def _parse_term(raw: str, context: str):
+    """One atom position: a variable name, an integer, or a quoted string."""
+    term = raw.strip()
+    if not term:
+        raise ValueError(f"empty term in {context} (stray comma?)")
+    if _VARIABLE_RE.fullmatch(term):
+        return term
+    if _INT_RE.fullmatch(term):
+        return Const(int(term))
+    if len(term) >= 2 and term[0] == term[-1] and term[0] in "'\"":
+        return Const(term[1:-1])
+    raise ValueError(
+        f"cannot parse term {term!r} in {context}: expected a variable "
+        "name, an integer, or a quoted string"
+    )
+
+
+def _parse_atoms(body_text: str) -> tuple:
+    """All atoms of a query body, refusing any unparsed leftovers.
+
+    ``finditer`` alone would silently skip malformed fragments (a bug
+    this parser shipped with: ``q(x) :- r(x), s(y`` used to drop the
+    dangling ``s(y`` and answer the wrong query); here every character
+    outside a matched atom must be a comma or whitespace.
+    """
+    atoms = []
+    cursor = 0
+    for match in _ATOM_RE.finditer(body_text):
+        gap = body_text[cursor:match.start()]
+        if gap.strip(", \t\r\n"):
+            raise ValueError(
+                f"cannot parse {gap.strip()!r} in the query body"
+            )
+        context = f"atom {match.group(1)}"
+        terms = tuple(
+            _parse_term(raw, context)
+            for raw in match.group(2).split(",")
+        ) if match.group(2).strip() else ()
+        atoms.append(Atom(match.group(1), terms))
+        cursor = match.end()
+    tail = body_text[cursor:]
+    if tail.strip(", \t\r\n"):
+        raise ValueError(
+            f"cannot parse {tail.strip()!r} in the query body"
+        )
+    return tuple(atoms)
 
 
 def parse_cq(text: str) -> ConjunctiveQuery:
     """Parse ``name(x, y) :- r(x, z), s(z, y).`` into a query.
 
     The head is everything before ``:-``; a missing head (text starting
-    with ``:-``) gives a Boolean query.
+    with ``:-``) gives a Boolean query.  Body positions accept variables,
+    bare integers and quoted strings (constants).  Raises ``ValueError``
+    with a pointed message on any malformed input — unparseable
+    fragments are errors, never silently dropped.
     """
-    text = text.strip().rstrip(".")
+    text = text.strip()
+    if text.endswith("."):
+        text = text[:-1].rstrip()
     if ":-" not in text:
         raise ValueError("expected ':-' separating head and body")
     head_text, body_text = text.split(":-", 1)
@@ -112,14 +220,10 @@ def parse_cq(text: str) -> ConjunctiveQuery:
             raise ValueError(f"cannot parse head {head_text!r}")
         name = match.group(1)
         head_vars = tuple(
-            v.strip() for v in match.group(2).split(",") if v.strip()
-        )
-    atoms = []
-    for match in _ATOM_RE.finditer(body_text):
-        variables = tuple(
-            v.strip() for v in match.group(2).split(",") if v.strip()
-        )
-        atoms.append(Atom(match.group(1), variables))
+            _parse_term(raw, "the head")
+            for raw in match.group(2).split(",")
+        ) if match.group(2).strip() else ()
+    atoms = _parse_atoms(body_text)
     if not atoms:
         raise ValueError("query body has no atoms")
-    return ConjunctiveQuery(tuple(head_vars), tuple(atoms), name=name)
+    return ConjunctiveQuery(tuple(head_vars), atoms, name=name)

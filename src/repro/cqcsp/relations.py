@@ -16,7 +16,15 @@ from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass
 
 
-__all__ = ["Relation", "join_all"]
+__all__ = [
+    "Relation",
+    "join_all",
+    "relation_to_payload",
+    "relation_from_payload",
+]
+
+#: JSON-representable scalar types allowed in wire/file relation rows.
+_SCALARS = (str, int, float, bool)
 
 
 @dataclass(frozen=True)
@@ -40,6 +48,7 @@ class Relation:
     def from_rows(
         cls, name: str, attributes: Sequence[str], rows: Iterable[Sequence]
     ) -> "Relation":
+        """Build a relation from any iterable of row sequences."""
         return cls(
             name, tuple(attributes), frozenset(tuple(r) for r in rows)
         )
@@ -113,7 +122,70 @@ class Relation:
         return Relation(self.name, self.attributes, rows)
 
     def is_empty(self) -> bool:
+        """True iff the relation holds no tuples."""
         return not self.tuples
+
+
+def relation_to_payload(relation: Relation) -> dict:
+    """Encode a relation as the plain-JSON shape used on disk and wire.
+
+    ``{"attributes": [...], "rows": [[...], ...]}`` with rows sorted
+    deterministically (by their repr — rows may mix value types), so
+    two equal relations always encode byte-identically.
+    """
+    return {
+        "attributes": list(relation.attributes),
+        "rows": sorted(
+            (list(row) for row in relation.tuples), key=repr
+        ),
+    }
+
+
+def relation_from_payload(name: str, obj) -> Relation:
+    """Decode ``{"attributes", "rows"}`` into a :class:`Relation`.
+
+    Raises ``ValueError`` on any malformed shape: missing keys, rows of
+    the wrong arity, or non-scalar values (only JSON scalars are
+    allowed — nested lists would not survive the hash-join key paths).
+    """
+    if not isinstance(obj, dict):
+        raise ValueError(f"relation {name!r} must be a JSON object")
+    unknown = set(obj) - {"attributes", "rows"}
+    if unknown:
+        raise ValueError(
+            f"relation {name!r} has unknown keys {sorted(unknown)}; "
+            "valid keys: attributes, rows"
+        )
+    attributes = obj.get("attributes")
+    if not isinstance(attributes, (list, tuple)) or not all(
+        isinstance(a, str) for a in attributes
+    ):
+        raise ValueError(
+            f"relation {name!r} needs an 'attributes' list of strings"
+        )
+    rows = obj.get("rows", [])
+    if not isinstance(rows, (list, tuple)):
+        raise ValueError(f"relation {name!r} needs a 'rows' list")
+    for i, row in enumerate(rows):
+        if not isinstance(row, (list, tuple)):
+            raise ValueError(
+                f"relation {name!r} row {i} must be a list"
+            )
+        if len(row) != len(attributes):
+            raise ValueError(
+                f"relation {name!r} row {i} has {len(row)} values but "
+                f"{len(attributes)} attributes"
+            )
+        for value in row:
+            if not isinstance(value, _SCALARS):
+                raise ValueError(
+                    f"relation {name!r} row {i} holds non-scalar "
+                    f"value {value!r}"
+                )
+    try:
+        return Relation.from_rows(name, attributes, rows)
+    except ValueError as exc:
+        raise ValueError(f"relation {name!r}: {exc}") from exc
 
 
 def join_all(relations: Sequence[Relation]) -> tuple[Relation, int]:

@@ -12,6 +12,9 @@ from __future__ import annotations
 import http.client
 import json
 
+from collections.abc import Mapping
+
+from ..cqcsp import ConjunctiveQuery, Relation, relation_to_payload
 from ..hypergraph import Hypergraph
 from ..pipeline.batch import BatchRequest
 from .protocol import request_to_payload
@@ -104,6 +107,39 @@ class ServeClient:
             solver=solver,
         )
         return self._call("POST", "/solve", request_to_payload(request))
+
+    def query(
+        self,
+        query: str | ConjunctiveQuery,
+        relations: Mapping[str, object],
+        label: str | None = None,
+    ) -> dict:
+        """Answer one conjunctive query on the daemon.
+
+        ``query`` is CQ text (or a :class:`ConjunctiveQuery`, sent as
+        its text form); ``relations`` maps relation names to
+        :class:`~repro.cqcsp.Relation` objects or pre-encoded
+        ``{"attributes", "rows"}`` payloads.  Returns the full
+        response: ``{"ok", "label", "width", "answers", "cost",
+        "satisfied", "coalesced", "plan_from_store", "plan_cached"}``.
+
+        Raises
+        ------
+        ServeError
+            On any non-200 status, same taxonomy as :meth:`solve`.
+        """
+        encoded = {
+            name: (
+                relation_to_payload(rel)
+                if isinstance(rel, Relation)
+                else rel
+            )
+            for name, rel in relations.items()
+        }
+        body: dict = {"query": str(query), "relations": encoded}
+        if label is not None:
+            body["label"] = label
+        return self._call("POST", "/query", body)
 
     def stats(self) -> dict:
         """The daemon's ``GET /stats`` payload (server/store/config)."""

@@ -22,10 +22,25 @@ re-validated client-side with
 same canonical hypergraph hash, kind, effective solver mode and
 parameter fingerprint are *the same computation* and share one
 scheduler run server-side.
+
+A query request (``POST /query``) posts a CQ plus its relations::
+
+    {"query": "q(x, z) :- r(x, y), r(y, z).",
+     "relations": {"r": {"attributes": ["a", "b"],
+                         "rows": [[1, 2], [2, 3]]}},
+     "label": "two-hop"}                        # optional display name
+
+and receives ``{"width", "answers": {"attributes", "rows"}, "cost",
+"satisfied"}``.  Its coalescing identity (:func:`query_key`) covers
+only the *plan* — the query-shape solve — because two queries with
+the same shape but different data must share the decomposition work,
+never the answers.
 """
 
 from __future__ import annotations
 
+from ..cqcsp import parse_cq, relation_from_payload
+from ..cqcsp.planner import plan_key
 from ..hypergraph import Hypergraph
 from ..pipeline.batch import _KIND_TABLE, BATCH_KINDS, BatchRequest
 from ..pipeline.solve import SOLVER_MODES
@@ -39,6 +54,9 @@ __all__ = [
     "request_to_payload",
     "request_key",
     "answer_payload",
+    "query_request_from_payload",
+    "query_key",
+    "query_answer_payload",
 ]
 
 
@@ -153,6 +171,70 @@ def request_key(request: BatchRequest, default_solver: str) -> tuple:
         request.solver if request.solver is not None else default_solver,
         params_fingerprint(request.params),
     )
+
+
+def query_request_from_payload(obj) -> tuple:
+    """Decode one query request into ``(query, database, label)``.
+
+    Raises :class:`ProtocolError` (mapped to HTTP 400) on unknown
+    fields, an unparseable CQ, or malformed relations — before any
+    planning or execution happens.
+    """
+    if not isinstance(obj, dict):
+        raise ProtocolError("request body must be a JSON object")
+    unknown = set(obj) - {"query", "relations", "label"}
+    if unknown:
+        raise ProtocolError(f"unknown request fields: {sorted(unknown)}")
+    text = obj.get("query")
+    if not isinstance(text, str):
+        raise ProtocolError("'query' must be a CQ string")
+    try:
+        query = parse_cq(text)
+    except ValueError as exc:
+        raise ProtocolError(f"cannot parse query: {exc}") from exc
+    relations = obj.get("relations")
+    if not isinstance(relations, dict) or not relations:
+        raise ProtocolError("'relations' must be a non-empty object")
+    database = {}
+    for name, payload in relations.items():
+        try:
+            database[name] = relation_from_payload(name, payload)
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from exc
+    label = obj.get("label")
+    if label is not None and not isinstance(label, str):
+        raise ProtocolError("'label' must be a string")
+    return query, database, label
+
+
+def query_key(query, default_solver: str) -> tuple:
+    """The coalescing identity of a query request — its *plan*.
+
+    A tagged :func:`repro.cqcsp.planner.plan_key`: canonical query-
+    hypergraph hash × plan kind × solver × params fingerprint.  The
+    data is deliberately absent — N concurrent queries of one shape
+    share one plan solve and then each execute on their own relations.
+    The tag keeps plan futures distinct from ``/solve`` futures in the
+    server's single pending map (their resolved values differ).
+    """
+    return ("query-plan",) + plan_key(query, default_solver)
+
+
+def query_answer_payload(result) -> dict:
+    """Encode a :class:`~repro.cqcsp.planner.QueryResult` for the wire.
+
+    Rows are sorted deterministically, so equal answer sets encode
+    byte-identically — the property benchmark E24 asserts between cold
+    and plan-warm serving.
+    """
+    from ..cqcsp import relation_to_payload
+
+    return {
+        "width": result.plan.width,
+        "answers": relation_to_payload(result.answers),
+        "cost": result.cost,
+        "satisfied": result.satisfied,
+    }
 
 
 def answer_payload(kind: str, value) -> dict:

@@ -30,6 +30,16 @@ harness in ``tests/test_serve.py`` and benchmark E23:
 Failure isolation is per computation: a request whose solve raises
 resolves to HTTP 422 for its callers (including coalesced ones —
 they asked for the same computation) and disturbs nothing else.
+
+``POST /query`` rides the same machinery end-to-end: a conjunctive
+query's *plan* (the decomposition of its hypergraph, resolved by
+:class:`~repro.cqcsp.planner.QueryPlanner`) is a computation like any
+other — admission-controlled, coalesced on the plan key, persisted in
+the store — while Yannakakis execution over the request's own
+relations always runs per request.  A restarted daemon therefore
+serves repeated query shapes *plan-warm*: zero LP solves, zero exact
+check tasks, answers byte-identical to the cold run (asserted by
+benchmark E24).
 """
 
 from __future__ import annotations
@@ -39,12 +49,16 @@ import json
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
+from ..cqcsp.planner import QueryPlanner
 from ..pipeline.batch import BatchScheduler
 from ..pipeline.solve import EXECUTORS
 from ..store import ResultStore
 from .protocol import (
     ProtocolError,
     answer_payload,
+    query_answer_payload,
+    query_key,
+    query_request_from_payload,
     request_from_payload,
     request_key,
 )
@@ -106,8 +120,22 @@ class ServerStats:
     store_instance_hits, store_blocks_seeded : int
         Store activity summed over all scheduler runs.
     lp_solves, tasks_run : int
-        Engine LP solves and exact check tasks summed over all runs;
-        both stay at 0 when a warm store answers everything (E23).
+        Engine LP solves and exact check tasks summed over all runs —
+        solve requests and plan solves alike; both stay at 0 when a
+        warm store answers everything (E23 / E24).
+    queries : int
+        Query requests received on ``POST /query`` (including
+        rejected ones).
+    query_answers : int
+        Query requests answered with an answer set (HTTP 200).
+    plans_computed : int
+        Plan computations resolved — with K identical concurrent
+        queries this increments once, not K times (they coalesce on
+        the plan key), and an in-memory plan-cache replay still
+        counts as one resolution.
+    plan_store_hits : int
+        Plan solves answered by a persistent store record instead of
+        running the exact engines (the plan-warm path E24 measures).
     """
 
     requests: int = 0
@@ -121,6 +149,10 @@ class ServerStats:
     store_blocks_seeded: int = 0
     lp_solves: int = 0
     tasks_run: int = 0
+    queries: int = 0
+    query_answers: int = 0
+    plans_computed: int = 0
+    plan_store_hits: int = 0
 
     def as_dict(self) -> dict:
         """The counters as a JSON-ready dictionary."""
@@ -136,6 +168,10 @@ class ServerStats:
             "store_blocks_seeded": self.store_blocks_seeded,
             "lp_solves": self.lp_solves,
             "tasks_run": self.tasks_run,
+            "queries": self.queries,
+            "query_answers": self.query_answers,
+            "plans_computed": self.plans_computed,
+            "plan_store_hits": self.plan_store_hits,
         }
 
 
@@ -189,7 +225,8 @@ class DecompositionServer:
         read is bounded — admitted solves may run arbitrarily long.
         ``None`` disables the limit (tests only).
 
-    Endpoints: ``POST /solve``, ``GET /stats``, ``GET /healthz``.
+    Endpoints: ``POST /solve``, ``POST /query``, ``GET /stats``,
+    ``GET /healthz``.
     """
 
     def __init__(
@@ -240,6 +277,17 @@ class DecompositionServer:
         self.max_body = max(0, int(max_body))
         self.read_timeout = read_timeout
         self.stats = ServerStats()
+        # Plans are served by one planner so the in-memory plan LRU is
+        # shared across requests; it reuses the server's store, solver
+        # and pool configuration for its plan solves.
+        self.planner = QueryPlanner(
+            self.store,
+            solver=self.solver,
+            bounds=self.bounds,
+            preprocess=self.preprocess,
+            jobs=self.jobs,
+            executor=self.executor,
+        )
         self._pending: dict[tuple, asyncio.Future] = {}
         self._executor = ThreadPoolExecutor(
             max_workers=self.max_in_flight, thread_name_prefix="repro-serve"
@@ -356,14 +404,16 @@ class DecompositionServer:
             if method != "GET":
                 return 405, {"error": "GET only"}
             return 200, self._stats_payload()
-        if path == "/solve":
+        if path in ("/solve", "/query"):
             if method != "POST":
                 return 405, {"error": "POST only"}
             try:
                 payload = json.loads(body.decode("utf-8"))
             except (UnicodeDecodeError, json.JSONDecodeError) as exc:
                 return 400, {"error": f"request body is not JSON: {exc}"}
-            return await self._solve(payload)
+            if path == "/solve":
+                return await self._solve(payload)
+            return await self._query(payload)
         return 404, {"error": f"unknown path {path!r}"}
 
     def _stats_payload(self) -> dict:
@@ -489,3 +539,107 @@ class DecompositionServer:
         if result.error is not None:
             raise result.error
         return answer_payload(request.kind, result.value), stats
+
+    # ------------------------------------------------------------------
+    # Query answering (decompositions as cached plans)
+    # ------------------------------------------------------------------
+    async def _query(self, payload) -> tuple[int, dict]:
+        """Answer one CQ: coalesce on the plan key, execute per request.
+
+        Planning and execution are deliberately split: the plan (the
+        query-shape solve) coalesces and caches exactly like ``/solve``
+        computations, while execution always runs per request — two
+        queries of one shape may carry different relations, so sharing
+        the answer would be wrong even though sharing the plan is free.
+        """
+        self.stats.queries += 1
+        try:
+            query, database, label = query_request_from_payload(payload)
+        except ProtocolError as exc:
+            return 400, {"error": str(exc)}
+        label = label or query.name
+        key = query_key(query, self.solver)
+        future = self._pending.get(key)
+        coalesced = future is not None
+        if coalesced:
+            self.stats.coalesced += 1
+        else:
+            if self._draining:
+                self.stats.rejected_draining += 1
+                return 503, {"error": "server is draining"}
+            if len(self._pending) >= self.max_in_flight + self.max_queue:
+                self.stats.rejected_busy += 1
+                return 429, {"error": "too many computations in flight"}
+            future = asyncio.get_running_loop().create_future()
+            self._pending[key] = future
+            asyncio.get_running_loop().create_task(
+                self._run_pending_plan(key, query, future)
+            )
+        try:
+            plan, info = await asyncio.shield(future)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self.stats.errors += 1
+            return 422, {
+                "error": f"{type(exc).__name__}: {exc}",
+                "label": label,
+                "stage": "plan",
+                "coalesced": coalesced,
+            }
+        try:
+            answer = await asyncio.get_running_loop().run_in_executor(
+                self._executor, self._run_query, plan, database
+            )
+        except Exception as exc:
+            self.stats.errors += 1
+            return 422, {
+                "error": f"{type(exc).__name__}: {exc}",
+                "label": label,
+                "stage": "execute",
+                "coalesced": coalesced,
+            }
+        self.stats.query_answers += 1
+        response = {
+            "ok": True,
+            "label": label,
+            "coalesced": coalesced,
+            "plan_from_store": info.from_store,
+            "plan_cached": info.cache_hit,
+        }
+        response.update(answer)
+        return 200, response
+
+    async def _run_pending_plan(self, key, query, future) -> None:
+        """Resolve one admitted plan computation (mirrors _run_pending)."""
+        loop = asyncio.get_running_loop()
+        try:
+            plan, info = await loop.run_in_executor(
+                self._executor, self._run_plan, query
+            )
+        except Exception as exc:
+            if not future.cancelled():
+                future.set_exception(exc)
+                future.exception()  # consumed here; waiters re-raise a copy
+        else:
+            self.stats.plans_computed += 1
+            self.stats.plan_store_hits += 1 if info.from_store else 0
+            self.stats.lp_solves += info.lp_solves
+            self.stats.tasks_run += info.tasks_run
+            if not future.cancelled():
+                future.set_result((plan, info))
+        finally:
+            self._pending.pop(key, None)
+
+    def _run_plan(self, query):
+        """One plan resolution for one query shape (worker thread).
+
+        A method (not a closure) for the same reason as
+        :meth:`_run_batch`: the concurrency tests gate it to hold the
+        coalescing window open deterministically.
+        """
+        return self.planner.plan_detailed(query)
+
+    def _run_query(self, plan, database):
+        """One Yannakakis execution (worker thread), wire-encoded."""
+        return query_answer_payload(self.planner.execute(plan, database))

@@ -345,3 +345,137 @@ class TestBatch:
                  "--solver", mode]
             ) == 0
             assert "hw(t3) = 2" in capsys.readouterr().out
+
+
+class TestQueryCommand:
+    _DB = {
+        "relations": {
+            "r": {
+                "attributes": ["a", "b"],
+                "rows": [[1, 2], [2, 3], [3, 4]],
+            }
+        }
+    }
+    _CHAIN = "q(x, z) :- r(x, y), r(y, z)."
+
+    @pytest.fixture
+    def db_file(self, tmp_path):
+        path = tmp_path / "db.json"
+        path.write_text(json.dumps(self._DB))
+        return str(path)
+
+    def test_single_query_text_output(self, db_file, capsys):
+        assert main(["query", self._CHAIN, "--data", db_file]) == 0
+        out = capsys.readouterr().out
+        assert "query(q): 2 answers (width 1, plan computed)" in out
+        assert "1, 3" in out and "2, 4" in out
+
+    def test_single_query_json_output(self, db_file, capsys):
+        assert main(["query", self._CHAIN, "--data", db_file, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        (result,) = data["results"]
+        assert result["ok"] and result["width"] == 1
+        assert result["answers"]["rows"] == [[1, 3], [2, 4]]
+        assert result["plan_from_store"] is False
+
+    def test_query_from_file(self, db_file, tmp_path, capsys):
+        qfile = tmp_path / "q.cq"
+        qfile.write_text(self._CHAIN)
+        assert main(["query", str(qfile), "--data", db_file]) == 0
+        assert "2 answers" in capsys.readouterr().out
+
+    def test_boolean_query(self, db_file, capsys):
+        assert main(["query", ":- r(x, y).", "--data", db_file]) == 0
+        assert "= true (boolean" in capsys.readouterr().out
+
+    def test_store_makes_repeat_plan_warm(self, db_file, tmp_path, capsys):
+        store = str(tmp_path / "cache")
+        assert main(
+            ["query", self._CHAIN, "--data", db_file, "--store", store]
+        ) == 0
+        assert "plan computed" in capsys.readouterr().out
+        assert main(
+            ["query", self._CHAIN, "--data", db_file, "--store", store]
+        ) == 0
+        assert "plan from store" in capsys.readouterr().out
+
+    def test_malformed_query_exits_2_without_traceback(self, db_file, capsys):
+        assert main(["query", "q(x) :- r(x", "--data", db_file]) == 2
+        err = capsys.readouterr().err
+        assert "cannot parse" in err
+        assert "Traceback" not in err
+
+    def test_missing_data_flag_exits_2(self, capsys):
+        assert main(["query", self._CHAIN]) == 2
+        assert "required" in capsys.readouterr().err
+
+    def test_both_modes_exits_2(self, db_file, tmp_path, capsys):
+        manifest = tmp_path / "m.json"
+        manifest.write_text(json.dumps([]))
+        assert main(
+            ["query", self._CHAIN, "--data", db_file,
+             "--manifest", str(manifest)]
+        ) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_bad_data_file_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"relations": {"r": {"attributes": 3}}}))
+        assert main(["query", self._CHAIN, "--data", str(bad)]) == 2
+        assert "attributes" in capsys.readouterr().err
+
+    def test_failing_query_exits_1(self, db_file, capsys):
+        assert main(["query", "q(x) :- miss(x).", "--data", db_file]) == 1
+        out = capsys.readouterr().out
+        assert "ERROR" in out and "unknown relation" in out
+
+    def test_manifest_workload(self, db_file, tmp_path, capsys):
+        manifest = tmp_path / "workload.json"
+        manifest.write_text(json.dumps({
+            "queries": [
+                {"query": self._CHAIN, "data": "db.json", "label": "hop2"},
+                {"query": ":- r(x, y).", "data": "db.json", "label": "any"},
+            ]
+        }))
+        assert main(["query", "--manifest", str(manifest), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert [r["label"] for r in data["results"]] == ["hop2", "any"]
+        assert all(r["ok"] for r in data["results"])
+
+    def test_manifest_unknown_key_exits_2_naming_fields(
+        self, db_file, tmp_path, capsys
+    ):
+        manifest = tmp_path / "m.json"
+        manifest.write_text(json.dumps([
+            {"query": self._CHAIN, "data": "db.json", "qery": "typo"}
+        ]))
+        assert main(["query", "--manifest", str(manifest)]) == 2
+        err = capsys.readouterr().err
+        assert "entry 0 has unknown key 'qery'" in err
+        assert "valid fields: data, file, label, query, solver" in err
+
+    def test_manifest_needs_exactly_one_of_query_or_file(
+        self, db_file, tmp_path, capsys
+    ):
+        manifest = tmp_path / "m.json"
+        manifest.write_text(json.dumps([{"data": "db.json"}]))
+        assert main(["query", "--manifest", str(manifest)]) == 2
+        assert 'exactly one of "query"' in capsys.readouterr().err
+        both = tmp_path / "both.json"
+        both.write_text(json.dumps([
+            {"query": self._CHAIN, "file": "q.cq", "data": "db.json"}
+        ]))
+        assert main(["query", "--manifest", str(both)]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_manifest_unknown_solver_exits_2(self, db_file, tmp_path, capsys):
+        manifest = tmp_path / "m.json"
+        manifest.write_text(json.dumps([
+            {"query": self._CHAIN, "data": "db.json", "solver": "cplex"}
+        ]))
+        assert main(["query", "--manifest", str(manifest)]) == 2
+        err = capsys.readouterr().err
+        assert "unknown solver 'cplex'" in err
+        assert "bb, sat, portfolio" in err
+
+

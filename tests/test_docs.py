@@ -62,6 +62,14 @@ DOCUMENTED_MODULES = (
     "repro.dist.registry",
     "repro.dist.executor",
     "repro.dist.worker",
+    "repro.cqcsp",
+    "repro.cqcsp.query",
+    "repro.cqcsp.relations",
+    "repro.cqcsp.evaluate",
+    "repro.cqcsp.yannakakis",
+    "repro.cqcsp.planner",
+    "repro.cqcsp.csp",
+    "repro.cqcsp.workloads",
 )
 
 MARKDOWN_FILES = ("README.md", "docs/api.md", "docs/architecture.md", "docs/benchmarks.md")
@@ -312,6 +320,19 @@ def test_every_subcommand_documented_in_api_reference():
         if not re.search(rf"\brepro {re.escape(command)}\b", text)
     ]
     assert not missing, f"docs/api.md does not mention: {missing}"
+
+
+def test_query_flags_documented():
+    """The query subcommand's knobs exist and are documented."""
+    query = _subcommands()["query"]
+    flags = {s for action in query._actions for s in action.option_strings}
+    for flag in ("--data", "--manifest", "--store", "--json"):
+        assert flag in flags, f"repro query lost its {flag} flag"
+    api = (REPO_ROOT / "docs/api.md").read_text()
+    assert "repro query" in api
+    assert "--data" in api and "--manifest" in api
+    # The /query endpoint is part of the serve contract.
+    assert "/query" in api
 
 
 def test_serve_admission_flags_documented():

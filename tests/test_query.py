@@ -1,8 +1,10 @@
 """Tests for CQ parsing and query hypergraphs."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.cqcsp import Atom, ConjunctiveQuery, parse_cq
+from repro.cqcsp import Atom, ConjunctiveQuery, Const, parse_cq
 
 
 class TestParser:
@@ -27,6 +29,88 @@ class TestParser:
     def test_str_roundtrip(self):
         q = parse_cq("q(x) :- r(x, y).")
         assert parse_cq(str(q)) == q
+
+    def test_constants(self):
+        q = parse_cq("q(y) :- r(1, y), s(y, 'ann'), t(-3, y).")
+        assert q.atoms[0].variables == (Const(1), "y")
+        assert q.atoms[1].variables == ("y", Const("ann"))
+        assert q.atoms[2].variables == (Const(-3), "y")
+        assert q.variables == frozenset({"y"})
+
+    def test_trailing_garbage_rejected(self):
+        # Regression: the parser used to silently drop body fragments
+        # its atom regex did not match (a truncated atom changed the
+        # query instead of failing).
+        with pytest.raises(ValueError, match="cannot parse"):
+            parse_cq("q(x) :- r(x, y), s(y")
+        with pytest.raises(ValueError, match="cannot parse"):
+            parse_cq("q(x) :- r(x, y) junk")
+
+    def test_empty_term_rejected(self):
+        with pytest.raises(ValueError, match="stray comma"):
+            parse_cq("q(x) :- r(x,,y).")
+
+    def test_bad_term_rejected(self):
+        with pytest.raises(ValueError, match="cannot parse term"):
+            parse_cq("q(x) :- r(x, ?y).")
+
+    def test_head_constant_rejected(self):
+        with pytest.raises(ValueError, match="head terms must be variables"):
+            parse_cq("q(1) :- r(1, y).")
+
+    def test_single_trailing_dot_stripped(self):
+        assert parse_cq("q(x) :- r(x, y).") == parse_cq("q(x) :- r(x, y)")
+        with pytest.raises(ValueError, match="cannot parse"):
+            parse_cq("q(x) :- r(x, y)..")
+
+
+_NAMES = st.sampled_from(["r", "s", "t", "edge_2"])
+_TERMS = st.one_of(
+    st.sampled_from(["x", "y", "z", "var_1"]),
+    st.integers(-9, 9).map(Const),
+    st.sampled_from(["ann", "b c", ""]).map(Const),
+)
+
+
+@st.composite
+def queries(draw):
+    atoms = []
+    for _ in range(draw(st.integers(1, 4))):
+        terms = draw(st.lists(_TERMS, min_size=1, max_size=3))
+        if not any(isinstance(t, str) for t in terms):
+            terms.append(draw(st.sampled_from(["x", "y"])))
+        atoms.append(Atom(draw(_NAMES), tuple(terms)))
+    scope = sorted(
+        {t for a in atoms for t in a.variables if isinstance(t, str)}
+    )
+    head = tuple(draw(st.permutations(scope))[: draw(st.integers(0, len(scope)))])
+    return ConjunctiveQuery(head, tuple(atoms), name=draw(_NAMES))
+
+
+class TestParserProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(query=queries())
+    def test_parse_format_parse_identity(self, query):
+        parsed = parse_cq(str(query))
+        # The name round-trips for non-Boolean queries only (Boolean
+        # text has no head to carry it).
+        assert parsed.head == query.head
+        assert parsed.atoms == query.atoms
+        if not query.is_boolean:
+            assert parsed == query
+            assert str(parsed) == str(query)
+
+    @settings(max_examples=150, deadline=None)
+    @given(text=st.text(max_size=40))
+    def test_garbage_raises_value_error_only(self, text):
+        # Malformed input must surface as ValueError with a message —
+        # never an IndexError/AttributeError traceback, never a
+        # silently mangled query.
+        try:
+            parse_cq(text)
+        except ValueError as exc:
+            assert str(exc)
+        # Anything else propagating fails the test.
 
 
 class TestQuery:

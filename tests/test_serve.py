@@ -14,9 +14,15 @@ threads over actual sockets):
 * **failure isolation** — a request whose computation raises maps to
   422 for its callers and disturbs no sibling request.
 
+The same three policies govern ``POST /query`` — there the coalesced
+computation is the query's *plan* (the decomposition of its
+hypergraph) while Yannakakis execution runs per request — proven by
+gating :meth:`DecompositionServer._run_plan` instead.
+
 Determinism comes from gating :meth:`DecompositionServer._run_batch`
-on a :class:`threading.Event` — solves block *inside* the worker pool
-until the test has observed the in-flight state it wants to assert.
+(or ``_run_plan``) on a :class:`threading.Event` — solves block
+*inside* the worker pool until the test has observed the in-flight
+state it wants to assert.
 """
 
 import asyncio
@@ -25,6 +31,7 @@ import time
 
 import pytest
 
+from repro.cqcsp import Relation
 from repro.hypergraph import Hypergraph
 from repro.serve import DecompositionServer, ServeClient, ServeError
 from repro.store import checked_witness
@@ -55,20 +62,24 @@ def wait_until(predicate, timeout=20.0):
 
 
 class Gate:
-    """Blocks every solve inside the worker pool until released."""
+    """Blocks a server computation inside the worker pool until released.
 
-    def __init__(self, server):
+    ``attr`` picks what to gate: ``"_run_batch"`` (solve requests, the
+    default) or ``"_run_plan"`` (query plan computations).
+    """
+
+    def __init__(self, server, attr="_run_batch"):
         self.release = threading.Event()
         self.entered = 0
-        self._original = server._run_batch
+        self._original = getattr(server, attr)
 
-        def gated(request):
+        def gated(*args):
             self.entered += 1
             if not self.release.wait(timeout=60):
                 raise TimeoutError("test gate never released")
-            return self._original(request)
+            return self._original(*args)
 
-        server._run_batch = gated
+        setattr(server, attr, gated)
 
 
 class ServerHarness:
@@ -92,8 +103,8 @@ class ServerHarness:
             self.server.host, self.server.port, timeout=120.0
         )
 
-    def gate(self) -> Gate:
-        gate = Gate(self.server)
+    def gate(self, attr="_run_batch") -> Gate:
+        gate = Gate(self.server, attr)
         self.gates.append(gate)
         return gate
 
@@ -532,6 +543,184 @@ class TestServeWithStore:
         assert h2.server.stats.tasks_run == 0
         stats = client2.stats()
         assert stats["server"]["store_instance_hits"] == len(instances)
+
+
+# ----------------------------------------------------------------------
+# Query serving: decompositions as cached plans over the wire
+# ----------------------------------------------------------------------
+def graph_relation(rows):
+    return Relation.from_rows("r", ("src", "dst"), rows)
+
+
+_CHAIN = "q(x0, x2) :- r(x0, x1), r(x1, x2)."
+_CYCLE = "q(x1) :- r(x1, x2), r(x2, x3), r(x3, x1)."
+_DB = {"r": graph_relation([(1, 2), (2, 3), (3, 1), (3, 4)])}
+
+
+class TestQueryServing:
+    def test_query_answers_over_the_wire(self, harness):
+        h, client = harness()
+        response = client.query(_CHAIN, _DB, label="hop2")
+        assert response["ok"] and response["label"] == "hop2"
+        assert response["width"] == 1 and response["satisfied"]
+        assert sorted(map(tuple, response["answers"]["rows"])) == [
+            (1, 3), (2, 1), (2, 4), (3, 2),
+        ]
+        assert response["coalesced"] is False
+        assert response["plan_cached"] is False
+        stats = client.stats()["server"]
+        assert stats["queries"] == 1 and stats["query_answers"] == 1
+        assert stats["plans_computed"] == 1
+
+    def test_query_protocol_errors_are_400(self, harness):
+        h, client = harness()
+        with pytest.raises(ServeError) as excinfo:
+            client.query("q(x) :- r(x", _DB)
+        assert excinfo.value.status == 400
+        with pytest.raises(ServeError) as excinfo:
+            client._call("POST", "/query", {"query": _CHAIN, "oops": 1})
+        assert excinfo.value.status == 400
+        assert h.server.stats.plans_computed == 0
+
+    def test_identical_queries_share_one_plan(self, harness):
+        h, client = harness()
+        gate = h.gate("_run_plan")
+        K = 5
+        results = None
+
+        def workload():
+            nonlocal results
+            results = fire([lambda: client.query(_CHAIN, _DB)] * K)
+
+        worker = threading.Thread(target=workload, daemon=True)
+        worker.start()
+        # All K in flight on ONE pending plan before it may resolve.
+        wait_until(
+            lambda: h.server.stats.coalesced == K - 1
+            and len(h.server._pending) == 1
+            and gate.entered == 1
+        )
+        gate.release.set()
+        worker.join(timeout=120)
+
+        assert all(r["ok"] for r in results)
+        answers = {tuple(map(tuple, r["answers"]["rows"])) for r in results}
+        assert len(answers) == 1  # identical answers for identical queries
+        flags = sorted(r["coalesced"] for r in results)
+        assert flags == [False] + [True] * (K - 1)
+        assert h.server.stats.plans_computed == 1
+        assert h.server.stats.query_answers == K
+
+    def test_same_shape_different_data_share_plan_not_answers(self, harness):
+        h, client = harness()
+        gate = h.gate("_run_plan")
+        other_db = {"r": graph_relation([(7, 8), (8, 9)])}
+        results = None
+
+        def workload():
+            nonlocal results
+            results = fire(
+                [
+                    lambda: client.query(_CHAIN, _DB),
+                    lambda: client.query(_CHAIN, other_db),
+                ]
+            )
+
+        worker = threading.Thread(target=workload, daemon=True)
+        worker.start()
+        wait_until(
+            lambda: h.server.stats.coalesced == 1 and gate.entered == 1
+        )
+        gate.release.set()
+        worker.join(timeout=120)
+
+        assert all(r["ok"] for r in results)
+        assert h.server.stats.plans_computed == 1
+        rows = {tuple(map(tuple, r["answers"]["rows"])) for r in results}
+        assert len(rows) == 2  # one plan, two different answer sets
+
+    def test_query_admission_control(self, harness):
+        h, client = harness(max_in_flight=1, max_queue=0)
+        gate = h.gate("_run_plan")
+        first = None
+
+        def occupy():
+            nonlocal first
+            first = client.query(_CHAIN, _DB)
+
+        occupier = threading.Thread(target=occupy, daemon=True)
+        occupier.start()
+        wait_until(lambda: len(h.server._pending) == 1)
+
+        # A distinct query shape is refused with 429...
+        with pytest.raises(ServeError) as excinfo:
+            client.query(_CYCLE, _DB)
+        assert excinfo.value.status == 429
+        assert h.server.stats.rejected_busy == 1
+        # ... and /solve admission shares the same pool.
+        with pytest.raises(ServeError) as excinfo:
+            client.solve(cycle(4), "ghw")
+        assert excinfo.value.status == 429
+
+        h.server._draining = True
+        try:
+            with pytest.raises(ServeError) as excinfo:
+                client.query(_CYCLE, _DB)
+            assert excinfo.value.status == 503
+        finally:
+            h.server._draining = False
+            gate.release.set()
+        occupier.join(timeout=120)
+        assert first["ok"]
+
+    def test_failing_query_is_422_and_does_not_poison_siblings(self, harness):
+        h, client = harness()
+        gate = h.gate("_run_plan")
+        # The bad query's relations lack a name its atoms need, so its
+        # execution fails after the (shared-machinery) plan resolves.
+        bad_db = {"s": Relation.from_rows("s", ("a",), [(1,)])}
+        results = None
+
+        def workload():
+            nonlocal results
+            results = fire(
+                [
+                    lambda: client.query(_CHAIN, bad_db),
+                    lambda: client.query(_CYCLE, _DB),
+                ]
+            )
+
+        worker = threading.Thread(target=workload, daemon=True)
+        worker.start()
+        wait_until(lambda: gate.entered == 2)
+        gate.release.set()
+        worker.join(timeout=120)
+
+        bad, good = results
+        assert isinstance(bad, ServeError) and bad.status == 422
+        assert bad.payload["stage"] == "execute"
+        assert "unknown relation" in bad.payload["error"]
+        assert good["ok"] and good["satisfied"]
+        assert h.server.stats.errors == 1
+        assert len(h.server._pending) == 0
+        # The server still answers new queries afterwards.
+        assert client.query(_CHAIN, _DB)["ok"]
+
+    def test_restarted_daemon_answers_plan_warm(self, harness, tmp_path):
+        """E24 in miniature: plans persist, answers stay identical."""
+        h1, client1 = harness(store=tmp_path / "store")
+        shapes = [_CHAIN, _CYCLE]
+        cold = [client1.query(q, _DB) for q in shapes]
+        assert all(not r["plan_from_store"] for r in cold)
+        h1.shutdown()
+
+        h2, client2 = harness(store=tmp_path / "store")
+        warm = [client2.query(q, _DB) for q in shapes]
+        assert all(r["plan_from_store"] for r in warm)
+        assert [r["answers"] for r in warm] == [r["answers"] for r in cold]
+        assert h2.server.stats.tasks_run == 0
+        assert h2.server.stats.lp_solves == 0
+        assert h2.server.stats.plan_store_hits == len(shapes)
 
 
 # ----------------------------------------------------------------------

@@ -20,7 +20,11 @@ benchmark workloads in-process and writes one JSON file per benchmark:
 * ``BENCH_E23.json``  — the serve-daemon warm restart (cold vs
   restarted counters — the warm daemon must report zero LP solves and
   zero exact tasks — plus the coalescing window), when ``--only e23``
-  is requested.
+  is requested;
+* ``BENCH_E24.json``  — end-to-end query serving over cached plans
+  (cold vs plan-warm restarted counters — the warm daemon answers
+  with zero solver work and byte-identical answers — plus the
+  plan-coalescing window), when ``--only e24`` is requested.
 
 Each file separates ``metrics`` (deterministic counters — meaningful to
 diff across commits) from ``timings`` (wall-clock — machine-dependent,
@@ -30,6 +34,7 @@ informational).  Regenerate after perf-relevant changes::
     python tools/record_bench.py --only e21 # the portfolio race
     python tools/record_bench.py --only e22 # the bounds collapse
     python tools/record_bench.py --only e23 # the serve warm restart
+    python tools/record_bench.py --only e24 # query serving over plans
 """
 
 from __future__ import annotations
@@ -188,6 +193,19 @@ def record_e23() -> dict:
     }
 
 
+def record_e24() -> dict:
+    """The E24 query serving: cold vs plan-warm daemon counters."""
+    from bench_e24_query_serving import plan_warm_restart
+
+    report = plan_warm_restart()
+    return {
+        "benchmark": "E24",
+        "title": "query serving over store-cached decomposition plans",
+        "metrics": report["metrics"],
+        "timings": report["timings"],
+    }
+
+
 RECORDERS = {
     "e12": ("BENCH_E12.json", record_e12),
     "e19b": ("BENCH_E19b.json", record_e19b),
@@ -195,9 +213,10 @@ RECORDERS = {
     "e21": ("BENCH_E21.json", record_e21),
     "e22": ("BENCH_E22.json", record_e22),
     "e23": ("BENCH_E23.json", record_e23),
+    "e24": ("BENCH_E24.json", record_e24),
 }
 
-#: E21, E22 and E23 run multi-phase comparisons, so they are opt-in.
+#: E21–E24 run multi-phase comparisons, so they are opt-in.
 DEFAULT = ("e12", "e19b")
 
 

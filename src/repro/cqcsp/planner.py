@@ -23,7 +23,12 @@ The plan key has the same dimensions as the store's instance records
 and the serve daemon's coalescing identity — canonical hash × kind ×
 solver × params fingerprint — so "two requests share one plan
 computation" and "two requests share one store record" are the same
-statement (see :func:`plan_key`).
+statement (see :func:`plan_key`).  The shape determines the join tree
+only; the query's head, constants, argument order and repeated
+variables live outside the hypergraph, so a shared plan is always
+rebound to the asking query (:meth:`QueryPlan.rebound`) before it
+executes — ``q(x) :- r(x, 3)`` and ``q(x) :- r(x, 5)`` share one
+decomposition and keep their own answers.
 """
 
 from __future__ import annotations
@@ -32,7 +37,7 @@ import threading
 import time
 from collections import OrderedDict
 from collections.abc import Mapping
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 
 from ..decomposition import Decomposition
 from ..hypergraph import Hypergraph
@@ -75,6 +80,13 @@ def plan_key(
     do NOT share a plan (the canonical hash covers edge names), which is
     what keeps the stored witness's λ edge names resolvable against the
     query's atoms.
+
+    The key identifies a *plan*, not a query: distinct queries may
+    share it (the hypergraph does not see the head, constants, atom
+    argument order or repeated-variable patterns).  Sharing the
+    decomposition across them is the whole point — but execution must
+    then run each caller's own query, which is why every cache hit is
+    rebound via :meth:`QueryPlan.rebound` before it leaves the planner.
     """
     return (
         query.hypergraph().canonical_hash(),
@@ -91,7 +103,13 @@ class QueryPlan:
     Attributes
     ----------
     query : ConjunctiveQuery
-        The query the plan was derived for.
+        The query this plan instance is *bound* to — execution runs
+        exactly this query's head, constants, argument order and
+        repeated-variable patterns.  The decomposition is shared by
+        every query of the shape; :meth:`rebound` attaches it to
+        another same-shape query (the planner does this on every
+        in-memory cache hit, so :meth:`QueryPlanner.plan` always
+        returns a plan bound to the query you asked about).
     hypergraph : Hypergraph
         Its query hypergraph (variables as vertices, atom occurrences
         as edges).
@@ -116,6 +134,34 @@ class QueryPlan:
     solver: str
     key: tuple
     from_store: bool
+
+    def rebound(self, query: ConjunctiveQuery) -> "QueryPlan":
+        """This plan carrying ``query`` in place of the one it holds.
+
+        A plan depends on its query only through the query hypergraph:
+        the witness's λ edge names (``relation#i``) and bag variables
+        are fixed by the canonical hash, so any query with the same
+        canonical hypergraph can reuse the decomposition.  Everything
+        the hypergraph does *not* see — the head, constants, argument
+        order, repeated-variable patterns — lives on the query object,
+        which is exactly why execution must receive the caller's own
+        query and never a cached exemplar's (distinct queries share a
+        hypergraph: ``q(x) :- r(x, 3)`` and ``q(x) :- r(x, 5)`` have
+        different answers but one plan).
+
+        Raises ``ValueError`` when ``query`` has a different canonical
+        hypergraph — such a query cannot ride this decomposition.
+        """
+        if query == self.query:
+            return self
+        if (
+            query.hypergraph().canonical_hash()
+            != self.hypergraph.canonical_hash()
+        ):
+            raise ValueError(
+                "query does not share this plan's hypergraph shape"
+            )
+        return replace(self, query=query)
 
 
 @dataclass(frozen=True)
@@ -248,18 +294,21 @@ class QueryPlanner:
         counters stay at zero on repeated shapes).
         """
         hypergraph = query.hypergraph()
-        key = (
-            hypergraph.canonical_hash(),
-            PLAN_KIND,
-            self.solver,
-            params_fingerprint({}),
-        )
+        key = plan_key(query, self.solver)
         with self._lock:
             cached = self._plans.get(key)
             if cached is not None:
                 self._plans.move_to_end(key)
                 self.stats.plan_cache_hits += 1
-                return cached, PlanInfo(cache_hit=True, from_store=False)
+        if cached is not None:
+            # The cached plan may have been derived for a *different*
+            # query of the same shape (same canonical hypergraph,
+            # different head/constants/argument order).  Rebinding makes
+            # the returned plan execute THIS query — returning the
+            # exemplar verbatim silently answered the wrong query.
+            return cached.rebound(query), PlanInfo(
+                cache_hit=True, from_store=False
+            )
         started = time.perf_counter()
         scheduler = BatchScheduler(
             jobs=self.jobs,
@@ -311,6 +360,13 @@ class QueryPlanner:
         self, plan: QueryPlan, database: Mapping[str, Relation]
     ) -> QueryResult:
         """Run semijoin reduction + Yannakakis along the plan's tree.
+
+        Executes ``plan.query`` — the query the plan is *bound* to,
+        which for plans obtained from :meth:`plan` / :meth:`plan_detailed`
+        is always the query that was asked (cache hits are rebound).
+        Holders of a shared plan answering a different same-shape query
+        (the serve daemon's coalesced siblings) must rebind first via
+        :meth:`QueryPlan.rebound`.
 
         ``database`` maps relation names to :class:`Relation` objects;
         every atom of the plan's query must resolve to a relation of

@@ -28,14 +28,20 @@ class Const:
 
     ``value`` is a plain hashable scalar (int or str in the text
     syntax).  In query text, integers are written bare (``r(x, 3)``)
-    and strings single- or double-quoted (``r(x, 'iron')``).
+    and strings single- or double-quoted (``r(x, 'iron')``).  A string
+    constant may contain commas and whitespace but not its own
+    delimiter quote — there is no escape syntax, so the formatter
+    picks whichever quote character the value does not contain (a
+    value holding *both* kinds can only be built programmatically and
+    has no text form).
     """
 
     value: object
 
     def __str__(self) -> str:
         if isinstance(self.value, str):
-            return "'" + self.value + "'"
+            quote = '"' if "'" in self.value else "'"
+            return quote + self.value + quote
         return str(self.value)
 
 
@@ -147,6 +153,40 @@ class ConjunctiveQuery:
 _ATOM_RE = re.compile(r"([A-Za-z_][A-Za-z0-9_]*)\s*\(([^()]*)\)")
 _VARIABLE_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
 _INT_RE = re.compile(r"-?[0-9]+")
+_GAP_RE = re.compile(r"\s*,\s*")
+
+
+def _split_terms(text: str, context: str) -> list:
+    """Split an argument list on commas *outside* quotes.
+
+    A bare ``str.split(",")`` would cut the string constant ``'a,b'``
+    in half and then fail with a baffling "cannot parse term" message;
+    here a comma inside a quoted string belongs to the string.  There
+    is no escape syntax — an unbalanced quote is a loud error, not a
+    truncated constant.
+    """
+    parts: list[str] = []
+    buffer: list[str] = []
+    quote = None
+    for ch in text:
+        if quote is not None:
+            buffer.append(ch)
+            if ch == quote:
+                quote = None
+        elif ch in "'\"":
+            quote = ch
+            buffer.append(ch)
+        elif ch == ",":
+            parts.append("".join(buffer))
+            buffer = []
+        else:
+            buffer.append(ch)
+    if quote is not None:
+        raise ValueError(
+            f"unbalanced {quote} quote in {context}"
+        )
+    parts.append("".join(buffer))
+    return parts
 
 
 def _parse_term(raw: str, context: str):
@@ -158,8 +198,18 @@ def _parse_term(raw: str, context: str):
         return term
     if _INT_RE.fullmatch(term):
         return Const(int(term))
-    if len(term) >= 2 and term[0] == term[-1] and term[0] in "'\"":
-        return Const(term[1:-1])
+    if term[0] in "'\"":
+        if (
+            len(term) >= 2
+            and term[-1] == term[0]
+            and term[0] not in term[1:-1]
+        ):
+            return Const(term[1:-1])
+        raise ValueError(
+            f"cannot parse term {term!r} in {context}: string constants "
+            "are quote-delimited and cannot contain their own quote "
+            "character (no escape syntax)"
+        )
     raise ValueError(
         f"cannot parse term {term!r} in {context}: expected a variable "
         "name, an integer, or a quoted string"
@@ -171,26 +221,36 @@ def _parse_atoms(body_text: str) -> tuple:
 
     ``finditer`` alone would silently skip malformed fragments (a bug
     this parser shipped with: ``q(x) :- r(x), s(y`` used to drop the
-    dangling ``s(y`` and answer the wrong query); here every character
-    outside a matched atom must be a comma or whitespace.
+    dangling ``s(y`` and answer the wrong query).  Every character
+    outside a matched atom must therefore be accounted for exactly:
+    whitespace before the first atom and after the last, and a single
+    comma (with optional whitespace) between consecutive atoms —
+    ``r(x),, s(x)``, a leading comma and a trailing comma are all
+    errors, never noise.
     """
     atoms = []
     cursor = 0
     for match in _ATOM_RE.finditer(body_text):
         gap = body_text[cursor:match.start()]
-        if gap.strip(", \t\r\n"):
+        if not atoms:
+            if gap.strip():
+                raise ValueError(
+                    f"cannot parse {gap.strip()!r} in the query body"
+                )
+        elif _GAP_RE.fullmatch(gap) is None:
             raise ValueError(
-                f"cannot parse {gap.strip()!r} in the query body"
+                "expected a single comma between atoms, got "
+                f"{gap.strip() or gap!r}"
             )
         context = f"atom {match.group(1)}"
         terms = tuple(
             _parse_term(raw, context)
-            for raw in match.group(2).split(",")
+            for raw in _split_terms(match.group(2), context)
         ) if match.group(2).strip() else ()
         atoms.append(Atom(match.group(1), terms))
         cursor = match.end()
     tail = body_text[cursor:]
-    if tail.strip(", \t\r\n"):
+    if tail.strip():
         raise ValueError(
             f"cannot parse {tail.strip()!r} in the query body"
         )
@@ -202,9 +262,12 @@ def parse_cq(text: str) -> ConjunctiveQuery:
 
     The head is everything before ``:-``; a missing head (text starting
     with ``:-``) gives a Boolean query.  Body positions accept variables,
-    bare integers and quoted strings (constants).  Raises ``ValueError``
-    with a pointed message on any malformed input — unparseable
-    fragments are errors, never silently dropped.
+    bare integers and quoted strings (constants; commas inside quotes
+    belong to the string, but a string cannot contain its own quote
+    character — there is no escape syntax).  Raises ``ValueError`` with
+    a pointed message on any malformed input — unparseable fragments,
+    doubled/leading/trailing commas and unbalanced quotes are errors,
+    never silently dropped.
     """
     text = text.strip()
     if text.endswith("."):
@@ -221,7 +284,7 @@ def parse_cq(text: str) -> ConjunctiveQuery:
         name = match.group(1)
         head_vars = tuple(
             _parse_term(raw, "the head")
-            for raw in match.group(2).split(",")
+            for raw in _split_terms(match.group(2), "the head")
         ) if match.group(2).strip() else ()
     atoms = _parse_atoms(body_text)
     if not atoms:

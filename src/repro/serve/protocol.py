@@ -214,8 +214,13 @@ def query_key(query, default_solver: str) -> tuple:
     hypergraph hash × plan kind × solver × params fingerprint.  The
     data is deliberately absent — N concurrent queries of one shape
     share one plan solve and then each execute on their own relations.
-    The tag keeps plan futures distinct from ``/solve`` futures in the
-    server's single pending map (their resolved values differ).
+    The key identifies the *plan* only: distinct queries (different
+    head, constants or argument order over the same hypergraph) also
+    coalesce, which is safe because the server rebinds the shared plan
+    to each request's own parsed query before executing — a coalesced
+    caller never runs a sibling's query.  The tag keeps plan futures
+    distinct from ``/solve`` futures in the server's single pending
+    map (their resolved values differ).
     """
     return ("query-plan",) + plan_key(query, default_solver)
 

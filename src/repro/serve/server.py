@@ -549,8 +549,10 @@ class DecompositionServer:
         Planning and execution are deliberately split: the plan (the
         query-shape solve) coalesces and caches exactly like ``/solve``
         computations, while execution always runs per request — two
-        queries of one shape may carry different relations, so sharing
-        the answer would be wrong even though sharing the plan is free.
+        queries of one shape may carry different relations *and
+        different query semantics* (head, constants, argument order),
+        so the shared plan is rebound to each request's own query
+        before Yannakakis runs; only the decomposition is shared.
         """
         self.stats.queries += 1
         try:
@@ -589,7 +591,7 @@ class DecompositionServer:
             }
         try:
             answer = await asyncio.get_running_loop().run_in_executor(
-                self._executor, self._run_query, plan, database
+                self._executor, self._run_query, query, plan, database
             )
         except Exception as exc:
             self.stats.errors += 1
@@ -640,6 +642,16 @@ class DecompositionServer:
         """
         return self.planner.plan_detailed(query)
 
-    def _run_query(self, plan, database):
-        """One Yannakakis execution (worker thread), wire-encoded."""
-        return query_answer_payload(self.planner.execute(plan, database))
+    def _run_query(self, query, plan, database):
+        """One Yannakakis execution (worker thread), wire-encoded.
+
+        ``plan`` may have been computed for (and is bound to) a
+        coalesced sibling's query of the same shape — the coalescing
+        key identifies the *plan*, not the query.  Rebinding makes
+        execution run THIS request's head, constants and argument
+        order over the shared decomposition; without it, a coalesced
+        request got HTTP 200 with the sibling's answers.
+        """
+        return query_answer_payload(
+            self.planner.execute(plan.rebound(query), database)
+        )

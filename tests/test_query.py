@@ -63,12 +63,56 @@ class TestParser:
         with pytest.raises(ValueError, match="cannot parse"):
             parse_cq("q(x) :- r(x, y)..")
 
+    def test_doubled_comma_between_atoms_rejected(self):
+        # Regression: the gap check used to strip ALL commas, so
+        # ',,' (and leading/trailing commas) parsed silently.
+        with pytest.raises(ValueError, match="single comma"):
+            parse_cq("q(x) :- r(x),, s(x).")
+
+    def test_missing_comma_between_atoms_rejected(self):
+        with pytest.raises(ValueError, match="single comma"):
+            parse_cq("q(x) :- r(x) s(x).")
+
+    def test_leading_comma_rejected(self):
+        with pytest.raises(ValueError, match="cannot parse"):
+            parse_cq("q(x) :- , r(x).")
+
+    def test_trailing_comma_rejected(self):
+        with pytest.raises(ValueError, match="cannot parse"):
+            parse_cq("q(x) :- r(x), .")
+
+    def test_quoted_constant_with_comma(self):
+        # Regression: terms were split on bare commas before quote
+        # handling, so 'a,b' died with "cannot parse term".
+        q = parse_cq("q(x) :- r(x, 'a,b').")
+        assert q.atoms[0].variables == ("x", Const("a,b"))
+        assert parse_cq(str(q)) == q
+
+    def test_quoted_constant_with_other_quote(self):
+        q = parse_cq("q(x) :- r(x, \"ann's\").")
+        assert q.atoms[0].variables == ("x", Const("ann's"))
+        assert parse_cq(str(q)) == q
+
+    def test_unbalanced_quote_rejected(self):
+        with pytest.raises(ValueError, match="unbalanced"):
+            parse_cq("q(x) :- r(x, 'a,b).")
+
+    def test_embedded_quote_rejected(self):
+        # No escape syntax: a closed quote followed by more text is an
+        # error, never a truncated constant.
+        with pytest.raises(ValueError, match="cannot parse term"):
+            parse_cq("q(x) :- r(x, 'a'b, y).")
+
 
 _NAMES = st.sampled_from(["r", "s", "t", "edge_2"])
 _TERMS = st.one_of(
     st.sampled_from(["x", "y", "z", "var_1"]),
     st.integers(-9, 9).map(Const),
-    st.sampled_from(["ann", "b c", ""]).map(Const),
+    # Commas and the *other* quote character are legal inside string
+    # constants; the formatter picks the delimiter accordingly.
+    st.sampled_from(
+        ["ann", "b c", "", "a,b", "ann's", 'say "hi"', ",", " , "]
+    ).map(Const),
 )
 
 

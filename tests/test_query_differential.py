@@ -289,6 +289,97 @@ class TestEdgeCases:
 
 
 # ---------------------------------------------------------------------------
+# Plan-cache rebinding: one hypergraph shape, many distinct queries
+# ---------------------------------------------------------------------------
+
+
+class TestPlanCacheRebinding:
+    """Distinct queries that share a hypergraph must not share answers.
+
+    The plan cache keys on the canonical query hypergraph, which does
+    not see the head, constants, atom argument order or repeated-
+    variable patterns.  Such queries used to collide in the in-memory
+    LRU: the second one silently received the first one's answers.
+    Now the decomposition is shared (that is the point of the cache)
+    and the plan is rebound to each asking query before execution.
+    """
+
+    def test_different_constants_same_shape(self):
+        database = {
+            "r": Relation.from_rows("r", ("a", "b"), [(1, 3), (2, 5)])
+        }
+        planner = QueryPlanner()
+        three = planner.answer(parse_cq("q(x) :- r(x, 3)."), database)
+        five = planner.answer(parse_cq("q(x) :- r(x, 5)."), database)
+        assert three.answers.tuples == frozenset({(1,)})
+        assert five.answers.tuples == frozenset({(2,)})
+        # ... while the shared shape still paid for one plan solve.
+        assert planner.stats.plans == 1
+        assert planner.stats.plan_cache_hits == 1
+
+    def test_different_heads_same_shape(self):
+        database = {"r": Relation.from_rows("r", ("a", "b"), [(1, 2)])}
+        planner = QueryPlanner()
+        first = planner.answer(parse_cq("q(x) :- r(x, y)."), database)
+        second = planner.answer(parse_cq("q(y) :- r(x, y)."), database)
+        assert first.answers.attributes == ("x",)
+        assert second.answers.attributes == ("y",)
+        assert first.answers.tuples == frozenset({(1,)})
+        assert second.answers.tuples == frozenset({(2,)})
+        assert planner.stats.plans == 1
+
+    def test_different_argument_order_same_shape(self):
+        database = {"r": Relation.from_rows("r", ("a", "b"), [(1, 2)])}
+        planner = QueryPlanner()
+        forward = planner.answer(parse_cq("q(x, y) :- r(x, y)."), database)
+        backward = planner.answer(parse_cq("q(x, y) :- r(y, x)."), database)
+        assert forward.answers.tuples == frozenset({(1, 2)})
+        assert backward.answers.tuples == frozenset({(2, 1)})
+        assert planner.stats.plans == 1
+
+    def test_different_repeated_variable_patterns(self):
+        database = {
+            "r": Relation.from_rows(
+                "r", ("a", "b", "c"), [(1, 1, 2), (3, 4, 4), (5, 6, 7)]
+            )
+        }
+        planner = QueryPlanner()
+        left = planner.answer(parse_cq("q(x, y) :- r(x, x, y)."), database)
+        right = planner.answer(parse_cq("q(x, y) :- r(x, y, y)."), database)
+        assert left.answers.tuples == frozenset({(1, 2)})
+        assert right.answers.tuples == frozenset({(3, 4)})
+        assert planner.stats.plans == 1
+
+    def test_rebound_rejects_other_shapes(self):
+        planner = QueryPlanner()
+        plan = planner.plan(parse_cq("q(x) :- r(x, y)."))
+        with pytest.raises(ValueError, match="hypergraph shape"):
+            plan.rebound(parse_cq("q(x) :- s(x, y)."))
+
+    def test_plan_is_bound_to_the_asking_query(self):
+        planner = QueryPlanner()
+        first = parse_cq("q(x) :- r(x, 3).")
+        second = parse_cq("q(x) :- r(x, 5).")
+        assert planner.plan(first).query == first
+        assert planner.plan(second).query == second  # a rebound cache hit
+        assert planner.plan(first).key == planner.plan(second).key
+
+    @settings(max_examples=25, deadline=None)
+    @given(instances=st.lists(random_instance(), min_size=2, max_size=4))
+    def test_shared_planner_matches_reference(self, instances):
+        # The rest of this harness answers each query with a throwaway
+        # planner, so cross-query cache collisions were invisible to
+        # it.  One planner answering a whole workload closes that
+        # blind spot.
+        planner = QueryPlanner()
+        for query, database in instances:
+            result = planner.execute(planner.plan(query), database)
+            assert result.answers.tuples == reference_evaluate(
+                query, database
+            )
+
+
+# ---------------------------------------------------------------------------
 # Plan persistence: a store round trip answers identically
 # ---------------------------------------------------------------------------
 

@@ -639,6 +639,48 @@ class TestQueryServing:
         rows = {tuple(map(tuple, r["answers"]["rows"])) for r in results}
         assert len(rows) == 2  # one plan, two different answer sets
 
+    def test_coalesced_distinct_queries_get_their_own_answers(self, harness):
+        # Regression: the coalescing key identifies the *plan* (the
+        # query hypergraph), which does not see the head — so the
+        # forward chain and its swapped-head sibling coalesce onto one
+        # plan future.  Each caller must still receive answers to ITS
+        # query; the shared plan used to execute the first requester's
+        # query for both, returning the sibling's answers with 200.
+        h, client = harness()
+        gate = h.gate("_run_plan")
+        swapped = "q(x2, x0) :- r(x0, x1), r(x1, x2)."
+        results = None
+
+        def workload():
+            nonlocal results
+            results = fire(
+                [
+                    lambda: client.query(_CHAIN, _DB),
+                    lambda: client.query(swapped, _DB),
+                ]
+            )
+
+        worker = threading.Thread(target=workload, daemon=True)
+        worker.start()
+        # Both requests in flight on ONE pending plan before it resolves.
+        wait_until(
+            lambda: h.server.stats.coalesced == 1 and gate.entered == 1
+        )
+        gate.release.set()
+        worker.join(timeout=120)
+
+        forward, backward = results
+        assert forward["ok"] and backward["ok"]
+        assert h.server.stats.plans_computed == 1
+        assert forward["answers"]["attributes"] == ["x0", "x2"]
+        assert backward["answers"]["attributes"] == ["x2", "x0"]
+        assert sorted(map(tuple, forward["answers"]["rows"])) == [
+            (1, 3), (2, 1), (2, 4), (3, 2),
+        ]
+        assert sorted(map(tuple, backward["answers"]["rows"])) == [
+            (1, 2), (2, 3), (3, 1), (4, 2),
+        ]
+
     def test_query_admission_control(self, harness):
         h, client = harness(max_in_flight=1, max_queue=0)
         gate = h.gate("_run_plan")
